@@ -1,0 +1,176 @@
+// Command dynaqsim runs a single static-flow scenario on a simulated rack
+// and prints the per-queue throughput series plus a summary — the
+// interactive counterpart of cmd/experiments.
+//
+// Examples:
+//
+//	dynaqsim -scheme DynaQ -spec 1:2,2:16
+//	dynaqsim -scheme BestEffort -sched drr -rate 10 -buffer 192000 \
+//	    -queues 8 -spec 0:2,1:4,2:8 -duration 5
+//	dynaqsim -scheme PQL -weights 4,3,2,1 -spec 0:16,1:8,2:4,3:2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynaq/internal/experiment"
+	"dynaq/internal/metrics"
+	"dynaq/internal/scenario"
+	"dynaq/internal/units"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "DynaQ", "BestEffort | PQL | DynaQ | TCN | PMSB | PerQueueECN | MQ-ECN | TCNDrop")
+		schedK   = flag.String("sched", "drr", "drr | wrr | spq+drr")
+		rateG    = flag.Float64("rate", 1, "link rate in Gbps")
+		bufB     = flag.Int64("buffer", 85000, "port buffer in bytes")
+		queues   = flag.Int("queues", 4, "service queues per port")
+		weights  = flag.String("weights", "", "comma-separated queue weights (default equal)")
+		spec     = flag.String("spec", "1:2,2:16", "traffic: class:flows[,class:flows...]")
+		duration = flag.Float64("duration", 10, "simulated seconds")
+		rttUS    = flag.Float64("rtt", 500, "base RTT in microseconds")
+		mtu      = flag.Int64("mtu", 1500, "frame size in bytes")
+		sample   = flag.Float64("sample", 0.5, "throughput sampling interval in seconds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		traceN   = flag.Int("trace", 0, "dump the last N drop/mark/evict events at the bottleneck")
+		config   = flag.String("config", "", "run a JSON scenario file instead of flags (see internal/scenario)")
+	)
+	flag.Parse()
+
+	if *config != "" {
+		runConfig(*config)
+		return
+	}
+
+	ws := make([]int64, *queues)
+	for i := range ws {
+		ws[i] = 1
+	}
+	if *weights != "" {
+		parts := strings.Split(*weights, ",")
+		if len(parts) != *queues {
+			fatalf("-weights needs %d entries", *queues)
+		}
+		for i, p := range parts {
+			w, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil || w <= 0 {
+				fatalf("bad weight %q", p)
+			}
+			ws[i] = w
+		}
+	}
+
+	var specs []experiment.QueueSpec
+	for _, part := range strings.Split(*spec, ",") {
+		cf := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(cf) != 2 {
+			fatalf("bad -spec entry %q (want class:flows)", part)
+		}
+		class, err1 := strconv.Atoi(cf[0])
+		flows, err2 := strconv.Atoi(cf[1])
+		if err1 != nil || err2 != nil || class < 0 || class >= *queues || flows <= 0 {
+			fatalf("bad -spec entry %q", part)
+		}
+		specs = append(specs, experiment.QueueSpec{Class: class, Flows: flows})
+	}
+
+	cfg := experiment.StaticConfig{
+		Scheme:      experiment.Scheme(*scheme),
+		Sched:       experiment.SchedKind(*schedK),
+		Params:      experiment.SchemeParams{Weights: ws},
+		Rate:        units.Rate(*rateG * 1e9),
+		Delay:       units.Seconds(*rttUS / 4 * 1e-6),
+		Buffer:      units.ByteSize(*bufB),
+		Queues:      *queues,
+		MTU:         units.ByteSize(*mtu),
+		Specs:       specs,
+		Duration:    units.Seconds(*duration),
+		SampleEvery: units.Seconds(*sample),
+		Seed:        *seed,
+	}
+	cfg.TraceEvents = *traceN
+	res, err := experiment.RunStatic(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("scheme=%s sched=%s rate=%v buffer=%v queues=%d rtt=%vus\n\n",
+		*scheme, *schedK, cfg.Rate, cfg.Buffer, *queues, *rttUS)
+	fmt.Printf("%-10s", "time")
+	for q := 0; q < *queues; q++ {
+		fmt.Printf("  q%d(Mbps)", q)
+	}
+	fmt.Printf("  aggregate\n")
+	for _, s := range res.Samples {
+		fmt.Printf("%-10s", s.At.String())
+		for _, r := range s.PerQueue {
+			fmt.Printf("  %8.1f", float64(r)/1e6)
+		}
+		fmt.Printf("  %8.1f\n", float64(s.Aggregate)/1e6)
+	}
+	end := units.Time(cfg.Duration)
+	warm := end / 5
+	fmt.Printf("\nsummary (after warmup):\n")
+	for q := 0; q < *queues; q++ {
+		fmt.Printf("  queue %d: %8.1f Mbps  share %.3f\n", q,
+			float64(res.AvgThroughput(q, warm, end))/1e6, res.ShareOf(q, warm, end))
+	}
+	fmt.Printf("  aggregate: %.1f Mbps, drops at bottleneck: %d\n",
+		float64(res.AvgAggregate(warm, end))/1e6, res.Drops)
+	if res.Trace != nil {
+		fmt.Printf("\nbottleneck events: %s\n", res.Trace.Summary())
+		if err := res.Trace.Dump(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// runConfig executes a JSON scenario document.
+func runConfig(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	r, err := scenario.Load(data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	switch {
+	case res.Static != nil:
+		st := res.Static
+		n := len(st.Samples)
+		fmt.Printf("%s scenario (%s): %d throughput samples, %d drops\n",
+			r.Kind(), st.Scheme, n, st.Drops)
+		if n > 0 {
+			last := st.Samples[n-1]
+			fmt.Printf("final sample @ %v:", last.At)
+			for q, rate := range last.PerQueue {
+				fmt.Printf("  q%d=%.1fMbps", q, float64(rate)/1e6)
+			}
+			fmt.Printf("  aggregate=%.1fMbps\n", float64(last.Aggregate)/1e6)
+		}
+	case res.Dynamic != nil:
+		d := res.Dynamic
+		fmt.Printf("%s scenario (%s, load %.0f%%): %d/%d flows\n",
+			r.Kind(), d.Scheme, d.Load*100, d.Completed, d.Generated)
+		fmt.Printf("avg FCT overall %.2fms  small %.2fms  large %.2fms  p99 small %.2fms\n",
+			d.FCT.Avg(metrics.AllFlows).Seconds()*1e3,
+			d.FCT.Avg(metrics.SmallFlows).Seconds()*1e3,
+			d.FCT.Avg(metrics.LargeFlows).Seconds()*1e3,
+			d.FCT.Percentile(metrics.SmallFlows, 0.99).Seconds()*1e3)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,145 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig all            # every figure at standard scale
+//	experiments -fig 5,6,10         # selected figures
+//	experiments -fig 8 -scale full  # paper-scale parameters
+//	experiments -fig cycles         # the §IV-A hardware cost analysis
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dynaq/internal/experiment"
+)
+
+type renderer interface{ Table() string }
+
+var figures = []struct {
+	name string
+	desc string
+	run  func(o experiment.Options) (renderer, error)
+}{
+	{"1", "violated fair sharing under BestEffort (motivation)", wrap(experiment.Fig1)},
+	{"3", "throughput convergence, 2 active DRR queues", wrap(experiment.Fig3)},
+	{"4", "queue length evolution (same runs as fig 3)", wrap(experiment.Fig4)},
+	{"5", "bandwidth sharing, 4 DRR queues with departures", wrap(experiment.Fig5)},
+	{"6", "weighted fair sharing, weights 4:3:2:1", wrap(experiment.Fig6)},
+	{"7", "mixed transports: NewReno + CUBIC under DynaQ", wrap(experiment.Fig7)},
+	{"8", "FCT vs non-ECN schemes, SPQ+DRR, web search", wrap(experiment.Fig8)},
+	{"9", "FCT vs ECN schemes (DCTCP), SPQ+DRR, web search", wrap(experiment.Fig9)},
+	{"10", "bandwidth sharing on 10Gbps links", wrap(experiment.Fig10)},
+	{"11", "bandwidth sharing on 100Gbps links (jumbo)", wrap(experiment.Fig11)},
+	{"12", "100Gbps with extreme flow counts", wrap(experiment.Fig12)},
+	{"13", "leaf-spine FCT, 4 workloads, ECMP", wrap(experiment.Fig13)},
+	{"cycles", "§IV-A ASIC cycle budget of Algorithm 1", func(experiment.Options) (renderer, error) {
+		return experiment.Cycles(), nil
+	}},
+	{"ablation-victim", "victim selection: max-extra vs naive max-threshold (§III-B)", wrap(experiment.AblationVictim)},
+	{"ablation-wbdp", "satisfaction threshold: Eq.3 buffer share vs WBDP", wrap(experiment.AblationSatisfaction)},
+	{"ablation-tcndrop", "TCN-drop strawman: dequeue dropping idles the link (§II-C)", wrap(experiment.AblationDequeueDrop)},
+	{"ext-microburst", "microburst absorption: DynaQ vs BarberQ eviction vs BestEffort", wrap(experiment.ExtMicroburst)},
+	{"ext-sharedmem", "shared-memory DT vs dedicated per-port buffers (§II-C)", wrap(experiment.ExtSharedMemory)},
+	{"ext-protocol", "mixed DCTCP + CUBIC tenants: ECN schemes break, DynaQ holds (§II-B)", wrap(experiment.ExtProtocolDependence)},
+	{"ext-tofino", "programmable-switch model: DynaQ on stale deq_qdepth (§IV-A)", wrap(experiment.ExtTofino)},
+	{"ext-zoo", "transport zoo: reno/cubic/dctcp/timely queues under one scheme", wrap(experiment.ExtTransportZoo)},
+	{"ext-closedloop", "Fig 8 with the §V-A2 request/response application (closed loop)", wrap(experiment.ExtClosedLoop)},
+	{"ext-dynaq-ecn", "DynaQ drop mode (TCP) vs ECN mode (PMSB marking, DCTCP) (§III-B3)", wrap(experiment.ExtDynaQECNMode)},
+	{"2", "workload flow-size distributions (Figure 2)", wrap(experiment.Fig2)},
+}
+
+func wrap[T renderer](f func(experiment.Options) (T, error)) func(experiment.Options) (renderer, error) {
+	return func(o experiment.Options) (renderer, error) { return f(o) }
+}
+
+func main() {
+	fig := flag.String("fig", "all", "comma-separated figure ids, or 'all'")
+	scale := flag.String("scale", "standard", "quick | standard | full")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list available figures")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	csvDir := flag.String("csv", "", "also write plottable CSV series into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, f := range figures {
+			fmt.Printf("  %-7s %s\n", f.name, f.desc)
+		}
+		return
+	}
+	var lvl experiment.ScaleLevel
+	switch *scale {
+	case "quick":
+		lvl = experiment.Quick
+	case "standard":
+		lvl = experiment.Standard
+	case "full":
+		lvl = experiment.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	opts := experiment.Options{Scale: lvl, Seed: *seed}
+
+	want := map[string]bool{}
+	if *fig != "all" {
+		for _, f := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	ran := 0
+	for _, f := range figures {
+		if *fig != "all" && !want[f.name] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		if !*asJSON {
+			fmt.Printf("=== Figure %s: %s (scale=%s) ===\n", f.name, f.desc, lvl)
+		}
+		res, err := f.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			out := map[string]any{
+				"figure":  f.name,
+				"scale":   lvl.String(),
+				"seed":    *seed,
+				"seconds": time.Since(start).Seconds(),
+				"result":  res,
+			}
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(out); err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s: encode: %v\n", f.name, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Print(res.Table())
+		if *csvDir != "" {
+			if d, ok := res.(experiment.CSVDumper); ok {
+				paths, err := d.WriteCSV(*csvDir)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "figure %s: csv: %v\n", f.name, err)
+					os.Exit(1)
+				}
+				for _, p := range paths {
+					fmt.Printf("wrote %s\n", p)
+				}
+			}
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no figure matched %q (use -list)\n", *fig)
+		os.Exit(2)
+	}
+}

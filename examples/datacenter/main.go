@@ -1,0 +1,104 @@
+// Datacenter: a leaf-spine fabric under realistic request traffic
+// (a scaled-down Fig. 13).
+//
+// A 4-leaf × 4-spine fabric with 16 hosts runs SPQ-over-DRR ports: queue 0
+// is the shared high-priority queue fed by each flow's first 100KB (PIAS
+// two-level classification), the remaining queues carry the web-search and
+// cache workloads. The example prints the flow-completion-time breakdown
+// the paper reports, for DynaQ and best-effort buffering.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dynaq"
+)
+
+const (
+	hosts = 16
+	load  = 0.6
+	flows = 400
+)
+
+func main() {
+	fmt.Printf("leaf-spine 4x4, 10Gbps, %d flows at %.0f%% load\n\n", flows, load*100)
+	for _, scheme := range []dynaq.Scheme{dynaq.SchemeDynaQ, dynaq.SchemeBestEffort} {
+		fct := run(scheme)
+		fmt.Printf("%-11s avg FCT: overall %7.2fms  small %6.2fms  p99 small %7.2fms  (%d flows)\n",
+			scheme,
+			ms(fct.Avg(dynaq.AllFlows)), ms(fct.Avg(dynaq.SmallFlows)),
+			ms(fct.Percentile(dynaq.SmallFlows, 0.99)), fct.Count(dynaq.AllFlows))
+	}
+}
+
+func run(scheme dynaq.Scheme) *dynaq.FCTCollector {
+	s := dynaq.NewSimulator()
+	net, err := dynaq.NewLeafSpineNetwork(s, dynaq.LeafSpineConfig{
+		Leaves: 4, Spines: 4, HostsPerLeaf: 4,
+		Rate:   10 * dynaq.Gbps,
+		Delay:  10 * dynaq.Microsecond,
+		Buffer: 192 * dynaq.KB,
+		Queues: 4, // 1 SPQ + 3 DRR service queues
+		Scheme: scheme,
+		Sched:  dynaq.SPQDRR,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two services with different size distributions, striped over the
+	// DRR queues; queue 0 is PIAS's shared high-priority queue.
+	services := []*dynaq.CDF{dynaq.WebSearch(), dynaq.CacheWorkload()}
+	gen, err := dynaq.NewFlowGen(7, dynaq.WebSearch(), 10*dynaq.Gbps*hosts, load)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	fct := dynaq.NewFCTCollector()
+
+	var launch func(at dynaq.Time, remaining int)
+	var id dynaq.FlowID
+	launch = func(at dynaq.Time, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		s.At(at, func() {
+			id++
+			svc := rng.Intn(len(services))
+			size := services[svc].Sample(rng)
+			src := rng.Intn(hosts)
+			dst := rng.Intn(hosts - 1)
+			if dst >= src {
+				dst++
+			}
+			class := 1 + svc
+			if _, err := net.Endpoints[src].StartFlow(dynaq.FlowConfig{
+				Flow: id, Dst: dst, Class: class,
+				// PIAS: the first 100KB rides the SPQ queue.
+				ClassOf: func(seq int64) int {
+					if seq < int64(100*dynaq.KB) {
+						return 0
+					}
+					return class
+				},
+				Size:   size,
+				MinRTO: 5 * dynaq.Millisecond,
+				OnComplete: func(d dynaq.Duration) {
+					fct.Add(size, d)
+				},
+			}); err != nil {
+				log.Fatal(err)
+			}
+			launch(at.Add(gen.NextInterarrival()), remaining-1)
+		})
+	}
+	launch(dynaq.Time(gen.NextInterarrival()), flows)
+	s.RunUntil(dynaq.Time(30 * dynaq.Second))
+	return fct
+}
+
+func ms(d dynaq.Duration) float64 { return float64(d) / float64(dynaq.Millisecond) }

@@ -1,0 +1,79 @@
+// Fairsharing: the paper's headline scenario (Fig. 3) end to end.
+//
+// Two of four equal-weight DRR service queues on a 1GbE rack are active:
+// queue 1 carries 2 TCP flows, queue 2 carries 16. Under best-effort buffer
+// sharing the 16-flow queue monopolizes the 85KB port buffer and with it
+// the bandwidth; under DynaQ both queues hold their fair halves.
+//
+//	go run ./examples/fairsharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynaq"
+)
+
+func main() {
+	for _, scheme := range []dynaq.Scheme{dynaq.SchemeBestEffort, dynaq.SchemeDynaQ} {
+		share, jain := run(scheme)
+		fmt.Printf("%-11s queue-1 share = %.3f (ideal 0.500), Jain index = %.3f\n",
+			scheme, share, jain)
+	}
+}
+
+func run(scheme dynaq.Scheme) (share1 float64, jain float64) {
+	s := dynaq.NewSimulator()
+	net, err := dynaq.NewStarNetwork(s, dynaq.StarConfig{
+		Hosts:  3, // two senders and one receiver
+		Rate:   dynaq.Gbps,
+		Delay:  125 * dynaq.Microsecond, // base RTT 500µs
+		Buffer: 85 * dynaq.KB,
+		Queues: 4,
+		Scheme: scheme,
+		Sched:  dynaq.DRR,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const receiver = 2
+	flow := dynaq.FlowID(0)
+	start := func(from int, class, n int) {
+		for i := 0; i < n; i++ {
+			flow++
+			id := flow
+			// Stagger starts over a few ms like real senders.
+			s.At(dynaq.Time(i)*dynaq.Time(dynaq.Millisecond)/4, func() {
+				if _, err := net.Endpoints[from].StartFlow(dynaq.FlowConfig{
+					Flow: id, Dst: receiver, Class: class,
+				}); err != nil {
+					log.Fatal(err)
+				}
+			})
+		}
+	}
+	start(0, 1, 2)  // queue 1: two flows from host 0
+	start(1, 2, 16) // queue 2: sixteen flows from host 1
+
+	sampler := dynaq.NewThroughputSampler(s, net.Port(receiver), 100*dynaq.Millisecond)
+	s.RunUntil(dynaq.Time(5 * dynaq.Second))
+	sampler.Stop()
+
+	// Average the post-convergence window.
+	var q1, q2 float64
+	var jainSum float64
+	var n int
+	for _, smp := range sampler.Samples() {
+		if smp.At < dynaq.Time(dynaq.Second) {
+			continue
+		}
+		a, b := float64(smp.PerQueue[1]), float64(smp.PerQueue[2])
+		q1 += a
+		q2 += b
+		jainSum += dynaq.Jain([]float64{a, b})
+		n++
+	}
+	return q1 / (q1 + q2), jainSum / float64(n)
+}

@@ -1,0 +1,3 @@
+module dynaq
+
+go 1.22

@@ -1,0 +1,94 @@
+package buffer
+
+import (
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+// benchView is a fixed 8-queue port state for admission benchmarks.
+func benchView() *fakeView {
+	return &fakeView{
+		b: 192 * units.KB,
+		qlens: []units.ByteSize{
+			24 * units.KB, 24 * units.KB, 24 * units.KB, 24 * units.KB,
+			0, 0, 0, 0,
+		},
+	}
+}
+
+func eightWeights() []int64 { return []int64{1, 1, 1, 1, 1, 1, 1, 1} }
+
+func BenchmarkAdmitBestEffort(b *testing.B) {
+	be := NewBestEffort()
+	v := benchView()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		be.Admit(v, i%8, 1500)
+	}
+}
+
+func BenchmarkAdmitPQL(b *testing.B) {
+	p, err := NewWeightedPQL(192*units.KB, eightWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := benchView()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Admit(v, i%8, 1500)
+	}
+}
+
+func BenchmarkAdmitDynaQ(b *testing.B) {
+	d, err := NewDynaQ(192*units.KB, eightWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := benchView()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Admit(v, i%8, 1500)
+	}
+}
+
+func BenchmarkAdmitDynaQTofino(b *testing.B) {
+	d, err := NewDynaQTofino(192*units.KB, eightWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := benchView()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Admit(v, i%8, 1500)
+	}
+}
+
+func BenchmarkMarkPMSB(b *testing.B) {
+	p, err := NewPMSB(60*units.KB, eightWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := benchView()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.MarkOnEnqueue(v, i%8, 1500)
+	}
+}
+
+func BenchmarkMarkMQECN(b *testing.B) {
+	quantums := make([]units.ByteSize, 8)
+	for i := range quantums {
+		quantums[i] = 1500
+	}
+	m, err := NewMQECN(10*units.Gbps, 84*units.Microsecond, quantums)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := benchView()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MarkOnEnqueue(v, i%8, 1500)
+		m.ObserveDequeue(v, i%8, 1500, units.Time(i)*units.Time(units.Microsecond))
+	}
+}

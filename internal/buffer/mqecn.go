@@ -1,0 +1,111 @@
+package buffer
+
+import (
+	"fmt"
+
+	"dynaq/internal/units"
+)
+
+// MQECN implements MQ-ECN (Bai et al., NSDI'16): per-queue marking
+// thresholds scaled by the scheduler's estimated round time,
+//
+//	K_i = min(quantum_i / T_round, C) · RTT · λ
+//
+// so that a queue's threshold reflects the service rate it currently
+// receives. T_round is estimated online: a new round starts whenever the
+// round-robin service order wraps (the served queue index is ≤ the
+// previously served index), and the observed round duration feeds an EWMA.
+//
+// §II-C notes the key drawback reproduced here: the round-time concept is
+// undefined for strict-priority schedulers, so MQ-ECN only composes with
+// round-robin scheduling. Buffer admission is best-effort.
+type MQECN struct {
+	BestEffort
+
+	c         units.Rate
+	rttLambda units.Duration // RTT·λ
+	quantum   []units.ByteSize
+
+	tRound     units.Duration // EWMA of the round duration; 0 = no sample yet
+	roundStart units.Time
+	started    bool
+	prevServed int
+	gain       float64 // EWMA weight of the new sample
+}
+
+// NewMQECN builds MQ-ECN for a port of capacity c, with per-queue quantums
+// and an rtt·λ product (the "standard threshold" numerator).
+func NewMQECN(c units.Rate, rttLambda units.Duration, quantums []units.ByteSize) (*MQECN, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("buffer: MQ-ECN capacity %v must be positive", c)
+	}
+	if rttLambda <= 0 {
+		return nil, fmt.Errorf("buffer: MQ-ECN RTT·λ %v must be positive", rttLambda)
+	}
+	if len(quantums) == 0 {
+		return nil, fmt.Errorf("buffer: MQ-ECN needs at least one queue")
+	}
+	for i, q := range quantums {
+		if q <= 0 {
+			return nil, fmt.Errorf("buffer: MQ-ECN quantum of queue %d is %d, must be positive", i, q)
+		}
+	}
+	return &MQECN{
+		c:         c,
+		rttLambda: rttLambda,
+		quantum:   append([]units.ByteSize(nil), quantums...),
+		gain:      0.25,
+	}, nil
+}
+
+// Name implements Admission.
+func (*MQECN) Name() string { return "MQ-ECN" }
+
+// QueueThreshold returns the current K_i for queue i.
+func (m *MQECN) QueueThreshold(i int) units.ByteSize {
+	// Standard threshold when the queue is (estimated to be) served at
+	// link rate: K = C·RTT·λ.
+	full := m.c.BytesIn(m.rttLambda)
+	if m.tRound <= 0 {
+		return full
+	}
+	// rate_i = quantum_i / T_round, capped at C. Computed in float: the
+	// quantities are small and this is a threshold, not an invariant.
+	rate := float64(m.quantum[i].Bits()) / m.tRound.Seconds()
+	if rate >= float64(m.c) {
+		return full
+	}
+	return units.ByteSize(rate * m.rttLambda.Seconds() / 8)
+}
+
+// MarkOnEnqueue implements EnqueueMarker.
+func (m *MQECN) MarkOnEnqueue(v View, cls int, size units.ByteSize) bool {
+	return v.QueueLen(cls)+size > m.QueueThreshold(cls)
+}
+
+// ObserveDequeue implements DequeueObserver: it detects round boundaries
+// from the service order and maintains the round-time EWMA.
+func (m *MQECN) ObserveDequeue(_ View, cls int, _ units.ByteSize, now units.Time) {
+	if !m.started {
+		m.started = true
+		m.roundStart = now
+		m.prevServed = cls
+		return
+	}
+	if cls <= m.prevServed {
+		// Service order wrapped: one full round elapsed.
+		sample := now.Sub(m.roundStart)
+		m.roundStart = now
+		if sample > 0 {
+			if m.tRound == 0 {
+				m.tRound = sample
+			} else {
+				m.tRound = units.Duration(float64(m.tRound)*(1-m.gain) + float64(sample)*m.gain)
+			}
+		}
+	}
+	m.prevServed = cls
+}
+
+// RoundTime exposes the current round-time estimate (for tests).
+func (m *MQECN) RoundTime() units.Duration { return m.tRound }

@@ -1,0 +1,74 @@
+package buffer
+
+import (
+	"dynaq/internal/core"
+	"dynaq/internal/units"
+)
+
+// DynaQTofino models the programmable-switch implementation of §IV-A
+// ("Implementation on Programmable Switches"): on a Tofino-style pipeline
+// the buffering engine (PRE) is fixed-function, so Algorithm 1 runs in the
+// ingress pipeline using queue lengths mirrored through an extern register
+// that is only refreshed at packet *dequeue* time (the bridged deq_qdepth
+// metadata). The ingress therefore decides on stale occupancy; the paper
+// conjectures that "with round-robin based schedulers … some inaccuracy is
+// tolerable to isolate service queues", which the ext-tofino experiment
+// verifies.
+//
+// The fixed traffic manager still enforces the physical SRAM bound, so the
+// final admission gate uses the accurate port occupancy.
+type DynaQTofino struct {
+	state *core.State
+	// snap mirrors deq_qdepth: per-queue occupancy as of that queue's
+	// last dequeue (0 until first served).
+	snap []units.ByteSize
+	li   core.QueueLens // cached adapter over snap (hot path)
+}
+
+// NewDynaQTofino builds the stale-queue-length DynaQ variant.
+func NewDynaQTofino(b units.ByteSize, weights []int64) (*DynaQTofino, error) {
+	st, err := core.New(b, weights)
+	if err != nil {
+		return nil, err
+	}
+	d := &DynaQTofino{state: st, snap: make([]units.ByteSize, len(weights))}
+	d.li = snapLens(d.snap)
+	return d, nil
+}
+
+// Name implements Admission.
+func (*DynaQTofino) Name() string { return "DynaQ-Tofino" }
+
+// State exposes the threshold state for tests.
+func (d *DynaQTofino) State() *core.State { return d.state }
+
+// Snapshot returns the ingress pipeline's (stale) view of queue i.
+func (d *DynaQTofino) Snapshot(i int) units.ByteSize { return d.snap[i] }
+
+// Admit implements Admission: Algorithm 1 over the stale register values,
+// then the ingress drop decision against the (stale) per-queue threshold
+// check, then the traffic manager's physical bound.
+func (d *DynaQTofino) Admit(v View, cls int, size units.ByteSize) bool {
+	res := d.state.Process(cls, size, d.li)
+	if res.Verdict == core.Drop {
+		return false
+	}
+	if d.snap[cls]+size > d.state.Threshold(cls) {
+		return false // ingress drop flag from the stale view
+	}
+	// Fixed-function traffic manager: the SRAM is physically bounded.
+	return v.TotalLen()+size <= v.Buffer()
+}
+
+// ObserveDequeue implements DequeueObserver: the egress deq_qdepth
+// register refresh.
+func (d *DynaQTofino) ObserveDequeue(v View, cls int, _ units.ByteSize, _ units.Time) {
+	if v != nil {
+		d.snap[cls] = v.QueueLen(cls)
+	}
+}
+
+// snapLens adapts the register file to core.QueueLens.
+type snapLens []units.ByteSize
+
+func (s snapLens) QueueLen(i int) units.ByteSize { return s[i] }

@@ -1,0 +1,69 @@
+package buffer
+
+import (
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+func TestDynaQTofinoValidation(t *testing.T) {
+	if _, err := NewDynaQTofino(0, []int64{1}); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestDynaQTofinoUsesStaleLengths(t *testing.T) {
+	d, err := NewDynaQTofino(4000, []int64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "DynaQ-Tofino" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	// Live queue 0 is far above its threshold, but no dequeue has
+	// refreshed the register: the ingress still sees 0 and admits
+	// (subject to the physical bound).
+	v := &fakeView{b: 4000, qlens: []units.ByteSize{2000, 0, 0, 0}}
+	if !d.Admit(v, 0, 500) {
+		t.Fatal("stale view (0) should admit despite live backlog")
+	}
+	if d.Snapshot(0) != 0 {
+		t.Fatal("snapshot must stay stale until a dequeue")
+	}
+	// A dequeue refreshes the register; now the ingress reacts.
+	d.ObserveDequeue(v, 0, 1500, 0)
+	if d.Snapshot(0) != 2000 {
+		t.Fatalf("snapshot = %d, want 2000", d.Snapshot(0))
+	}
+	// With the refreshed 2000B view and T_0 = 1000, each arrival grows
+	// T_0 by one packet (stealing from idle donors) but the stale backlog
+	// still exceeds the threshold: the first two arrivals drop, and once
+	// T_0 reaches 2500 the third is admitted — the threshold "catches up"
+	// to the stale register exactly like a slashed victim drains.
+	if d.Admit(v, 0, 500) {
+		t.Fatal("first refreshed arrival should drop (2500 > T_0)")
+	}
+	if d.Admit(v, 0, 500) {
+		t.Fatal("second refreshed arrival should drop (2500 > T_0)")
+	}
+	if !d.Admit(v, 0, 500) {
+		t.Fatalf("third arrival should admit once T_0 caught up (T_0 = %d)",
+			d.State().Threshold(0))
+	}
+	if err := d.State().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynaQTofinoPhysicalBound(t *testing.T) {
+	d, err := NewDynaQTofino(4000, []int64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale view says empty, but the traffic manager knows the SRAM is
+	// full: the packet must drop regardless.
+	v := &fakeView{b: 4000, qlens: []units.ByteSize{4000, 0, 0, 0}}
+	if d.Admit(v, 1, 1500) {
+		t.Fatal("physical buffer bound must hold even with a stale view")
+	}
+}

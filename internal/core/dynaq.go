@@ -1,0 +1,362 @@
+// Package core implements DynaQ (Kim & Lee, ICDCS 2020): protocol-independent
+// service-queue isolation through dynamic per-queue packet dropping
+// thresholds.
+//
+// Notation follows Table I of the paper:
+//
+//	M        number of service queues
+//	B        port buffer size
+//	w_i      weight of queue i
+//	T_i      packet dropping threshold of queue i
+//	q_i      queue length (backlog in bytes) of queue i
+//	S_i      satisfaction threshold of queue i  (Eq. 3: B·w_i/Σw)
+//	T_i^ex   extra buffer of queue i            (Eq. 2: T_i − S_i)
+//
+// On every arrival of a packet P for queue p, Algorithm 1 runs:
+//
+//	if q_p + size(P) > T_p:
+//	    v ← argmax_{i≠p} T_i^ex                     (loop-free MaxIdx tree)
+//	    if T_v < size(P) or (q_v > 0 and T_v − size(P) < S_v):
+//	        drop P                                  (protect unsatisfied
+//	                                                 active queues)
+//	    else:
+//	        T_v ← T_v − size(P);  T_p ← T_p + size(P)
+//
+// The decrement-before-increment order preserves the global invariant
+// Σ T_i = B at every instant. After Algorithm 1, enqueueing is decided by
+// port buffer occupancy (Σ q_i + size ≤ B), which the buffer-manager layer
+// performs.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"dynaq/internal/units"
+)
+
+// Verdict is the outcome of running Algorithm 1 for an arriving packet.
+type Verdict uint8
+
+// Verdicts. Note that Pass/Adjusted only mean Algorithm 1 did not drop; the
+// caller still applies the port-occupancy admission check.
+const (
+	// Pass: the packet fits under its queue's current threshold; no
+	// adjustment was needed.
+	Pass Verdict = iota
+	// Adjusted: the threshold of the packet's queue was raised at the
+	// expense of the victim queue.
+	Adjusted
+	// Drop: the victim queue could not give up buffer (it is an
+	// unsatisfied active queue, or its threshold is smaller than the
+	// packet); the packet must be dropped.
+	Drop
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "pass"
+	case Adjusted:
+		return "adjusted"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// Result carries the verdict plus the victim chosen (for Adjusted and for
+// Drop-because-of-victim), for tracing and tests. Victim is -1 when no
+// victim search ran (Pass) or none existed.
+type Result struct {
+	Verdict Verdict
+	Victim  int
+}
+
+// State is the per-port DynaQ state: one threshold per service queue.
+// It is not safe for concurrent use; the simulator is single-goroutine.
+type State struct {
+	b       units.ByteSize
+	weights []int64
+	sumW    int64
+	t       []units.ByteSize // T_i
+	s       []units.ByteSize // S_i
+
+	// Ablation knobs (see options.go); zero values are the paper's
+	// design: extra-buffer victim selection and S_i = B·w_i/Σw.
+	victimPolicy    VictimPolicy
+	satisfactionBDP units.ByteSize // 0 = Eq. 3; >0 = S_i = BDP·w_i/Σw
+}
+
+// New builds DynaQ state for a port with buffer b shared by len(weights)
+// service queues. Weights are the scheduler weights/quantums (integers, as
+// DRR quantums are); they need not be normalized.
+//
+// Initialization follows Eq. (1): T_i = B·w_i/Σw, with integer rounding
+// residue distributed by the largest-remainder method so that Σ T_i = B
+// exactly.
+func New(b units.ByteSize, weights []int64) (*State, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("core: buffer size %d must be positive", b)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("core: need at least one queue")
+	}
+	var sum int64
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("core: weight of queue %d is %d, must be positive", i, w)
+		}
+		sum += w
+	}
+	st := &State{
+		b:       b,
+		weights: append([]int64(nil), weights...),
+		sumW:    sum,
+		t:       make([]units.ByteSize, len(weights)),
+		s:       make([]units.ByteSize, len(weights)),
+	}
+	st.reinit()
+	return st, nil
+}
+
+// MustNew is New but panics on error; for tests and literals-only callers.
+func MustNew(b units.ByteSize, weights []int64) *State {
+	st, err := New(b, weights)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// reinit computes S_i and resets T_i to the weighted split of B (Eq. 1 and
+// Eq. 3 coincide at initialization time).
+func (st *State) reinit() {
+	type frac struct {
+		idx int
+		rem int64
+	}
+	fracs := make([]frac, len(st.weights))
+	var assigned units.ByteSize
+	for i, w := range st.weights {
+		share := int64(st.b) * w / st.sumW
+		st.t[i] = units.ByteSize(share)
+		st.s[i] = units.ByteSize(share)
+		assigned += units.ByteSize(share)
+		fracs[i] = frac{idx: i, rem: int64(st.b) * w % st.sumW}
+	}
+	// Largest-remainder method: hand out the residue one byte at a time,
+	// biggest fractional part first (ties by lower index, which a stable
+	// selection over the natural order gives us).
+	for left := st.b - assigned; left > 0; left-- {
+		best := -1
+		for j := range fracs {
+			if fracs[j].rem < 0 {
+				continue
+			}
+			if best == -1 || fracs[j].rem > fracs[best].rem {
+				best = j
+			}
+		}
+		st.t[fracs[best].idx]++
+		st.s[fracs[best].idx]++
+		fracs[best].rem = -1
+	}
+	if st.satisfactionBDP > 0 {
+		// WBDP ablation: satisfaction thresholds use the weighted BDP
+		// while dropping thresholds still split the whole buffer.
+		for i, w := range st.weights {
+			st.s[i] = units.ByteSize(int64(st.satisfactionBDP) * w / st.sumW)
+		}
+	}
+}
+
+// NumQueues returns M.
+func (st *State) NumQueues() int { return len(st.t) }
+
+// Buffer returns the port buffer size B.
+func (st *State) Buffer() units.ByteSize { return st.b }
+
+// Threshold returns T_i, the current packet dropping threshold of queue i.
+func (st *State) Threshold(i int) units.ByteSize { return st.t[i] }
+
+// Satisfaction returns S_i (Eq. 3).
+func (st *State) Satisfaction(i int) units.ByteSize { return st.s[i] }
+
+// Extra returns T_i^ex = T_i − S_i (Eq. 2). It is negative for unsatisfied
+// queues.
+func (st *State) Extra(i int) units.ByteSize { return st.t[i] - st.s[i] }
+
+// Weight returns w_i.
+func (st *State) Weight(i int) int64 { return st.weights[i] }
+
+// Satisfied reports whether queue i currently holds at least its
+// satisfaction threshold worth of dropping budget (footnote 1 of the paper).
+func (st *State) Satisfied(i int) bool { return st.t[i] >= st.s[i] }
+
+// SetBuffer changes the port buffer size and re-initializes all thresholds
+// per Eq. (1), restoring Σ T_i = B (§III-B3 "Port Buffer Size").
+func (st *State) SetBuffer(b units.ByteSize) error {
+	if b <= 0 {
+		return fmt.Errorf("core: buffer size %d must be positive", b)
+	}
+	st.b = b
+	st.reinit()
+	return nil
+}
+
+// QueueLens provides the instantaneous backlog q_i of each queue to
+// Algorithm 1. It is an interface rather than a slice so the switch port can
+// expose its live byte counters without copying per packet.
+type QueueLens interface {
+	// QueueLen returns the buffered bytes of service queue i.
+	QueueLen(i int) units.ByteSize
+}
+
+// QueueLenFunc adapts a function to the QueueLens interface.
+type QueueLenFunc func(i int) units.ByteSize
+
+// QueueLen implements QueueLens.
+func (f QueueLenFunc) QueueLen(i int) units.ByteSize { return f(i) }
+
+// Process runs Algorithm 1 for a packet of the given size arriving for
+// queue p. It mutates thresholds on the Adjusted path and reports the
+// verdict. Process never inspects or mutates the queues themselves: the
+// caller (the port) owns enqueueing, which it must gate on port occupancy.
+func (st *State) Process(p int, size units.ByteSize, q QueueLens) Result {
+	if p < 0 || p >= len(st.t) {
+		panic(fmt.Sprintf("core: queue index %d out of range [0,%d)", p, len(st.t)))
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("core: packet size %d must be positive", size))
+	}
+	// Line 1: within threshold — nothing to do.
+	if q.QueueLen(p)+size <= st.t[p] {
+		return Result{Verdict: Pass, Victim: -1}
+	}
+	// Line 2: find the victim — the queue (other than p) with the largest
+	// extra buffer T_i^ex.
+	v := st.victimTournament(p)
+	if v < 0 {
+		// Single-queue port: T_p == B, so exceeding the threshold means
+		// exceeding the buffer.
+		return Result{Verdict: Drop, Victim: -1}
+	}
+	// Line 3: protect unsatisfied active queues, and keep T_v ≥ 0.
+	if st.t[v] < size || (q.QueueLen(v) > 0 && st.t[v]-size < st.s[v]) {
+		return Result{Verdict: Drop, Victim: v}
+	}
+	// Lines 6–7: decrease the victim first, then grow p, preserving ΣT = B.
+	st.t[v] -= size
+	st.t[p] += size
+	return Result{Verdict: Adjusted, Victim: v}
+}
+
+// victimTournament finds argmax_{i≠p} T_i^ex with the loop-free binary
+// reduction of §III-B ("Victim Queue Search without Loops"): a tree of
+// MaxIdx comparators of depth ⌈log2 M⌉. Ties resolve to the lower index,
+// matching the left-biased comparator a hardware tree would synthesize.
+// It returns -1 when no candidate exists (M == 1).
+func (st *State) victimTournament(p int) int {
+	m := len(st.t)
+	if m == 1 {
+		return -1
+	}
+	// Round m up to a power of two; absent leaves and the excluded queue p
+	// are -1 (treated as −∞ by maxIdx), exactly how a fixed-width hardware
+	// tree pads unused inputs.
+	width := 1 << uint(bits.Len(uint(m-1)))
+	// Stack allocation for the common hardware sizes (≤ 8 queues).
+	var buf [8]int
+	var layer []int
+	if width <= len(buf) {
+		layer = buf[:width]
+	} else {
+		layer = make([]int, width)
+	}
+	for i := range layer {
+		if i < m && i != p {
+			layer[i] = i
+		} else {
+			layer[i] = -1
+		}
+	}
+	for n := width; n > 1; n /= 2 {
+		for i := 0; i < n/2; i++ {
+			layer[i] = st.maxIdx(layer[2*i], layer[2*i+1])
+		}
+	}
+	return layer[0]
+}
+
+// maxIdx is the two-input comparator from the paper: it returns the index
+// whose victim metric (extra buffer T^ex, or raw T under the ablation
+// policy) is larger, preferring the left input on ties.
+func (st *State) maxIdx(a, b int) int {
+	switch {
+	case a < 0:
+		return b
+	case b < 0:
+		return a
+	case st.victimMetric(b) > st.victimMetric(a):
+		return b
+	default:
+		return a
+	}
+}
+
+// victimMetric is the quantity the victim search maximizes.
+func (st *State) victimMetric(i int) units.ByteSize {
+	if st.victimPolicy == VictimMaxThreshold {
+		return st.t[i]
+	}
+	return st.t[i] - st.s[i]
+}
+
+// victimLinear is the straightforward loop implementation of line 2,
+// retained as a cross-check oracle for the tournament (see tests).
+func (st *State) victimLinear(p int) int {
+	best := -1
+	for i := range st.t {
+		if i == p {
+			continue
+		}
+		if best == -1 || st.victimMetric(i) > st.victimMetric(best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// CheckInvariants verifies Σ T_i = B and T_i ≥ 0; it returns a descriptive
+// error on violation. Property tests call it after every operation.
+func (st *State) CheckInvariants() error {
+	var sum units.ByteSize
+	for i, t := range st.t {
+		if t < 0 {
+			return fmt.Errorf("core: T_%d = %d < 0", i, t)
+		}
+		sum += t
+	}
+	if sum != st.b {
+		return fmt.Errorf("core: ΣT = %d, want B = %d", sum, st.b)
+	}
+	return nil
+}
+
+// String renders the threshold state compactly for debugging:
+// per queue T/S/extra plus the ΣT=B check.
+func (st *State) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DynaQ[B=%d", int64(st.b))
+	var sum units.ByteSize
+	for i := range st.t {
+		fmt.Fprintf(&b, " q%d:T=%d,S=%d,ex=%+d", i, st.t[i], st.s[i], st.t[i]-st.s[i])
+		sum += st.t[i]
+	}
+	fmt.Fprintf(&b, " ΣT=%d]", int64(sum))
+	return b.String()
+}

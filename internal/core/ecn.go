@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"dynaq/internal/units"
+)
+
+// ECNMode implements DynaQ's ECN support (§III-B3): when end hosts run
+// ECN-based transports, DynaQ does not adjust dropping thresholds; instead
+// it applies PMSB-style marking — a packet is marked iff the *port* buffer
+// occupancy exceeds the port marking threshold K AND the arriving packet's
+// *queue* length exceeds its per-queue threshold K_i, where
+//
+//	K   = C · RTT · λ
+//	K_i = (w_i / Σw) · K
+//
+// λ is the transport coefficient (1 for standard ECN, ~0.5–1 for DCTCP); the
+// caller folds it into K via NewECNMode's k parameter.
+type ECNMode struct {
+	k  units.ByteSize
+	ki []units.ByteSize
+}
+
+// NewECNMode builds the marking thresholds from the port threshold k and
+// the queue weights.
+func NewECNMode(k units.ByteSize, weights []int64) (*ECNMode, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: port ECN threshold %d must be positive", k)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("core: need at least one queue")
+	}
+	var sum int64
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("core: weight of queue %d is %d, must be positive", i, w)
+		}
+		sum += w
+	}
+	m := &ECNMode{k: k, ki: make([]units.ByteSize, len(weights))}
+	for i, w := range weights {
+		m.ki[i] = units.ByteSize(int64(k) * w / sum)
+	}
+	return m, nil
+}
+
+// PortThreshold returns K.
+func (m *ECNMode) PortThreshold() units.ByteSize { return m.k }
+
+// QueueThreshold returns K_i.
+func (m *ECNMode) QueueThreshold(i int) units.ByteSize { return m.ki[i] }
+
+// ShouldMark reports whether a packet arriving for queue i must be CE-marked
+// given the current port occupancy (Σ q, before enqueueing this packet) and
+// the queue's backlog q_i.
+func (m *ECNMode) ShouldMark(i int, portOcc, qi units.ByteSize) bool {
+	return portOcc > m.k && qi > m.ki[i]
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+func TestNewECNModeValidation(t *testing.T) {
+	if _, err := NewECNMode(0, []int64{1}); err == nil {
+		t.Error("zero K should fail")
+	}
+	if _, err := NewECNMode(30*units.KB, nil); err == nil {
+		t.Error("no queues should fail")
+	}
+	if _, err := NewECNMode(30*units.KB, []int64{1, 0}); err == nil {
+		t.Error("zero weight should fail")
+	}
+}
+
+func TestECNThresholds(t *testing.T) {
+	// K = 60KB, weights 1:2:3 → K_i = 10/20/30 KB.
+	m, err := NewECNMode(60*units.KB, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PortThreshold() != 60*units.KB {
+		t.Fatalf("K = %v", m.PortThreshold())
+	}
+	want := []units.ByteSize{10 * units.KB, 20 * units.KB, 30 * units.KB}
+	for i, w := range want {
+		if got := m.QueueThreshold(i); got != w {
+			t.Errorf("K_%d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestShouldMarkRequiresBothConditions(t *testing.T) {
+	// PMSB semantics: mark iff port occupancy > K AND q_i > K_i.
+	m, err := NewECNMode(60*units.KB, []int64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K = 60KB, K_i = 30KB each.
+	tests := []struct {
+		name    string
+		portOcc units.ByteSize
+		qi      units.ByteSize
+		want    bool
+	}{
+		{name: "both exceeded", portOcc: 61 * units.KB, qi: 31 * units.KB, want: true},
+		{name: "only port exceeded", portOcc: 61 * units.KB, qi: 30 * units.KB, want: false},
+		{name: "only queue exceeded", portOcc: 60 * units.KB, qi: 31 * units.KB, want: false},
+		{name: "neither", portOcc: 10 * units.KB, qi: 5 * units.KB, want: false},
+		{name: "at thresholds exactly", portOcc: 60 * units.KB, qi: 30 * units.KB, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.ShouldMark(0, tt.portOcc, tt.qi); got != tt.want {
+				t.Errorf("ShouldMark = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCycleCost(t *testing.T) {
+	tests := []struct {
+		m    int
+		want int
+	}{
+		{0, 0},
+		{1, 4}, // 1 + 0 + 2 + 1
+		{2, 5}, // 1 + 1 + 2 + 1
+		{4, 6}, // 1 + 2 + 2 + 1
+		{8, 7}, // the paper's headline number for 8 queues
+		{16, 8},
+	}
+	for _, tt := range tests {
+		if got := CycleCost(tt.m); got != tt.want {
+			t.Errorf("CycleCost(%d) = %d, want %d", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestCycleOverheadTrident3(t *testing.T) {
+	// §IV-A: 7 cycles of an ≥800-cycle Trident 3 pipeline is 0.88%.
+	got := CycleOverhead(8, 800)
+	if got < 0.00874 || got > 0.00876 {
+		t.Fatalf("CycleOverhead(8, 800) = %v, want 0.00875 (0.88%%)", got)
+	}
+	if CycleOverhead(8, 0) != 0 {
+		t.Error("zero pipeline budget should give 0")
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+// FuzzProcess drives Algorithm 1 with arbitrary arrival patterns and
+// checks that the structural invariants survive: ΣT = B, T ≥ 0, and drops
+// never mutate thresholds.
+func FuzzProcess(f *testing.F) {
+	f.Add(int64(1), uint8(4), []byte{1, 2, 3, 0, 1, 2})
+	f.Add(int64(42), uint8(8), []byte{7, 7, 7, 7, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed int64, mRaw uint8, arrivals []byte) {
+		m := 1 + int(mRaw)%8
+		weights := make([]int64, m)
+		for i := range weights {
+			weights[i] = 1 + (seed>>uint(i))&3
+		}
+		st, err := New(85*units.KB, weights)
+		if err != nil {
+			t.Skip()
+		}
+		q := make(qlens, m)
+		for _, a := range arrivals {
+			p := int(a) % m
+			size := units.ByteSize(64 + int(a)*37)
+			before := append([]units.ByteSize(nil), st.t...)
+			res := st.Process(p, size, q)
+			switch res.Verdict {
+			case Drop:
+				for i := range before {
+					if st.t[i] != before[i] {
+						t.Fatalf("drop mutated T_%d", i)
+					}
+				}
+			default:
+				q[p] += size
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Keep queues within physical bounds like a port would.
+			for i := range q {
+				if q[i] > st.b {
+					q[i] = st.b / 2
+				}
+			}
+		}
+	})
+}

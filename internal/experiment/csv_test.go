@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynaq/internal/metrics"
+	"dynaq/internal/units"
+)
+
+func TestConvergenceWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	r := &ConvergenceResult{
+		Schemes: []Scheme{DynaQ},
+		Series: [][]metrics.ThroughputSample{{
+			{At: units.Time(units.Second), PerQueue: []units.Rate{100e6, 200e6}, Aggregate: 300e6},
+		}},
+		Traces: [][]metrics.QueueSample{{
+			{At: units.Time(units.Millisecond), PerQueue: []units.ByteSize{1500, 3000}},
+		}},
+	}
+	paths, err := r.WriteCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "fig3_throughput_DynaQ.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(b)
+	if !strings.Contains(got, "queue0_mbps") || !strings.Contains(got, "1.000000,100.000,200.000,300.000") {
+		t.Errorf("throughput csv:\n%s", got)
+	}
+	b, err = os.ReadFile(filepath.Join(dir, "fig4_queues_DynaQ.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "0.001000000,1500,3000") {
+		t.Errorf("queue csv:\n%s", string(b))
+	}
+}
+
+func TestFCTWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	r := &FCTResult{Figure: "fig8", Cells: []FCTStats{{
+		Scheme: DynaQ, Load: 0.5,
+		AvgOverall: 10 * units.Millisecond, AvgSmall: units.Millisecond,
+		AvgLarge: 100 * units.Millisecond, P99Small: 2 * units.Millisecond,
+		Completed: 100, Generated: 100,
+	}}}
+	paths, err := r.WriteCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "0.50,DynaQ,10.0000,1.0000,100.0000,2.0000,100,100") {
+		t.Errorf("fct csv:\n%s", string(b))
+	}
+}
+
+func TestPhasedAndHighSpeedWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	ph := &PhasedResult{
+		Schemes: []Scheme{PQL},
+		Series: [][]metrics.ThroughputSample{{
+			{At: units.Time(units.Second), PerQueue: []units.Rate{1e9}, Aggregate: 1e9},
+		}},
+	}
+	if _, err := ph.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	hs := &HighSpeedResult{
+		Rate:    10 * units.Gbps,
+		Schemes: []Scheme{BestEffort},
+		Series: [][]metrics.ThroughputSample{{
+			{At: units.Time(units.Second), PerQueue: []units.Rate{1e9}, Aggregate: 1e9},
+		}},
+	}
+	paths, err := hs.WriteCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(paths[0], "10Gbps") {
+		t.Errorf("path missing rate: %v", paths)
+	}
+}

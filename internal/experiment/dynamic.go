@@ -1,0 +1,263 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynaq/internal/metrics"
+	"dynaq/internal/packet"
+	"dynaq/internal/pias"
+	"dynaq/internal/sim"
+	"dynaq/internal/topology"
+	"dynaq/internal/transport"
+	"dynaq/internal/units"
+	"dynaq/internal/workload"
+)
+
+// TopoKind selects the network shape of a dynamic-flow experiment.
+type TopoKind string
+
+// Topology kinds.
+const (
+	TopoStar      TopoKind = "star"
+	TopoLeafSpine TopoKind = "leafspine"
+)
+
+// DynamicConfig assembles an FCT experiment: Poisson flow arrivals with
+// empirical sizes, SPQ+DRR scheduling with two-level PIAS classification
+// (§V-A2 and §V-B2).
+type DynamicConfig struct {
+	Scheme Scheme
+	Params SchemeParams
+
+	Topo TopoKind
+	// Star parameters: Servers sender hosts plus one client (the
+	// bottleneck is the client downlink), matching the testbed's 4
+	// servers + 1 client.
+	Servers int
+	// Leaf-spine parameters.
+	Leaves, Spines, HostsPerLeaf int
+
+	Rate   units.Rate
+	Delay  units.Duration
+	Buffer units.ByteSize
+	// Queues counts all service queues: queue 0 is the shared SPQ queue,
+	// queues 1..Queues-1 are DRR service queues.
+	Queues int
+	MTU    units.ByteSize
+
+	// Load is the target bottleneck utilization (0.3–0.8 in the paper).
+	Load float64
+	// Flows is the number of flows to generate (paper: 10K).
+	Flows int
+	// Workloads supplies one flow-size CDF per DRR service queue; a
+	// single entry is shared by all queues (testbed: web search for all;
+	// leaf-spine: the four workloads round-robin).
+	Workloads []*workload.CDF
+	// DCTCP runs all flows with DCTCP + ECN (the ECN-based lineup).
+	DCTCP bool
+	// Demotion is the PIAS threshold (default 100KB).
+	Demotion units.ByteSize
+
+	MinRTO units.Duration
+	Seed   int64
+	// MaxRuntime bounds the simulated time after the last arrival to
+	// drain stragglers (default 10s of simulated time).
+	MaxRuntime units.Duration
+}
+
+// DynamicResult is the outcome of an FCT run.
+type DynamicResult struct {
+	Scheme    Scheme
+	Load      float64
+	FCT       *metrics.FCTCollector
+	Generated int
+	Completed int
+}
+
+// RunDynamic executes an FCT scenario.
+func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
+	if cfg.Flows <= 0 {
+		return nil, fmt.Errorf("experiment: dynamic run needs flows > 0")
+	}
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("experiment: dynamic run needs at least one workload")
+	}
+	if cfg.Queues < 2 {
+		return nil, fmt.Errorf("experiment: dynamic run needs an SPQ queue plus DRR queues")
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = 1500
+	}
+	if cfg.Demotion == 0 {
+		cfg.Demotion = pias.DefaultDemotionThreshold
+	}
+	if cfg.MaxRuntime == 0 {
+		cfg.MaxRuntime = 10 * units.Second
+	}
+	if cfg.Params.Rate == 0 {
+		cfg.Params.Rate = cfg.Rate
+	}
+	mss := cfg.MTU - transport.HeaderSize
+
+	s := sim.New()
+	var endpoints []*transport.Endpoint
+	var hosts int
+	switch cfg.Topo {
+	case TopoStar:
+		if cfg.Servers <= 0 {
+			cfg.Servers = 4
+		}
+		hosts = cfg.Servers + 1
+		if cfg.Params.BaseRTT == 0 {
+			cfg.Params.BaseRTT = 4 * cfg.Delay
+		}
+		star, err := topology.NewStar(s, topology.StarConfig{
+			Hosts:     hosts,
+			Rate:      cfg.Rate,
+			Delay:     cfg.Delay,
+			Buffer:    cfg.Buffer,
+			Queues:    cfg.Queues,
+			Factories: Factories(cfg.Scheme, SchedSPQDRR, cfg.Params, cfg.MTU),
+		})
+		if err != nil {
+			return nil, err
+		}
+		endpoints = star.Endpoints
+	case TopoLeafSpine:
+		if cfg.Leaves == 0 || cfg.Spines == 0 || cfg.HostsPerLeaf == 0 {
+			return nil, fmt.Errorf("experiment: leaf-spine needs leaves/spines/hostsPerLeaf")
+		}
+		hosts = cfg.Leaves * cfg.HostsPerLeaf
+		if cfg.Params.BaseRTT == 0 {
+			cfg.Params.BaseRTT = 8 * cfg.Delay
+		}
+		ls, err := topology.NewLeafSpine(s, topology.LeafSpineConfig{
+			Leaves:       cfg.Leaves,
+			Spines:       cfg.Spines,
+			HostsPerLeaf: cfg.HostsPerLeaf,
+			Rate:         cfg.Rate,
+			Delay:        cfg.Delay,
+			Buffer:       cfg.Buffer,
+			Queues:       cfg.Queues,
+			Factories:    Factories(cfg.Scheme, SchedSPQDRR, cfg.Params, cfg.MTU),
+		})
+		if err != nil {
+			return nil, err
+		}
+		endpoints = ls.Endpoints
+	default:
+		return nil, fmt.Errorf("experiment: unknown topology %q", cfg.Topo)
+	}
+
+	classifier, err := pias.NewClassifier(cfg.Demotion, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Flow generation: the aggregate arrival rate targets Load on one
+	// bottleneck link (the star's client downlink, or each host's
+	// downlink in the leaf-spine, scaled by the host count as every host
+	// is a receiver).
+	genCap := cfg.Rate
+	if cfg.Topo == TopoLeafSpine {
+		genCap = cfg.Rate * units.Rate(hosts)
+	}
+	gens := make([]*workload.FlowGen, len(cfg.Workloads))
+	for i, cdf := range cfg.Workloads {
+		g, err := workload.NewFlowGen(cfg.Seed+int64(i), cdf, genCap, cfg.Load/float64(len(cfg.Workloads)))
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = g
+	}
+
+	res := &DynamicResult{Scheme: cfg.Scheme, Load: cfg.Load, FCT: metrics.NewFCTCollector()}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	serviceQueues := cfg.Queues - 1
+	var flowID packet.FlowID
+
+	// One arrival process per workload; workload w maps to the DRR queues
+	// w, w+len, w+2len, ... so that "different services use different
+	// traffic distributions" (§V-B2).
+	var schedule func(gi int, at units.Time)
+	launch := func(gi int) {
+		g := gens[gi]
+		flowID++
+		id := flowID
+		size := g.NextSize()
+		// Pick src/dst: for the star, servers send to the client (the
+		// testbed's request/response model); for the leaf-spine, any
+		// distinct pair.
+		var src, dst int
+		if cfg.Topo == TopoStar {
+			dst = hosts - 1
+			src = rng.Intn(hosts - 1)
+		} else {
+			src = rng.Intn(hosts)
+			dst = rng.Intn(hosts - 1)
+			if dst >= src {
+				dst++
+			}
+		}
+		// Service queue: workloads stripe over the DRR queues; a flow is
+		// mapped to one of its workload's queues at random ("a flow is
+		// mapped to one of the service queues randomly").
+		qChoices := 0
+		for q := gi; q < serviceQueues; q += len(gens) {
+			qChoices++
+		}
+		pick := gi
+		if qChoices > 1 {
+			pick = gi + len(gens)*rng.Intn(qChoices)
+		}
+		class := 1 + pick
+		ctrl := transport.Controller(nil)
+		if cfg.DCTCP {
+			ctrl = transport.NewDCTCP()
+		}
+		if _, err := endpoints[src].StartFlow(transport.FlowConfig{
+			Flow:    id,
+			Dst:     dst,
+			Class:   class,
+			ClassOf: classifier.ClassOf(class),
+			Size:    size,
+			MSS:     mss,
+			Ctrl:    ctrl,
+			ECN:     cfg.DCTCP,
+			MinRTO:  cfg.MinRTO,
+			OnComplete: func(fct units.Duration) {
+				res.FCT.Add(size, fct)
+				res.Completed++
+			},
+		}); err != nil {
+			panic(err)
+		}
+		res.Generated++
+	}
+	perGen := cfg.Flows / len(gens)
+	var left []int
+	for range gens {
+		left = append(left, perGen)
+	}
+	left[0] += cfg.Flows - perGen*len(gens)
+	schedule = func(gi int, at units.Time) {
+		if left[gi] <= 0 {
+			return
+		}
+		left[gi]--
+		s.At(at, func() {
+			launch(gi)
+			schedule(gi, at.Add(gens[gi].NextInterarrival()))
+		})
+	}
+	for gi, g := range gens {
+		schedule(gi, units.Time(g.NextInterarrival()))
+	}
+
+	// Run until all flows complete or the drain budget expires.
+	deadline := units.Time(cfg.MaxRuntime)
+	for res.Completed < cfg.Flows && s.Pending() > 0 && s.Now() < deadline {
+		s.Step()
+	}
+	return res, nil
+}

@@ -1,0 +1,236 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dynaq/internal/core"
+	"dynaq/internal/metrics"
+	"dynaq/internal/units"
+	"dynaq/internal/workload"
+)
+
+// FCTStats is one (scheme, load) cell of an FCT figure.
+type FCTStats struct {
+	Scheme     Scheme
+	Load       float64
+	AvgOverall units.Duration
+	AvgSmall   units.Duration
+	AvgLarge   units.Duration
+	P99Small   units.Duration
+	Completed  int
+	Generated  int
+}
+
+// FCTResult reproduces an FCT comparison figure: a matrix of stats over
+// (scheme, load), with DynaQ always first so normalization is against it
+// (§V: "the FCT results are normalized by the values of DynaQ").
+type FCTResult struct {
+	Figure string
+	Cells  []FCTStats
+}
+
+// fctRun executes one FCT figure: the given schemes across the given loads
+// on a shared base configuration.
+func fctRun(figure string, schemes []Scheme, loads []float64, base DynamicConfig) (*FCTResult, error) {
+	out := &FCTResult{Figure: figure}
+	for _, load := range loads {
+		for _, scheme := range schemes {
+			cfg := base
+			cfg.Scheme = scheme
+			cfg.Load = load
+			cfg.DCTCP = scheme.IsECNBased()
+			res, err := RunDynamic(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out.Cells = append(out.Cells, FCTStats{
+				Scheme:     scheme,
+				Load:       load,
+				AvgOverall: res.FCT.Avg(metrics.AllFlows),
+				AvgSmall:   res.FCT.Avg(metrics.SmallFlows),
+				AvgLarge:   res.FCT.Avg(metrics.LargeFlows),
+				P99Small:   res.FCT.Percentile(metrics.SmallFlows, 0.99),
+				Completed:  res.Completed,
+				Generated:  res.Generated,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Cell returns the stats for (scheme, load), or nil.
+func (r *FCTResult) Cell(s Scheme, load float64) *FCTStats {
+	for i := range r.Cells {
+		if r.Cells[i].Scheme == s && r.Cells[i].Load == load {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Loads returns the distinct loads in run order.
+func (r *FCTResult) Loads() []float64 {
+	var loads []float64
+	seen := map[float64]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Load] {
+			seen[c.Load] = true
+			loads = append(loads, c.Load)
+		}
+	}
+	return loads
+}
+
+// Schemes returns the distinct schemes in run order.
+func (r *FCTResult) Schemes() []Scheme {
+	var ss []Scheme
+	seen := map[Scheme]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Scheme] {
+			seen[c.Scheme] = true
+			ss = append(ss, c.Scheme)
+		}
+	}
+	return ss
+}
+
+// Table renders the figure with FCTs normalized by DynaQ, as the paper
+// plots them (a ratio > 1 means the scheme is slower than DynaQ).
+func (r *FCTResult) Table() string {
+	var t table
+	t.add("load", "scheme", "avg overall", "avg small", "avg large", "p99 small", "flows")
+	norm := func(v, base units.Duration) string {
+		if base == 0 {
+			return "-"
+		}
+		return formatRatio(float64(v) / float64(base))
+	}
+	for _, load := range r.Loads() {
+		base := r.Cell(DynaQ, load)
+		for _, s := range r.Schemes() {
+			c := r.Cell(s, load)
+			if c == nil {
+				continue
+			}
+			if s == DynaQ {
+				t.addf("%.0f%%\t%s\t%s\t%s\t%s\t%s\t%d/%d", load*100, s,
+					formatMillis(c.AvgOverall), formatMillis(c.AvgSmall),
+					formatMillis(c.AvgLarge), formatMillis(c.P99Small),
+					c.Completed, c.Generated)
+				continue
+			}
+			t.addf("%.0f%%\t%s\t%s\t%s\t%s\t%s\t%d/%d", load*100, s,
+				norm(c.AvgOverall, base.AvgOverall), norm(c.AvgSmall, base.AvgSmall),
+				norm(c.AvgLarge, base.AvgLarge), norm(c.P99Small, base.P99Small),
+				c.Completed, c.Generated)
+		}
+	}
+	return t.String()
+}
+
+func formatRatio(x float64) string {
+	return fmt.Sprintf("%.2fx", x)
+}
+
+// formatMillis renders a duration as fractional milliseconds, the unit the
+// paper's FCT plots use.
+func formatMillis(d units.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(units.Millisecond))
+}
+
+// fctLoads returns the figure's load sweep at the chosen scale.
+func fctLoads(o Options) []float64 {
+	return pick(o,
+		[]float64{0.6},
+		[]float64{0.3, 0.5, 0.8},
+		[]float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8})
+}
+
+// Fig8 compares DynaQ with the non-ECN schemes (BestEffort, PQL) on the
+// testbed rack: SPQ(1)+DRR(4), PIAS at 100KB, web-search traffic.
+func Fig8(o Options) (*FCTResult, error) {
+	base := DynamicConfig{
+		Params:    SchemeParams{Weights: equalWeights(5)},
+		Topo:      TopoStar,
+		Servers:   4,
+		Rate:      testbedRate,
+		Delay:     testbedDelay,
+		Buffer:    testbedBuffer,
+		Queues:    5,
+		MTU:       testbedMTU,
+		Flows:     pick(o, 200, 1500, 10000),
+		Workloads: []*workload.CDF{workload.WebSearch()},
+		MinRTO:    testbedMinRTO,
+		Seed:      o.Seed,
+		MaxRuntime: pick(o,
+			30*units.Second, 120*units.Second, 600*units.Second),
+	}
+	return fctRun("fig8", NonECNSchemes(), fctLoads(o), base)
+}
+
+// Fig9 compares DynaQ (drop-based, plain TCP) with the ECN-based schemes
+// (TCN, PMSB, Per-Queue ECN) running DCTCP, on the same rack as Fig8.
+func Fig9(o Options) (*FCTResult, error) {
+	base := DynamicConfig{
+		Params: SchemeParams{
+			Weights: equalWeights(5),
+			// Thresholds tuned like the testbed: DCTCP K = 30KB,
+			// TCN target = 240µs (§V-A "the best values
+			// experimentally found").
+			PerQueueK: 30 * units.KB,
+			TCNTarget: 240 * units.Microsecond,
+		},
+		Topo:      TopoStar,
+		Servers:   4,
+		Rate:      testbedRate,
+		Delay:     testbedDelay,
+		Buffer:    testbedBuffer,
+		Queues:    5,
+		MTU:       testbedMTU,
+		Flows:     pick(o, 200, 1500, 10000),
+		Workloads: []*workload.CDF{workload.WebSearch()},
+		MinRTO:    testbedMinRTO,
+		Seed:      o.Seed,
+		MaxRuntime: pick(o,
+			30*units.Second, 120*units.Second, 600*units.Second),
+	}
+	return fctRun("fig9", ECNSchemes(), fctLoads(o), base)
+}
+
+// Fig13 runs the large-scale leaf-spine FCT simulation: SPQ(1)+DRR(7), the
+// four workloads striped over the seven services, ECMP, 10Gbps fabric.
+func Fig13(o Options) (*FCTResult, error) {
+	leaves := pick(o, 2, 4, 12)
+	spines := pick(o, 2, 4, 12)
+	hostsPerLeaf := pick(o, 2, 4, 12)
+	base := DynamicConfig{
+		Params:       SchemeParams{Weights: equalWeights(8)},
+		Topo:         TopoLeafSpine,
+		Leaves:       leaves,
+		Spines:       spines,
+		HostsPerLeaf: hostsPerLeaf,
+		Rate:         10 * units.Gbps,
+		Delay:        10650 * units.Nanosecond, // base RTT ≈ 85.2µs over 8 hops
+		Buffer:       192 * units.KB,
+		Queues:       8,
+		MTU:          1500,
+		Flows:        pick(o, 200, 1500, 10000),
+		Workloads:    workload.All(),
+		MinRTO:       5 * units.Millisecond,
+		Seed:         o.Seed,
+		MaxRuntime: pick(o,
+			20*units.Second, 60*units.Second, 300*units.Second),
+	}
+	return fctRun("fig13", NonECNSchemes(), fctLoads(o), base)
+}
+
+// Cycles reproduces the §IV-A hardware cost analysis (Table-less in the
+// paper but a headline claim: ≤7 cycles for 8 queues, 0.88% of Trident 3).
+func Cycles() *CyclesResult {
+	res := &CyclesResult{TridentOverhead: core.CycleOverhead(8, 800)}
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		res.QueueCounts = append(res.QueueCounts, m)
+		res.Cycles = append(res.Cycles, core.CycleCost(m))
+	}
+	return res
+}

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeedStats summarizes a metric across independent seeds.
+type SeedStats struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// String renders mean ± std (min–max).
+func (s SeedStats) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (min %.4f, max %.4f, n=%d)",
+		s.Mean, s.Std, s.Min, s.Max, s.N)
+}
+
+// RunSeeds repeats a scalar-metric experiment across n seeds derived from
+// base.Seed and aggregates the results — the harness for reporting
+// reproduction numbers with confidence rather than single-run noise.
+func RunSeeds(n int, base Options, run func(Options) (float64, error)) (SeedStats, error) {
+	if n <= 0 {
+		return SeedStats{}, fmt.Errorf("experiment: RunSeeds needs n > 0")
+	}
+	if run == nil {
+		return SeedStats{}, fmt.Errorf("experiment: RunSeeds needs a metric function")
+	}
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		o := base
+		o.Seed = base.Seed + int64(i)*7919 // distinct, deterministic seeds
+		v, err := run(o)
+		if err != nil {
+			return SeedStats{}, fmt.Errorf("experiment: seed %d: %w", o.Seed, err)
+		}
+		xs = append(xs, v)
+	}
+	st := SeedStats{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		st.Mean += x
+		if x < st.Min {
+			st.Min = x
+		}
+		if x > st.Max {
+			st.Max = x
+		}
+	}
+	st.Mean /= float64(n)
+	for _, x := range xs {
+		st.Std += (x - st.Mean) * (x - st.Mean)
+	}
+	st.Std = math.Sqrt(st.Std / float64(n))
+	return st, nil
+}

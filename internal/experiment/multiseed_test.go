@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunSeedsValidation(t *testing.T) {
+	if _, err := RunSeeds(0, quick, func(Options) (float64, error) { return 0, nil }); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := RunSeeds(3, quick, nil); err == nil {
+		t.Error("nil metric should fail")
+	}
+	wantErr := errors.New("boom")
+	if _, err := RunSeeds(3, quick, func(Options) (float64, error) { return 0, wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestRunSeedsAggregates(t *testing.T) {
+	seen := map[int64]bool{}
+	st, err := RunSeeds(4, Options{Seed: 10}, func(o Options) (float64, error) {
+		if seen[o.Seed] {
+			t.Errorf("seed %d reused", o.Seed)
+		}
+		seen[o.Seed] = true
+		return float64(len(seen)), nil // 1, 2, 3, 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 4 || st.Mean != 2.5 || st.Min != 1 || st.Max != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Std < 1.1 || st.Std > 1.2 {
+		t.Fatalf("std = %v, want ≈1.118", st.Std)
+	}
+	if !strings.Contains(st.String(), "n=4") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestRunSeedsOnRealExperiment(t *testing.T) {
+	// DynaQ's queue-1 share across 3 seeds must be tight around 0.5.
+	st, err := RunSeeds(3, quick, func(o Options) (float64, error) {
+		r, err := Fig3(o)
+		if err != nil {
+			return 0, err
+		}
+		for i, s := range r.Schemes {
+			if s == DynaQ {
+				return r.Share1[i], nil
+			}
+		}
+		return 0, errors.New("DynaQ row missing")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean < 0.42 || st.Mean > 0.58 {
+		t.Fatalf("mean share = %v", st.Mean)
+	}
+	if st.Std > 0.06 {
+		t.Fatalf("share std = %v across seeds, want tight", st.Std)
+	}
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import "fmt"
+
+// ScaleLevel selects how faithfully a figure runner reproduces the paper's
+// parameters; smaller scales keep the same structure with shorter runs.
+type ScaleLevel int
+
+// Scale levels.
+const (
+	// Quick is CI scale: seconds of wall clock per figure.
+	Quick ScaleLevel = iota
+	// Standard is the default for cmd/experiments: minutes overall,
+	// statistically meaningful.
+	Standard
+	// Full is paper scale (10K flows, 60s testbed runs, 12×12 fabric).
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s ScaleLevel) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Standard:
+		return "standard"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("ScaleLevel(%d)", int(s))
+	}
+}
+
+// Options parameterizes every figure runner.
+type Options struct {
+	Scale ScaleLevel
+	Seed  int64
+}
+
+// pick returns the value for the chosen scale.
+func pick[T any](o Options, quick, standard, full T) T {
+	switch o.Scale {
+	case Quick:
+		return quick
+	case Full:
+		return full
+	default:
+		return standard
+	}
+}

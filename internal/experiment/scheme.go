@@ -1,0 +1,220 @@
+// Package experiment assembles and runs the paper's evaluation scenarios
+// (§V): one runner per figure, parameterized so the same code serves both
+// CI-scale smoke runs and paper-scale reproductions.
+package experiment
+
+import (
+	"fmt"
+
+	"dynaq/internal/buffer"
+	"dynaq/internal/core"
+	"dynaq/internal/sched"
+	"dynaq/internal/topology"
+	"dynaq/internal/units"
+)
+
+// Scheme identifies a buffer-management scheme under test.
+type Scheme string
+
+// The compared schemes. BestEffort, PQL and DynaQ are the non-ECN lineup
+// (Fig. 8); TCN, PMSB and PerQueueECN are the ECN lineup evaluated with
+// DCTCP (Fig. 9); TCNDrop is the §II-C strawman kept as an ablation.
+const (
+	BestEffort  Scheme = "BestEffort"
+	PQL         Scheme = "PQL"
+	DynaQ       Scheme = "DynaQ"
+	TCN         Scheme = "TCN"
+	PMSB        Scheme = "PMSB"
+	PerQueueECN Scheme = "PerQueueECN"
+	MQECN       Scheme = "MQ-ECN"
+	TCNDrop     Scheme = "TCNDrop"
+
+	// Ablation variants of DynaQ (§III-B design discussion):
+	// DynaQNaiveVictim selects victims by largest threshold instead of
+	// largest extra buffer; DynaQWBDP sets satisfaction thresholds to the
+	// weighted BDP instead of the buffer share.
+	DynaQNaiveVictim Scheme = "DynaQ-NaiveVictim"
+	DynaQWBDP        Scheme = "DynaQ-WBDP"
+
+	// BarberQ is the eviction-based alternative the paper cites ([12],
+	// §II-C): push out buffer hogs to absorb microbursts.
+	BarberQ Scheme = "BarberQ"
+
+	// DynaQTofino is the §IV-A programmable-switch model: Algorithm 1
+	// decided in the ingress pipeline on dequeue-time-stale queue lengths.
+	DynaQTofino Scheme = "DynaQ-Tofino"
+
+	// DynaQECN is DynaQ's ECN support (§III-B3): with ECN-based
+	// transports the switch does not adjust thresholds but applies
+	// PMSB-style marking.
+	DynaQECN Scheme = "DynaQ-ECN"
+)
+
+// NonECNSchemes is the Fig. 8 lineup.
+func NonECNSchemes() []Scheme { return []Scheme{DynaQ, BestEffort, PQL} }
+
+// ECNSchemes is the Fig. 9 lineup (DynaQ participates through its
+// PMSB-style ECN mode when flows run DCTCP; the drop-mode DynaQ column is
+// the paper's headline entry, so it leads here too).
+func ECNSchemes() []Scheme { return []Scheme{DynaQ, TCN, PMSB, PerQueueECN} }
+
+// IsECNBased reports whether the scheme signals congestion by marking.
+func (s Scheme) IsECNBased() bool {
+	switch s {
+	case TCN, PMSB, PerQueueECN, MQECN, DynaQECN:
+		return true
+	default:
+		return false
+	}
+}
+
+// SchemeParams carries the link-dependent constants the schemes derive
+// their thresholds from.
+type SchemeParams struct {
+	// Rate is the bottleneck link capacity C.
+	Rate units.Rate
+	// BaseRTT is the topology's base round-trip time.
+	BaseRTT units.Duration
+	// Lambda is the ECN threshold coefficient λ (1.0 unless tuning for a
+	// specific transport).
+	Lambda float64
+	// Weights are the scheduler weights/quantums per service queue.
+	Weights []int64
+	// Quantums are the DRR byte quantums (used by MQ-ECN); nil derives
+	// them as Weights·MTU.
+	Quantums []units.ByteSize
+	// PerQueueK overrides the Per-Queue ECN / DCTCP threshold; zero
+	// derives K_i = C·RTT·λ / number of queues... no — the paper tunes it
+	// experimentally (30KB on 1GbE), so zero falls back to C·RTT·λ/2.
+	PerQueueK units.ByteSize
+	// TCNTarget overrides TCN's sojourn threshold; zero derives RTT·λ.
+	TCNTarget units.Duration
+}
+
+// NewAdmission builds the buffer-management scheme instance for one port.
+func (s Scheme) NewAdmission(p SchemeParams, b units.ByteSize, n int) (buffer.Admission, error) {
+	if len(p.Weights) != n {
+		return nil, fmt.Errorf("experiment: scheme %s: %d weights for %d queues", s, len(p.Weights), n)
+	}
+	lambda := p.Lambda
+	if lambda == 0 {
+		lambda = 1
+	}
+	k := units.ByteSize(float64(units.BDP(p.Rate, p.BaseRTT)) * lambda)
+	switch s {
+	case BestEffort:
+		return buffer.NewBestEffort(), nil
+	case PQL:
+		return buffer.NewWeightedPQL(b, p.Weights)
+	case DynaQ:
+		return buffer.NewDynaQ(b, p.Weights)
+	case DynaQNaiveVictim:
+		return buffer.NewDynaQWithOptions(string(s), b, p.Weights,
+			core.WithVictimPolicy(core.VictimMaxThreshold))
+	case DynaQWBDP:
+		return buffer.NewDynaQWithOptions(string(s), b, p.Weights,
+			core.WithWBDPSatisfaction(units.BDP(p.Rate, p.BaseRTT)))
+	case BarberQ:
+		return buffer.NewBarberQ(), nil
+	case DynaQTofino:
+		return buffer.NewDynaQTofino(b, p.Weights)
+	case DynaQECN:
+		return buffer.NewDynaQECN(k, p.Weights)
+	case PerQueueECN:
+		ki := p.PerQueueK
+		if ki == 0 {
+			ki = k / 2
+		}
+		return buffer.NewPerQueueECN(n, ki)
+	case PMSB:
+		return buffer.NewPMSB(k, p.Weights)
+	case MQECN:
+		quantums := p.Quantums
+		if quantums == nil {
+			quantums = make([]units.ByteSize, n)
+			for i, w := range p.Weights {
+				quantums[i] = units.ByteSize(w) * 1500
+			}
+		}
+		return buffer.NewMQECN(p.Rate, p.BaseRTT.Scale(lambda), quantums)
+	case TCN:
+		target := p.TCNTarget
+		if target == 0 {
+			target = p.BaseRTT.Scale(lambda)
+		}
+		return buffer.NewTCN(target)
+	case TCNDrop:
+		target := p.TCNTarget
+		if target == 0 {
+			target = p.BaseRTT.Scale(lambda)
+		}
+		return buffer.NewTCNDrop(target)
+	default:
+		return nil, fmt.Errorf("experiment: unknown scheme %q", s)
+	}
+}
+
+// SchedKind selects the packet scheduler used on every switch port.
+type SchedKind string
+
+// Scheduler kinds used across the experiments.
+const (
+	SchedDRR    SchedKind = "drr"
+	SchedWRR    SchedKind = "wrr"
+	SchedSPQDRR SchedKind = "spq+drr"
+)
+
+// NewScheduler builds a scheduler instance for one port. For SPQDRR, queue
+// 0 is the shared strict-priority queue and the weights describe the
+// remaining DRR queues.
+func (k SchedKind) NewScheduler(weights []int64, mtu units.ByteSize, n int) (sched.Scheduler, error) {
+	quantums := func(ws []int64) []units.ByteSize {
+		qs := make([]units.ByteSize, len(ws))
+		for i, w := range ws {
+			qs[i] = units.ByteSize(w) * mtu
+		}
+		return qs
+	}
+	switch k {
+	case SchedDRR:
+		if len(weights) != n {
+			return nil, fmt.Errorf("experiment: DRR: %d weights for %d queues", len(weights), n)
+		}
+		return sched.NewDRR(quantums(weights))
+	case SchedWRR:
+		if len(weights) != n {
+			return nil, fmt.Errorf("experiment: WRR: %d weights for %d queues", len(weights), n)
+		}
+		return sched.NewWRR(weights)
+	case SchedSPQDRR:
+		if len(weights) != n-1 {
+			return nil, fmt.Errorf("experiment: SPQ+DRR: %d DRR weights for %d queues", len(weights), n)
+		}
+		return sched.NewSPQDRR(1, quantums(weights))
+	default:
+		return nil, fmt.Errorf("experiment: unknown scheduler kind %q", k)
+	}
+}
+
+// Factories bundles the per-port factories for a (scheme, scheduler)
+// combination into the form the topology builders consume.
+func Factories(s Scheme, k SchedKind, p SchemeParams, mtu units.ByteSize) topology.Factories {
+	return topology.Factories{
+		NewScheduler: func(n int) (sched.Scheduler, error) {
+			return k.NewScheduler(schedWeights(k, p.Weights), mtu, n)
+		},
+		NewAdmission: func(b units.ByteSize, n int) (buffer.Admission, error) {
+			return s.NewAdmission(p, b, n)
+		},
+	}
+}
+
+// schedWeights returns the weights the scheduler constructor expects: for
+// SPQ+DRR the admission weights include the priority queue (index 0) while
+// the DRR sub-scheduler covers only the rest.
+func schedWeights(k SchedKind, weights []int64) []int64 {
+	if k == SchedSPQDRR {
+		return weights[1:]
+	}
+	return weights
+}

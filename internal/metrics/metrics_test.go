@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dynaq/internal/units"
+)
+
+func TestBucketOf(t *testing.T) {
+	tests := []struct {
+		size units.ByteSize
+		want Bucket
+	}{
+		{1 * units.KB, SmallFlows},
+		{100 * units.KB, SmallFlows}, // boundary inclusive
+		{101 * units.KB, MediumFlows},
+		{10 * units.MB, MediumFlows}, // boundary
+		{10*units.MB + 1, LargeFlows},
+		{1 * units.GB, LargeFlows},
+	}
+	for _, tt := range tests {
+		if got := BucketOf(tt.size); got != tt.want {
+			t.Errorf("BucketOf(%v) = %v, want %v", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	for b, want := range map[Bucket]string{
+		AllFlows: "overall", SmallFlows: "small", MediumFlows: "medium",
+		LargeFlows: "large", Bucket(9): "Bucket(9)",
+	} {
+		if got := b.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestFCTCollectorBuckets(t *testing.T) {
+	c := NewFCTCollector()
+	c.Add(10*units.KB, 1*units.Millisecond)   // small
+	c.Add(50*units.KB, 3*units.Millisecond)   // small
+	c.Add(1*units.MB, 10*units.Millisecond)   // medium
+	c.Add(20*units.MB, 100*units.Millisecond) // large
+	if got := c.Count(AllFlows); got != 4 {
+		t.Fatalf("Count(all) = %d", got)
+	}
+	if got := c.Count(SmallFlows); got != 2 {
+		t.Fatalf("Count(small) = %d", got)
+	}
+	if got := c.Avg(SmallFlows); got != 2*units.Millisecond {
+		t.Fatalf("Avg(small) = %v", got)
+	}
+	if got := c.Avg(LargeFlows); got != 100*units.Millisecond {
+		t.Fatalf("Avg(large) = %v", got)
+	}
+	if got := c.Avg(MediumFlows); got != 10*units.Millisecond {
+		t.Fatalf("Avg(medium) = %v", got)
+	}
+	if got := len(c.Records()); got != 4 {
+		t.Fatalf("Records = %d", got)
+	}
+}
+
+func TestFCTCollectorEmpty(t *testing.T) {
+	c := NewFCTCollector()
+	if c.Avg(AllFlows) != 0 || c.Percentile(AllFlows, 0.99) != 0 || c.Count(AllFlows) != 0 {
+		t.Fatal("empty collector must report zeros")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	c := NewFCTCollector()
+	for i := 1; i <= 100; i++ {
+		c.Add(units.KB, units.Duration(i)*units.Millisecond)
+	}
+	if got := c.Percentile(AllFlows, 0.99); got != 99*units.Millisecond {
+		t.Fatalf("P99 = %v, want 99ms", got)
+	}
+	if got := c.Percentile(AllFlows, 0.5); got != 50*units.Millisecond {
+		t.Fatalf("P50 = %v, want 50ms", got)
+	}
+	if got := c.Percentile(AllFlows, 1.0); got != 100*units.Millisecond {
+		t.Fatalf("P100 = %v, want 100ms", got)
+	}
+}
+
+func TestJain(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{name: "equal shares", xs: []float64{5, 5, 5, 5}, want: 1},
+		{name: "single hog", xs: []float64{10, 0, 0, 0}, want: 0.25},
+		{name: "two of four", xs: []float64{5, 5, 0, 0}, want: 0.5},
+		{name: "empty", xs: nil, want: 0},
+		{name: "all zero", xs: []float64{0, 0}, want: 0},
+	}
+	for _, tt := range tests {
+		if got := Jain(tt.xs); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s: Jain = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestJainBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		j := Jain(xs)
+		return j >= 0 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedJain(t *testing.T) {
+	// Allocation 4:3:2:1 with weights 4:3:2:1 is perfectly weighted-fair.
+	xs := []float64{4, 3, 2, 1}
+	ws := []int64{4, 3, 2, 1}
+	if got := WeightedJain(xs, ws); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("WeightedJain = %v, want 1", got)
+	}
+	// Equal allocation under unequal weights is unfair.
+	if got := WeightedJain([]float64{1, 1, 1, 1}, ws); got >= 0.99 {
+		t.Fatalf("WeightedJain(equal alloc, 4:3:2:1) = %v, want < 0.99", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on length mismatch")
+		}
+	}()
+	WeightedJain([]float64{1}, []int64{1, 2})
+}

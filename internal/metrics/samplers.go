@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"dynaq/internal/netsim"
+	"dynaq/internal/sim"
+	"dynaq/internal/units"
+)
+
+// ThroughputSample is one interval's per-queue delivered rates at a port.
+type ThroughputSample struct {
+	At        units.Time
+	PerQueue  []units.Rate
+	Aggregate units.Rate
+}
+
+// ThroughputSampler periodically differences a port's per-queue transmit
+// counters — the paper's "measure per-queue throughput every 0.5 seconds"
+// (testbed) / "every 10ms" (simulation).
+type ThroughputSampler struct {
+	port     *netsim.Port
+	interval units.Duration
+	prev     []units.ByteSize
+	samples  []ThroughputSample
+	stop     func()
+}
+
+// NewThroughputSampler attaches a sampler to port with the given interval
+// and starts it immediately.
+func NewThroughputSampler(s *sim.Simulator, port *netsim.Port, interval units.Duration) *ThroughputSampler {
+	ts := &ThroughputSampler{
+		port:     port,
+		interval: interval,
+		prev:     make([]units.ByteSize, port.NumQueues()),
+	}
+	ts.stop = s.Every(interval, func() { ts.sample(s.Now()) })
+	return ts
+}
+
+func (ts *ThroughputSampler) sample(now units.Time) {
+	n := ts.port.NumQueues()
+	per := make([]units.Rate, n)
+	var agg units.Rate
+	for i := 0; i < n; i++ {
+		cur := ts.port.QueueTxBytes(i)
+		per[i] = units.Throughput(cur-ts.prev[i], ts.interval)
+		ts.prev[i] = cur
+		agg += per[i]
+	}
+	ts.samples = append(ts.samples, ThroughputSample{At: now, PerQueue: per, Aggregate: agg})
+}
+
+// Stop halts sampling.
+func (ts *ThroughputSampler) Stop() { ts.stop() }
+
+// Samples returns the collected series.
+func (ts *ThroughputSampler) Samples() []ThroughputSample { return ts.samples }
+
+// QueueSample is one enqueue/dequeue-triggered occupancy snapshot.
+type QueueSample struct {
+	At       units.Time
+	PerQueue []units.ByteSize
+}
+
+// QueueTrace records per-queue occupancy on every enqueue and dequeue
+// operation, the paper's queue-evolution measurement ("we measure per-queue
+// buffer occupancy every enqueueing and dequeueing operations and obtain 1K
+// sequential samples"). Stride-decimation keeps memory bounded on long
+// runs; Window extracts the paper's 1K sequential samples.
+type QueueTrace struct {
+	stride  int
+	count   int
+	samples []QueueSample
+}
+
+// NewQueueTrace attaches a trace to port, keeping every stride-th sample
+// (stride 1 keeps all).
+func NewQueueTrace(port *netsim.Port, stride int) *QueueTrace {
+	if stride < 1 {
+		stride = 1
+	}
+	qt := &QueueTrace{stride: stride}
+	port.Observe(qt)
+	return qt
+}
+
+// ObservePort implements netsim.PortObserver.
+func (qt *QueueTrace) ObservePort(now units.Time, p *netsim.Port) {
+	qt.count++
+	if qt.count%qt.stride != 0 {
+		return
+	}
+	per := make([]units.ByteSize, p.NumQueues())
+	for i := range per {
+		per[i] = p.QueueLen(i)
+	}
+	qt.samples = append(qt.samples, QueueSample{At: now, PerQueue: per})
+}
+
+// Samples returns all kept samples.
+func (qt *QueueTrace) Samples() []QueueSample { return qt.samples }
+
+// Window returns n sequential samples starting at the given fraction
+// (0 ≤ frac < 1) of the trace — "1K sequential samples at random time".
+func (qt *QueueTrace) Window(frac float64, n int) []QueueSample {
+	if len(qt.samples) == 0 || n <= 0 {
+		return nil
+	}
+	start := int(frac * float64(len(qt.samples)))
+	if start < 0 {
+		start = 0
+	}
+	if start >= len(qt.samples) {
+		start = len(qt.samples) - 1
+	}
+	end := start + n
+	if end > len(qt.samples) {
+		end = len(qt.samples)
+	}
+	return qt.samples[start:end]
+}

@@ -1,0 +1,432 @@
+// Package netsim provides the network elements of the simulator: output
+// ports with multi-queue buffers, links, switches, and hosts. It glues the
+// scheduling (internal/sched) and buffer-management (internal/buffer) layers
+// to the discrete-event engine.
+package netsim
+
+import (
+	"fmt"
+
+	"dynaq/internal/buffer"
+	"dynaq/internal/packet"
+	"dynaq/internal/sched"
+	"dynaq/internal/sim"
+	"dynaq/internal/units"
+)
+
+// Node is anything that can receive a packet from a link.
+type Node interface {
+	// Receive accepts a packet delivered by a link.
+	Receive(p *packet.Packet)
+}
+
+// Link is a unidirectional point-to-point wire: fixed propagation delay to a
+// destination node. Serialization happens upstream, in the Port that feeds
+// the link, so the link itself never queues. Links support failure
+// injection: while down, every packet put on the wire is lost.
+type Link struct {
+	sim   *sim.Simulator
+	delay units.Duration
+	dst   Node
+	down  bool
+	lost  int64
+}
+
+// NewLink wires a link with the given propagation delay toward dst.
+func NewLink(s *sim.Simulator, delay units.Duration, dst Node) *Link {
+	if delay < 0 {
+		panic("netsim: negative link delay")
+	}
+	return &Link{sim: s, delay: delay, dst: dst}
+}
+
+// Send propagates p toward the destination node; packets entering a downed
+// link vanish (fiber-cut semantics).
+func (l *Link) Send(p *packet.Packet) {
+	if l.down {
+		l.lost++
+		return
+	}
+	l.sim.After(l.delay, func() { l.dst.Receive(p) })
+}
+
+// SetDown injects or clears a link failure.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// Lost counts packets blackholed while the link was down.
+func (l *Link) Lost() int64 { return l.lost }
+
+// PortStats aggregates per-port counters.
+type PortStats struct {
+	Enqueued     int64 // packets admitted to the buffer
+	Dropped      int64 // packets rejected at enqueue (admission)
+	DequeueDrops int64 // packets discarded at dequeue (TCN-drop ablation)
+	Evicted      int64 // buffered packets pushed out (BarberQ)
+	Marked       int64 // packets CE-marked
+	TxPackets    int64 // packets put on the wire
+	TxBytes      units.ByteSize
+}
+
+// PortObserver receives queue-state samples. QueueTrace in internal/metrics
+// implements it; the hook fires on every enqueue and dequeue, matching the
+// paper's measurement ("every enqueueing and dequeueing operations").
+type PortObserver interface {
+	// ObservePort is called after the port state changed.
+	ObservePort(now units.Time, p *Port)
+}
+
+// PortEventKind classifies per-packet port events for tracing.
+type PortEventKind uint8
+
+// Port event kinds.
+const (
+	// EvEnqueue: a packet was admitted and buffered.
+	EvEnqueue PortEventKind = iota
+	// EvDrop: a packet was rejected at admission.
+	EvDrop
+	// EvMark: a packet was CE-marked.
+	EvMark
+	// EvEvict: a buffered packet was pushed out (BarberQ).
+	EvEvict
+	// EvDequeueDrop: a packet was discarded at dequeue (TCN-drop).
+	EvDequeueDrop
+	// EvTransmit: a packet finished serialization onto the wire.
+	EvTransmit
+)
+
+// String implements fmt.Stringer.
+func (k PortEventKind) String() string {
+	switch k {
+	case EvEnqueue:
+		return "enqueue"
+	case EvDrop:
+		return "drop"
+	case EvMark:
+		return "mark"
+	case EvEvict:
+		return "evict"
+	case EvDequeueDrop:
+		return "dequeue-drop"
+	case EvTransmit:
+		return "transmit"
+	default:
+		return fmt.Sprintf("PortEventKind(%d)", uint8(k))
+	}
+}
+
+// PortEvent is one per-packet occurrence at a port.
+type PortEvent struct {
+	At    units.Time
+	Kind  PortEventKind
+	Queue int
+	Pkt   *packet.Packet
+}
+
+// EventHook receives per-packet port events (see internal/trace for a
+// ready-made recorder). A nil hook costs nothing on the fast path.
+type EventHook func(ev PortEvent)
+
+// Port is a switch output port: a set of service queues in front of one
+// link, governed by a scheduler and a buffer-management scheme. It also
+// serves as a host NIC when configured with a single queue and a deep
+// buffer.
+type Port struct {
+	sim   *sim.Simulator
+	rate  units.Rate
+	bufSz units.ByteSize
+	link  *Link
+
+	queues    []pktQueue
+	total     units.ByteSize
+	sched     sched.Scheduler
+	admit     buffer.Admission
+	busy      bool
+	observers []PortObserver
+
+	// Scheme hooks resolved once at construction to avoid per-packet
+	// type assertions.
+	enqMark buffer.EnqueueMarker
+	deqMark buffer.DequeueMarker
+	deqDrop buffer.DequeueDropper
+	deqObs  buffer.DequeueObserver
+	evictor buffer.Evictor
+
+	// pool, when non-nil, is the shared switch memory this port draws
+	// from (shared-memory switch mode, §II-C).
+	pool *buffer.SharedPool
+
+	stats      PortStats
+	queueDrops []int64
+	queueTx    []units.ByteSize
+	hook       EventHook
+}
+
+// pktQueue is a FIFO of packets with byte accounting, backed by a ring-less
+// slice with amortized compaction.
+type pktQueue struct {
+	pkts  []*packet.Packet
+	head  int
+	bytes units.ByteSize
+}
+
+func (q *pktQueue) push(p *packet.Packet) {
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+}
+
+func (q *pktQueue) pop() *packet.Packet {
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+func (q *pktQueue) len() int { return len(q.pkts) - q.head }
+
+// popTail removes the newest packet (eviction victims leave from the
+// tail, keeping in-flight ordering of the survivors intact).
+func (q *pktQueue) popTail() *packet.Packet {
+	p := q.pkts[len(q.pkts)-1]
+	q.pkts[len(q.pkts)-1] = nil
+	q.pkts = q.pkts[:len(q.pkts)-1]
+	q.bytes -= p.Size
+	return p
+}
+
+func (q *pktQueue) headPkt() *packet.Packet {
+	if q.len() == 0 {
+		return nil
+	}
+	return q.pkts[q.head]
+}
+
+// PortConfig assembles a Port.
+type PortConfig struct {
+	// Rate is the link speed the port serializes at.
+	Rate units.Rate
+	// Buffer is the port buffer size B shared by the queues.
+	Buffer units.ByteSize
+	// Queues is the number of service queues.
+	Queues int
+	// Scheduler picks the next queue to serve.
+	Scheduler sched.Scheduler
+	// Admission is the buffer-management scheme.
+	Admission buffer.Admission
+	// Link is the attached wire.
+	Link *Link
+	// Pool, when set, makes the port draw its buffer from a shared
+	// switch memory instead of a private slice; admission must still
+	// pass, and the reservation must fit the pool.
+	Pool *buffer.SharedPool
+}
+
+// NewPort validates the configuration and builds the port.
+func NewPort(s *sim.Simulator, cfg PortConfig) (*Port, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("netsim: port rate %v must be positive", cfg.Rate)
+	}
+	if cfg.Buffer <= 0 {
+		return nil, fmt.Errorf("netsim: port buffer %v must be positive", cfg.Buffer)
+	}
+	if cfg.Queues <= 0 {
+		return nil, fmt.Errorf("netsim: port needs at least one queue")
+	}
+	if cfg.Scheduler == nil || cfg.Admission == nil || cfg.Link == nil {
+		return nil, fmt.Errorf("netsim: port needs a scheduler, an admission scheme, and a link")
+	}
+	p := &Port{
+		sim:        s,
+		rate:       cfg.Rate,
+		bufSz:      cfg.Buffer,
+		link:       cfg.Link,
+		queues:     make([]pktQueue, cfg.Queues),
+		sched:      cfg.Scheduler,
+		admit:      cfg.Admission,
+		queueDrops: make([]int64, cfg.Queues),
+		queueTx:    make([]units.ByteSize, cfg.Queues),
+	}
+	p.enqMark, _ = cfg.Admission.(buffer.EnqueueMarker)
+	p.deqMark, _ = cfg.Admission.(buffer.DequeueMarker)
+	p.deqDrop, _ = cfg.Admission.(buffer.DequeueDropper)
+	p.deqObs, _ = cfg.Admission.(buffer.DequeueObserver)
+	p.evictor, _ = cfg.Admission.(buffer.Evictor)
+	p.pool = cfg.Pool
+	return p, nil
+}
+
+// NumQueues implements sched.View and buffer.View.
+func (p *Port) NumQueues() int { return len(p.queues) }
+
+// QueueLen implements sched.View and buffer.View.
+func (p *Port) QueueLen(i int) units.ByteSize { return p.queues[i].bytes }
+
+// HeadSize implements sched.View.
+func (p *Port) HeadSize(i int) units.ByteSize {
+	if h := p.queues[i].headPkt(); h != nil {
+		return h.Size
+	}
+	return 0
+}
+
+// TotalLen implements buffer.View.
+func (p *Port) TotalLen() units.ByteSize { return p.total }
+
+// Buffer implements buffer.View.
+func (p *Port) Buffer() units.ByteSize { return p.bufSz }
+
+// Rate returns the port's link speed.
+func (p *Port) Rate() units.Rate { return p.rate }
+
+// Link returns the attached wire (for failure injection in tests and
+// experiments).
+func (p *Port) Link() *Link { return p.link }
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// QueueDrops returns the enqueue-drop count of queue i.
+func (p *Port) QueueDrops(i int) int64 { return p.queueDrops[i] }
+
+// QueueTxBytes returns the bytes queue i has put on the wire.
+func (p *Port) QueueTxBytes(i int) units.ByteSize { return p.queueTx[i] }
+
+// Observe registers an observer notified on every enqueue and dequeue.
+func (p *Port) Observe(o PortObserver) { p.observers = append(p.observers, o) }
+
+// SetEventHook installs the per-packet event hook (replacing any previous
+// one; chain externally if several consumers are needed).
+func (p *Port) SetEventHook(h EventHook) { p.hook = h }
+
+func (p *Port) emit(kind PortEventKind, queue int, pkt *packet.Packet) {
+	if p.hook != nil {
+		p.hook(PortEvent{At: p.sim.Now(), Kind: kind, Queue: queue, Pkt: pkt})
+	}
+}
+
+func (p *Port) notify() {
+	for _, o := range p.observers {
+		o.ObservePort(p.sim.Now(), p)
+	}
+}
+
+// Enqueue runs the buffer-management scheme for an arriving packet and, if
+// admitted, buffers it and kicks the transmitter.
+func (p *Port) Enqueue(pkt *packet.Packet) {
+	cls := pkt.Class
+	if cls < 0 || cls >= len(p.queues) {
+		// Single-queue host NICs and misconfigured classes collapse to
+		// the last queue (lowest priority) rather than dropping.
+		cls = len(p.queues) - 1
+	}
+	if !p.admitWithEviction(cls, pkt.Size) {
+		p.stats.Dropped++
+		p.queueDrops[cls]++
+		p.emit(EvDrop, cls, pkt)
+		p.notify()
+		return
+	}
+	if p.pool != nil && !p.pool.Reserve(pkt.Size) {
+		// The shared memory itself is exhausted (another port holds it).
+		p.stats.Dropped++
+		p.queueDrops[cls]++
+		p.emit(EvDrop, cls, pkt)
+		p.notify()
+		return
+	}
+	if p.enqMark != nil && p.enqMark.MarkOnEnqueue(p, cls, pkt.Size) {
+		if pkt.Mark() {
+			p.stats.Marked++
+			p.emit(EvMark, cls, pkt)
+		}
+	}
+	pkt.EnqueueTime = p.sim.Now()
+	p.queues[cls].push(pkt)
+	p.total += pkt.Size
+	p.stats.Enqueued++
+	p.emit(EvEnqueue, cls, pkt)
+	p.notify()
+	if !p.busy {
+		p.busy = true
+		p.transmitNext()
+	}
+}
+
+// admitWithEviction runs the admission scheme and, when it refuses and the
+// scheme supports eviction (BarberQ), pushes out tail packets of the
+// designated victim queues until the arrival fits or the scheme gives up.
+func (p *Port) admitWithEviction(cls int, size units.ByteSize) bool {
+	for {
+		if p.admit.Admit(p, cls, size) {
+			return true
+		}
+		if p.evictor == nil {
+			return false
+		}
+		victim := p.evictor.EvictFor(p, cls, size)
+		if victim < 0 || p.queues[victim].len() == 0 {
+			return false
+		}
+		evicted := p.queues[victim].popTail()
+		p.total -= evicted.Size
+		if p.pool != nil {
+			p.pool.Release(evicted.Size)
+		}
+		p.stats.Evicted++
+		p.emit(EvEvict, victim, evicted)
+	}
+}
+
+// transmitNext serves one packet according to the scheduler and re-arms
+// itself after the serialization delay.
+func (p *Port) transmitNext() {
+	i := p.sched.Select(p)
+	if i < 0 {
+		p.busy = false
+		return
+	}
+	pkt := p.queues[i].pop()
+	p.total -= pkt.Size
+	if p.pool != nil {
+		p.pool.Release(pkt.Size)
+	}
+	p.sched.OnDequeue(i, pkt.Size, p.queues[i].len() == 0)
+	if p.deqObs != nil {
+		p.deqObs.ObserveDequeue(p, i, pkt.Size, p.sim.Now())
+	}
+	sojourn := p.sim.Now().Sub(pkt.EnqueueTime)
+	if p.deqDrop != nil && p.deqDrop.DropOnDequeue(i, sojourn) {
+		// TCN-drop ablation: the transmission opportunity is wasted — the
+		// qdisc returned nothing to the NIC — so the link idles for the
+		// packet's serialization time (§II-C's argument).
+		p.stats.DequeueDrops++
+		p.emit(EvDequeueDrop, i, pkt)
+		p.notify()
+		p.sim.After(p.rate.Transmit(pkt.Size), p.transmitNext)
+		return
+	}
+	if p.deqMark != nil && p.deqMark.MarkOnDequeue(i, sojourn) {
+		if pkt.Mark() {
+			p.stats.Marked++
+			p.emit(EvMark, i, pkt)
+		}
+	}
+	p.notify()
+	txDelay := p.rate.Transmit(pkt.Size)
+	p.sim.After(txDelay, func() {
+		p.stats.TxPackets++
+		p.stats.TxBytes += pkt.Size
+		p.queueTx[i] += pkt.Size
+		p.emit(EvTransmit, i, pkt)
+		p.link.Send(pkt)
+		p.transmitNext()
+	})
+}

@@ -1,0 +1,102 @@
+// Package packet defines the on-wire unit that flows through the simulator:
+// a TCP-like segment with ECN codepoints and a service-class tag.
+//
+// The service class plays the role of the DSCP field the paper's qdisc
+// prototype reads to map a packet to a switch service queue.
+package packet
+
+import (
+	"fmt"
+
+	"dynaq/internal/units"
+)
+
+// FlowID uniquely identifies a transport flow.
+type FlowID uint64
+
+// ECN is the two-bit ECN codepoint from RFC 3168.
+type ECN uint8
+
+// ECN codepoints.
+const (
+	NotECT ECN = iota // transport does not support ECN
+	ECT               // ECN-capable transport
+	CE                // congestion experienced (set by a marking switch)
+)
+
+// Kind distinguishes data segments from pure ACKs; ACKs are never subject to
+// service-queue buffering games in these experiments, but they still consume
+// (small) link time.
+type Kind uint8
+
+// Packet kinds.
+const (
+	Data Kind = iota
+	Ack
+)
+
+// Packet is one simulated segment. Packets are passed by pointer and are not
+// copied after creation; the switch annotates EnqueueTime for sojourn-time
+// schemes (TCN).
+type Packet struct {
+	Flow FlowID
+	Kind Kind
+
+	// Src and Dst are host ids used for routing.
+	Src, Dst int
+
+	// Size is the wire size in bytes, including headers.
+	Size units.ByteSize
+
+	// Seq is the first payload byte's sequence number (Data), in bytes.
+	Seq int64
+	// Ack is the cumulative acknowledgment (Ack packets): the next byte
+	// the receiver expects.
+	Ack int64
+	// Payload is the number of payload bytes carried (Data).
+	Payload units.ByteSize
+
+	// Class is the service class: the index of the switch service queue
+	// this packet maps to (the paper's DSCP-derived queue index). For
+	// SPQ/DRR hybrids, class 0 is the high-priority queue.
+	Class int
+
+	// ECN state. Echo is the receiver->sender congestion echo (the
+	// TCP ECE flag); CWR would be modelled symmetrically but DCTCP's
+	// per-packet echo makes it unnecessary here.
+	ECN  ECN
+	Echo bool
+
+	// SentAt is when the sender (re)transmitted this packet; used for RTT
+	// estimation without timestamps options.
+	SentAt units.Time
+
+	// EnqueueTime is stamped by the switch port on enqueue so that
+	// dequeue-time schemes (TCN) can compute the sojourn time.
+	EnqueueTime units.Time
+}
+
+// String renders a compact human-readable packet description for traces.
+func (p *Packet) String() string {
+	k := "DATA"
+	if p.Kind == Ack {
+		k = "ACK"
+	}
+	return fmt.Sprintf("%s flow=%d %d->%d seq=%d ack=%d size=%d class=%d",
+		k, p.Flow, p.Src, p.Dst, p.Seq, p.Ack, int64(p.Size), p.Class)
+}
+
+// Marked reports whether a switch set Congestion Experienced on the packet.
+func (p *Packet) Marked() bool { return p.ECN == CE }
+
+// Mark sets Congestion Experienced if the packet belongs to an ECN-capable
+// transport, and reports whether the mark was applied. Non-ECT packets
+// cannot be marked (RFC 3168); callers that want drop-instead-of-mark
+// behaviour handle the false return.
+func (p *Packet) Mark() bool {
+	if p.ECN == NotECT {
+		return false
+	}
+	p.ECN = CE
+	return true
+}

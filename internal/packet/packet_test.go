@@ -1,0 +1,43 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkRequiresECT(t *testing.T) {
+	p := &Packet{ECN: NotECT}
+	if p.Mark() {
+		t.Fatal("non-ECT packet must not be markable")
+	}
+	if p.Marked() {
+		t.Fatal("packet should not be marked")
+	}
+
+	p = &Packet{ECN: ECT}
+	if !p.Mark() {
+		t.Fatal("ECT packet must be markable")
+	}
+	if !p.Marked() {
+		t.Fatal("marked packet should report Marked")
+	}
+
+	// Marking a CE packet again is fine and stays marked.
+	if !p.Mark() {
+		t.Fatal("CE packet re-mark should report true")
+	}
+}
+
+func TestString(t *testing.T) {
+	p := &Packet{Kind: Data, Flow: 7, Src: 1, Dst: 2, Seq: 1500, Size: 1500, Class: 3}
+	s := p.String()
+	for _, want := range []string{"DATA", "flow=7", "1->2", "seq=1500", "class=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	a := &Packet{Kind: Ack, Ack: 3000, Size: 40}
+	if !strings.Contains(a.String(), "ACK") {
+		t.Errorf("ack String() = %q", a.String())
+	}
+}

@@ -1,0 +1,55 @@
+package pias
+
+import (
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+func TestNewClassifierValidation(t *testing.T) {
+	if _, err := NewClassifier(0, 0); err == nil {
+		t.Error("zero threshold should fail")
+	}
+	if _, err := NewClassifier(units.KB, -1); err == nil {
+		t.Error("negative class should fail")
+	}
+}
+
+func TestTwoLevelClassification(t *testing.T) {
+	c, err := NewClassifier(DefaultDemotionThreshold, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Threshold() != 100*units.KB {
+		t.Fatalf("threshold = %v", c.Threshold())
+	}
+	classOf := c.ClassOf(3)
+	tests := []struct {
+		seq  int64
+		want int
+	}{
+		{0, 0},
+		{99999, 0},
+		{100000, 3}, // first demoted byte
+		{5000000, 3},
+	}
+	for _, tt := range tests {
+		if got := classOf(tt.seq); got != tt.want {
+			t.Errorf("ClassOf(%d) = %d, want %d", tt.seq, got, tt.want)
+		}
+	}
+}
+
+func TestDistinctServiceClasses(t *testing.T) {
+	c, err := NewClassifier(DefaultDemotionThreshold, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.ClassOf(1), c.ClassOf(2)
+	if a(200000) != 1 || b(200000) != 2 {
+		t.Fatal("demoted classes must follow the service class")
+	}
+	if a(0) != 0 || b(0) != 0 {
+		t.Fatal("early bytes must share the high-priority class")
+	}
+}

@@ -1,0 +1,15 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,214 @@
+// Package scenario loads experiment descriptions from JSON so scenarios
+// can be versioned and shared without recompiling — the configuration
+// format consumed by `dynaqsim -config`.
+//
+// Two kinds are supported:
+//
+//	{"kind": "static", ...}  → experiment.RunStatic (throughput/fairness)
+//	{"kind": "fct", ...}     → experiment.RunDynamic (FCT benchmarks)
+//
+// See testdata in scenario_test.go for complete documents.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"dynaq/internal/experiment"
+	"dynaq/internal/transport"
+	"dynaq/internal/units"
+	"dynaq/internal/workload"
+)
+
+// Spec mirrors experiment.QueueSpec in JSON form.
+type Spec struct {
+	Class int     `json:"class"`
+	Flows int     `json:"flows"`
+	Hosts int     `json:"hosts,omitempty"`
+	StopS float64 `json:"stop_at_s,omitempty"`
+	Ctrl  string  `json:"ctrl,omitempty"` // reno | cubic | dctcp | ecn-reno | timely
+	ECN   bool    `json:"ecn,omitempty"`
+}
+
+// Document is the top-level JSON scenario.
+type Document struct {
+	Kind string `json:"kind"` // static | fct
+
+	Scheme   string  `json:"scheme"`
+	Sched    string  `json:"sched,omitempty"` // drr | wrr | spq+drr
+	RateGbps float64 `json:"rate_gbps"`
+	BufferB  int64   `json:"buffer_bytes"`
+	Queues   int     `json:"queues"`
+	Weights  []int64 `json:"weights,omitempty"`
+	RTTUs    float64 `json:"rtt_us"`
+	MTU      int64   `json:"mtu,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	MinRTOMs float64 `json:"min_rto_ms,omitempty"`
+
+	// Static fields.
+	DurationS float64 `json:"duration_s,omitempty"`
+	SampleMs  float64 `json:"sample_ms,omitempty"`
+	Specs     []Spec  `json:"specs,omitempty"`
+
+	// FCT fields.
+	Topo         string   `json:"topo,omitempty"` // star | leafspine
+	Servers      int      `json:"servers,omitempty"`
+	Leaves       int      `json:"leaves,omitempty"`
+	Spines       int      `json:"spines,omitempty"`
+	HostsPerLeaf int      `json:"hosts_per_leaf,omitempty"`
+	Load         float64  `json:"load,omitempty"`
+	Flows        int      `json:"flows,omitempty"`
+	Workloads    []string `json:"workloads,omitempty"`
+	DCTCP        bool     `json:"dctcp,omitempty"`
+}
+
+// Result is what a loaded scenario produces when run.
+type Result struct {
+	Static  *experiment.StaticResult
+	Dynamic *experiment.DynamicResult
+}
+
+// Runner is a validated, executable scenario.
+type Runner struct {
+	doc     Document
+	static  *experiment.StaticConfig
+	dynamic *experiment.DynamicConfig
+}
+
+// Kind returns "static" or "fct".
+func (r *Runner) Kind() string { return r.doc.Kind }
+
+// Load parses and validates a JSON scenario.
+func Load(data []byte) (*Runner, error) {
+	var doc Document
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	r := &Runner{doc: doc}
+	weights := doc.Weights
+	if weights == nil {
+		weights = make([]int64, doc.Queues)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != doc.Queues {
+		return nil, fmt.Errorf("scenario: %d weights for %d queues", len(weights), doc.Queues)
+	}
+	schedKind := experiment.SchedKind(doc.Sched)
+	if doc.Sched == "" {
+		schedKind = experiment.SchedDRR
+	}
+	params := experiment.SchemeParams{Weights: weights}
+	mtu := units.ByteSize(doc.MTU)
+	rate := units.Rate(doc.RateGbps * 1e9)
+	delay := units.Seconds(doc.RTTUs / 4 * 1e-6)
+	minRTO := units.Seconds(doc.MinRTOMs * 1e-3)
+
+	switch doc.Kind {
+	case "static":
+		var specs []experiment.QueueSpec
+		for i, sp := range doc.Specs {
+			ctrl, err := controllerByName(sp.Ctrl)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: spec %d: %w", i, err)
+			}
+			specs = append(specs, experiment.QueueSpec{
+				Class:  sp.Class,
+				Flows:  sp.Flows,
+				Hosts:  sp.Hosts,
+				StopAt: units.Seconds(sp.StopS),
+				Ctrl:   ctrl,
+				ECN:    sp.ECN,
+			})
+		}
+		r.static = &experiment.StaticConfig{
+			Scheme:      experiment.Scheme(doc.Scheme),
+			Sched:       schedKind,
+			Params:      params,
+			Rate:        rate,
+			Delay:       delay,
+			Buffer:      units.ByteSize(doc.BufferB),
+			Queues:      doc.Queues,
+			MTU:         mtu,
+			Specs:       specs,
+			Duration:    units.Seconds(doc.DurationS),
+			SampleEvery: units.Seconds(doc.SampleMs * 1e-3),
+			MinRTO:      minRTO,
+			Seed:        doc.Seed,
+		}
+	case "fct":
+		var cdfs []*workload.CDF
+		for _, name := range doc.Workloads {
+			cdf, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			cdfs = append(cdfs, cdf)
+		}
+		r.dynamic = &experiment.DynamicConfig{
+			Scheme:       experiment.Scheme(doc.Scheme),
+			Params:       params,
+			Topo:         experiment.TopoKind(doc.Topo),
+			Servers:      doc.Servers,
+			Leaves:       doc.Leaves,
+			Spines:       doc.Spines,
+			HostsPerLeaf: doc.HostsPerLeaf,
+			Rate:         rate,
+			Delay:        delay,
+			Buffer:       units.ByteSize(doc.BufferB),
+			Queues:       doc.Queues,
+			MTU:          mtu,
+			Load:         doc.Load,
+			Flows:        doc.Flows,
+			Workloads:    cdfs,
+			DCTCP:        doc.DCTCP,
+			MinRTO:       minRTO,
+			Seed:         doc.Seed,
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown kind %q (want static or fct)", doc.Kind)
+	}
+	return r, nil
+}
+
+// Run executes the scenario.
+func (r *Runner) Run() (*Result, error) {
+	switch {
+	case r.static != nil:
+		res, err := experiment.RunStatic(*r.static)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Static: res}, nil
+	case r.dynamic != nil:
+		res, err := experiment.RunDynamic(*r.dynamic)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dynamic: res}, nil
+	default:
+		return nil, fmt.Errorf("scenario: empty runner")
+	}
+}
+
+// controllerByName maps a JSON name to a congestion-controller factory.
+func controllerByName(name string) (func() transport.Controller, error) {
+	switch name {
+	case "", "reno":
+		return nil, nil // sender default
+	case "cubic":
+		return func() transport.Controller { return transport.NewCubic() }, nil
+	case "dctcp":
+		return func() transport.Controller { return transport.NewDCTCP() }, nil
+	case "ecn-reno":
+		return func() transport.Controller { return transport.NewECNReno() }, nil
+	case "timely":
+		return func() transport.Controller { return transport.NewTimely() }, nil
+	default:
+		return nil, fmt.Errorf("unknown controller %q", name)
+	}
+}

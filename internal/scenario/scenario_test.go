@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"dynaq/internal/metrics"
+	"dynaq/internal/units"
+)
+
+const staticDoc = `{
+  "kind": "static",
+  "scheme": "DynaQ",
+  "sched": "drr",
+  "rate_gbps": 1,
+  "buffer_bytes": 85000,
+  "queues": 4,
+  "rtt_us": 500,
+  "duration_s": 2,
+  "sample_ms": 500,
+  "seed": 1,
+  "specs": [
+    {"class": 1, "flows": 2},
+    {"class": 2, "flows": 8, "ctrl": "cubic"}
+  ]
+}`
+
+const fctDoc = `{
+  "kind": "fct",
+  "scheme": "DynaQ",
+  "topo": "star",
+  "servers": 4,
+  "rate_gbps": 1,
+  "buffer_bytes": 85000,
+  "queues": 5,
+  "rtt_us": 500,
+  "load": 0.5,
+  "flows": 60,
+  "workloads": ["websearch"],
+  "min_rto_ms": 10,
+  "seed": 1
+}`
+
+func TestLoadValidation(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"kind": "blimp"}`,
+		`{"kind": "static", "queues": 2, "weights": [1], "rate_gbps": 1, "buffer_bytes": 1000, "rtt_us": 100}`,
+		`{"kind": "static", "unknown_field": 1}`,
+		`{"kind": "static", "queues": 2, "rate_gbps": 1, "buffer_bytes": 1000, "rtt_us": 100,
+		  "duration_s": 1, "specs": [{"class": 0, "flows": 1, "ctrl": "warp"}]}`,
+		`{"kind": "fct", "queues": 2, "rate_gbps": 1, "buffer_bytes": 1000, "rtt_us": 100,
+		  "workloads": ["nope"]}`,
+	}
+	for i, doc := range bad {
+		if _, err := Load([]byte(doc)); err == nil {
+			t.Errorf("document %d should fail", i)
+		}
+	}
+}
+
+func TestStaticScenarioRuns(t *testing.T) {
+	r, err := Load([]byte(staticDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != "static" {
+		t.Fatalf("kind = %q", r.Kind())
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Static == nil || res.Dynamic != nil {
+		t.Fatal("wrong result shape")
+	}
+	agg := res.Static.AvgAggregate(units.Time(units.Second), units.Time(2*units.Second))
+	if agg < 900*units.Mbps {
+		t.Fatalf("aggregate = %v", agg)
+	}
+	// Both queues share under DynaQ despite the flow asymmetry.
+	share := res.Static.ShareOf(1, units.Time(units.Second), units.Time(2*units.Second))
+	if share < 0.35 || share > 0.65 {
+		t.Fatalf("queue-1 share = %.3f", share)
+	}
+}
+
+func TestFCTScenarioRuns(t *testing.T) {
+	r, err := Load([]byte(fctDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != "fct" {
+		t.Fatalf("kind = %q", r.Kind())
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dynamic == nil {
+		t.Fatal("wrong result shape")
+	}
+	if res.Dynamic.Completed < 54 { // ≥90% of 60 within the drain budget
+		t.Fatalf("completed = %d/60", res.Dynamic.Completed)
+	}
+	if res.Dynamic.FCT.Avg(metrics.AllFlows) <= 0 {
+		t.Fatal("no FCT stats")
+	}
+}
+
+func TestControllerNames(t *testing.T) {
+	for _, name := range []string{"", "reno", "cubic", "dctcp", "ecn-reno", "timely"} {
+		if _, err := controllerByName(name); err != nil {
+			t.Errorf("%q: %v", name, err)
+		}
+	}
+	if _, err := controllerByName("quic"); err == nil ||
+		!strings.Contains(err.Error(), "unknown controller") {
+		t.Error("unknown controller should fail")
+	}
+}

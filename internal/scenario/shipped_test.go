@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenariosLoad validates every JSON document in the
+// repository's scenarios/ directory.
+func TestShippedScenariosLoad(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("scenarios directory missing: %v", err)
+	}
+	var jsons []os.DirEntry
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".json" {
+			jsons = append(jsons, e)
+		}
+	}
+	if len(jsons) < 3 {
+		t.Fatalf("only %d shipped scenarios", len(jsons))
+	}
+	for _, e := range jsons {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Load(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Kind() != "static" && r.Kind() != "fct" {
+				t.Fatalf("kind = %q", r.Kind())
+			}
+		})
+	}
+}
+
+// TestShippedSmokeRun executes the quickest shipped scenario end to end.
+func TestShippedSmokeRun(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "scenarios", "fig3_dynaq.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shorten for CI: reload with a trimmed duration.
+	doc := r.doc
+	doc.DurationS = 1
+	trimmed, _ := Load(mustJSON(t, doc))
+	res, err := trimmed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Static.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+}

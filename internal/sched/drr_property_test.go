@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+// TestDRRFairnessBound verifies the Shreedhar-Varghese fairness property:
+// over any interval where two queues are continuously backlogged, their
+// normalized service difference |S_i/w_i − S_j/w_j| is bounded by a
+// constant independent of the interval length (quantum + max packet per
+// weight unit).
+func TestDRRFairnessBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	weights := []units.ByteSize{6000, 4500, 3000, 1500}
+	const maxPkt = 1500
+	for trial := 0; trial < 10; trial++ {
+		d, err := NewDRR(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := newFakeQueues(4)
+		// Keep all queues continuously backlogged with random packet
+		// sizes; replenish as we serve.
+		for q := 0; q < 4; q++ {
+			for i := 0; i < 8; i++ {
+				f.push(q, units.ByteSize(64+rng.Intn(maxPkt-64)))
+			}
+		}
+		served := make([]float64, 4)
+		for step := 0; step < 5000; step++ {
+			q := d.Select(f)
+			size := f.pkts[q][0]
+			f.pkts[q] = f.pkts[q][1:]
+			served[q] += float64(size)
+			d.OnDequeue(q, size, false)
+			f.push(q, units.ByteSize(64+rng.Intn(maxPkt-64))) // stay backlogged
+			if step < 100 {
+				continue // allow one round of warmup
+			}
+			for i := 0; i < 4; i++ {
+				for j := i + 1; j < 4; j++ {
+					ni := served[i] / float64(weights[i])
+					nj := served[j] / float64(weights[j])
+					diff := ni - nj
+					if diff < 0 {
+						diff = -diff
+					}
+					// Bound: (quantum_max + maxPkt)/w_min normalized —
+					// use a generous constant multiple.
+					bound := 2.0 * (6000 + maxPkt) / 1500
+					if diff > bound {
+						t.Fatalf("trial %d step %d: normalized service skew %v > %v (served %v)",
+							trial, step, diff, bound, served)
+					}
+				}
+			}
+		}
+	}
+}

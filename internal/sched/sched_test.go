@@ -1,0 +1,368 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+// fakeQueues is a minimal in-memory queue set implementing View, tracking
+// packet sizes per queue.
+type fakeQueues struct {
+	pkts [][]units.ByteSize
+}
+
+func newFakeQueues(n int) *fakeQueues {
+	return &fakeQueues{pkts: make([][]units.ByteSize, n)}
+}
+
+func (f *fakeQueues) push(i int, size units.ByteSize) {
+	f.pkts[i] = append(f.pkts[i], size)
+}
+
+func (f *fakeQueues) NumQueues() int { return len(f.pkts) }
+
+func (f *fakeQueues) QueueLen(i int) units.ByteSize {
+	var sum units.ByteSize
+	for _, s := range f.pkts[i] {
+		sum += s
+	}
+	return sum
+}
+
+func (f *fakeQueues) HeadSize(i int) units.ByteSize {
+	if len(f.pkts[i]) == 0 {
+		return 0
+	}
+	return f.pkts[i][0]
+}
+
+// serve pops the head of the scheduler-selected queue and notifies the
+// scheduler, returning the selected queue, or -1.
+func (f *fakeQueues) serve(s Scheduler) int {
+	i := s.Select(f)
+	if i < 0 {
+		return -1
+	}
+	size := f.pkts[i][0]
+	f.pkts[i] = f.pkts[i][1:]
+	s.OnDequeue(i, size, len(f.pkts[i]) == 0)
+	return i
+}
+
+// drain serves until empty, returning the byte count served per queue.
+func (f *fakeQueues) drain(t *testing.T, s Scheduler, maxIter int) []units.ByteSize {
+	t.Helper()
+	served := make([]units.ByteSize, f.NumQueues())
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			t.Fatalf("drain did not finish in %d iterations", maxIter)
+		}
+		i := s.Select(f)
+		if i < 0 {
+			return served
+		}
+		size := f.pkts[i][0]
+		f.pkts[i] = f.pkts[i][1:]
+		served[i] += size
+		s.OnDequeue(i, size, len(f.pkts[i]) == 0)
+	}
+}
+
+func TestDRRValidation(t *testing.T) {
+	if _, err := NewDRR(nil); err == nil {
+		t.Error("empty quantums should fail")
+	}
+	if _, err := NewDRR([]units.ByteSize{1500, 0}); err == nil {
+		t.Error("zero quantum should fail")
+	}
+}
+
+func TestDRREmptyReturnsMinusOne(t *testing.T) {
+	d := EqualDRR(4, 1500)
+	f := newFakeQueues(4)
+	if got := d.Select(f); got != -1 {
+		t.Fatalf("Select on empty = %d, want -1", got)
+	}
+}
+
+func TestDRREqualQuantumFairBytes(t *testing.T) {
+	// Two backlogged queues with equal quantums must receive equal byte
+	// service over a long run, regardless of packet count asymmetry.
+	d := EqualDRR(2, 1500)
+	f := newFakeQueues(2)
+	// Queue 0: large packets; queue 1: small packets, same total bytes.
+	for i := 0; i < 100; i++ {
+		f.push(0, 1500)
+	}
+	for i := 0; i < 300; i++ {
+		f.push(1, 500)
+	}
+	// Serve exactly half the total bytes and compare per-queue service.
+	var served [2]units.ByteSize
+	total := units.ByteSize(0)
+	for total < 150000 {
+		i := f.serve(d)
+		size := units.ByteSize(0)
+		if i == 0 {
+			size = 1500
+		} else {
+			size = 500
+		}
+		served[i] += size
+		total += size
+	}
+	diff := served[0] - served[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	// DRR guarantees per-round service skew bounded by one quantum+MTU.
+	if diff > 3000 {
+		t.Fatalf("byte service skew = %d (served %v), want ≤ 3000", diff, served)
+	}
+}
+
+func TestDRRWeightedQuantums(t *testing.T) {
+	// Quantums 4:3:2:1 (Fig 6 config) must yield proportional service for
+	// persistently backlogged queues.
+	d, err := NewDRR([]units.ByteSize{6000, 4500, 3000, 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFakeQueues(4)
+	for q := 0; q < 4; q++ {
+		for i := 0; i < 400; i++ {
+			f.push(q, 1500)
+		}
+	}
+	var served [4]units.ByteSize
+	var total units.ByteSize
+	for total < 600000 {
+		i := f.serve(d)
+		served[i] += 1500
+		total += 1500
+	}
+	// Shares should be close to 0.4/0.3/0.2/0.1.
+	want := []float64{0.4, 0.3, 0.2, 0.1}
+	for q := range served {
+		got := float64(served[q]) / float64(total)
+		if got < want[q]-0.02 || got > want[q]+0.02 {
+			t.Errorf("queue %d share = %.3f, want %.3f±0.02 (served %v)", q, got, want[q], served)
+		}
+	}
+}
+
+func TestDRRQuantumSmallerThanPacket(t *testing.T) {
+	// Deficit must accumulate across rounds when quantum < packet size.
+	d, err := NewDRR([]units.ByteSize{500, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFakeQueues(2)
+	for i := 0; i < 10; i++ {
+		f.push(0, 1500)
+		f.push(1, 1500)
+	}
+	served := f.drain(t, d, 1000)
+	if served[0] != 15000 || served[1] != 15000 {
+		t.Fatalf("served = %v, want 15000 each", served)
+	}
+}
+
+func TestDRRInactiveQueueLosesDeficit(t *testing.T) {
+	d := EqualDRR(2, 1500)
+	f := newFakeQueues(2)
+	f.push(0, 1000)
+	f.serve(d) // queue 0 now empty: deficit must reset on the empty signal
+	if got := d.Deficit(0); got != 0 {
+		t.Fatalf("deficit after emptying = %d, want 0", got)
+	}
+}
+
+func TestDRRWorkConserving(t *testing.T) {
+	// With only one backlogged queue, every service goes to it.
+	d := EqualDRR(4, 1500)
+	f := newFakeQueues(4)
+	for i := 0; i < 50; i++ {
+		f.push(2, 1500)
+	}
+	for i := 0; i < 50; i++ {
+		if got := f.serve(d); got != 2 {
+			t.Fatalf("service %d went to queue %d, want 2", i, got)
+		}
+	}
+}
+
+func TestWRRValidation(t *testing.T) {
+	if _, err := NewWRR(nil); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := NewWRR([]int64{1, -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestWRRPacketProportions(t *testing.T) {
+	w, err := NewWRR([]int64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFakeQueues(2)
+	for i := 0; i < 400; i++ {
+		f.push(0, 1500)
+		f.push(1, 1500)
+	}
+	var counts [2]int
+	for i := 0; i < 400; i++ {
+		counts[f.serve(w)]++
+	}
+	// 3:1 packet ratio.
+	if counts[0] != 300 || counts[1] != 100 {
+		t.Fatalf("counts = %v, want [300 100]", counts)
+	}
+}
+
+func TestWRRSkipsEmptyQueues(t *testing.T) {
+	w := EqualWRR(3)
+	f := newFakeQueues(3)
+	f.push(1, 100)
+	if got := f.serve(w); got != 1 {
+		t.Fatalf("served queue %d, want 1", got)
+	}
+	if got := w.Select(f); got != -1 {
+		t.Fatalf("Select on empty = %d, want -1", got)
+	}
+}
+
+func TestSPQStrictPriority(t *testing.T) {
+	s := NewSPQ()
+	f := newFakeQueues(3)
+	f.push(2, 100)
+	f.push(0, 100)
+	f.push(1, 100)
+	want := []int{0, 1, 2}
+	for _, w := range want {
+		if got := f.serve(s); got != w {
+			t.Fatalf("served %d, want %d", got, w)
+		}
+	}
+	if got := s.Select(f); got != -1 {
+		t.Fatalf("Select on empty = %d, want -1", got)
+	}
+}
+
+func TestSPQHighPriorityPreempts(t *testing.T) {
+	s := NewSPQ()
+	f := newFakeQueues(2)
+	for i := 0; i < 5; i++ {
+		f.push(1, 100)
+	}
+	f.serve(s) // serves queue 1
+	f.push(0, 100)
+	if got := f.serve(s); got != 0 {
+		t.Fatalf("new high-priority packet not served first: got queue %d", got)
+	}
+}
+
+func TestSPQDRRValidation(t *testing.T) {
+	if _, err := NewSPQDRR(0, []units.ByteSize{1500}); err == nil {
+		t.Error("zero priority queues should fail")
+	}
+	if _, err := NewSPQDRR(1, nil); err == nil {
+		t.Error("no DRR queues should fail")
+	}
+}
+
+func TestSPQDRRPriorityFirst(t *testing.T) {
+	// 1 SPQ queue + 4 DRR queues (the paper's dynamic-flow config).
+	s, err := NewSPQDRR(1, []units.ByteSize{1500, 1500, 1500, 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFakeQueues(5)
+	f.push(0, 100)
+	f.push(1, 1500)
+	f.push(3, 1500)
+	if got := f.serve(s); got != 0 {
+		t.Fatalf("first service to queue %d, want SPQ queue 0", got)
+	}
+	// DRR queues only after SPQ empties; both get served.
+	a, b := f.serve(s), f.serve(s)
+	if !(a == 1 && b == 3) && !(a == 3 && b == 1) {
+		t.Fatalf("DRR services = %d,%d, want 1 and 3", a, b)
+	}
+}
+
+func TestSPQDRRFairAmongLowPriority(t *testing.T) {
+	s, err := NewSPQDRR(1, []units.ByteSize{1500, 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PriorityQueues() != 1 {
+		t.Fatalf("PriorityQueues = %d", s.PriorityQueues())
+	}
+	f := newFakeQueues(3)
+	for i := 0; i < 100; i++ {
+		f.push(1, 1500)
+		f.push(2, 1500)
+	}
+	var counts [3]int
+	for i := 0; i < 200; i++ {
+		counts[f.serve(s)]++
+	}
+	if counts[1] != 100 || counts[2] != 100 {
+		t.Fatalf("counts = %v, want equal DRR split", counts)
+	}
+}
+
+func TestSchedulersNeverStarveRandomized(t *testing.T) {
+	// Property: under random arrivals every scheduler eventually drains
+	// all queues (work conservation + no starvation).
+	rng := rand.New(rand.NewSource(7))
+	build := []func() Scheduler{
+		func() Scheduler { return EqualDRR(4, 1500) },
+		func() Scheduler { d, _ := NewDRR([]units.ByteSize{6000, 4500, 3000, 1500}); return d },
+		func() Scheduler { return EqualWRR(4) },
+		func() Scheduler { return NewSPQ() },
+		func() Scheduler { s, _ := NewSPQDRR(1, []units.ByteSize{1500, 1500, 1500}); return s },
+	}
+	for bi, mk := range build {
+		for trial := 0; trial < 20; trial++ {
+			s := mk()
+			f := newFakeQueues(4)
+			var pushed units.ByteSize
+			for i := 0; i < 200; i++ {
+				q := rng.Intn(4)
+				size := units.ByteSize(64 + rng.Intn(8936))
+				f.push(q, size)
+				pushed += size
+			}
+			served := f.drain(t, s, 10000)
+			var total units.ByteSize
+			for _, b := range served {
+				total += b
+			}
+			if total != pushed {
+				t.Fatalf("scheduler %d trial %d: served %d bytes, pushed %d", bi, trial, total, pushed)
+			}
+		}
+	}
+}
+
+func BenchmarkDRRSelect(b *testing.B) {
+	d := EqualDRR(8, 1500)
+	f := newFakeQueues(8)
+	for q := 0; q < 8; q++ {
+		for i := 0; i < 4; i++ {
+			f.push(q, 1500)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := d.Select(f)
+		d.OnDequeue(q, 1500, false)
+		// Keep queues statically backlogged: no pops.
+	}
+}

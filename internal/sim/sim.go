@@ -1,0 +1,202 @@
+// Package sim provides the discrete-event simulation engine that drives the
+// whole reproduction: a binary-heap event queue, a virtual clock, and
+// re-armable timers.
+//
+// The engine is intentionally single-goroutine: every experiment in the
+// paper is a deterministic function of its seed, which makes results
+// reproducible and the hot path allocation-light.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dynaq/internal/units"
+)
+
+// Event is a callback scheduled to run at a fixed simulated time.
+type Event struct {
+	when units.Time
+	seq  uint64 // tie-break: FIFO order among same-time events
+	fn   func()
+	idx  int // heap index; -1 once popped or canceled
+}
+
+// Time returns the simulated time the event fires at.
+func (e *Event) Time() units.Time { return e.when }
+
+// eventHeap orders events by time, then insertion sequence.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending event set.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now    units.Time
+	seq    uint64
+	events eventHeap
+	nrun   uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() units.Time { return s.now }
+
+// Processed reports how many events have been executed.
+func (s *Simulator) Processed() uint64 { return s.nrun }
+
+// Pending reports how many events are scheduled but not yet run.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug, and silently reordering time would
+// corrupt every queue measurement downstream.
+func (s *Simulator) At(t units.Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulator) After(d units.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Canceling an already-run or
+// already-canceled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.idx < 0 {
+		return
+	}
+	heap.Remove(&s.events, e.idx)
+	e.idx = -1
+}
+
+// Step runs the single earliest pending event. It reports false when no
+// events remain.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*Event)
+	s.now = e.when
+	s.nrun++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock to
+// the deadline. Events scheduled beyond the deadline remain pending.
+func (s *Simulator) RunUntil(deadline units.Time) {
+	for len(s.events) > 0 && s.events[0].when <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Timer is a single-shot re-armable timer, the building block for TCP
+// retransmission timeouts and periodic samplers.
+type Timer struct {
+	sim *Simulator
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer returns an unarmed timer that runs fn when it fires.
+func (s *Simulator) NewTimer(fn func()) *Timer {
+	return &Timer{sim: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, replacing any pending firing.
+func (t *Timer) Reset(d units.Duration) {
+	t.Stop()
+	t.ev = t.sim.After(d, t.fire)
+}
+
+// Stop disarms the timer if armed.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending firing.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Every schedules fn to run now+d, now+2d, ... until the returned stop
+// function is called. It is used by periodic throughput samplers.
+func (s *Simulator) Every(d units.Duration, fn func()) (stop func()) {
+	if d <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	stopped := false
+	var tick func()
+	var ev *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		ev = s.After(d, tick)
+	}
+	ev = s.After(d, tick)
+	return func() {
+		stopped = true
+		s.Cancel(ev)
+	}
+}

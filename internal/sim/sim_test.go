@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30*units.Time(units.Microsecond), func() { got = append(got, 3) })
+	s.At(10*units.Time(units.Microsecond), func() { got = append(got, 1) })
+	s.At(20*units.Time(units.Microsecond), func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*units.Time(units.Microsecond) {
+		t.Fatalf("clock = %v, want 30us", s.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(units.Time(units.Millisecond), func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New()
+	var fired units.Time
+	s.At(units.Time(units.Second), func() {
+		s.After(units.Millisecond, func() { fired = s.Now() })
+	})
+	s.Run()
+	want := units.Time(units.Second).Add(units.Millisecond)
+	if fired != want {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(units.Time(units.Second), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic when scheduling in the past")
+			}
+		}()
+		s.At(units.Time(units.Millisecond), func() {})
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.At(units.Time(units.Second), func() { ran = true })
+	s.Cancel(e)
+	s.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, s.At(units.Time(i)*units.Time(units.Microsecond), func() {
+			got = append(got, i)
+		}))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		s.Cancel(evs[i])
+	}
+	s.Run()
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("canceled event %d ran", v)
+		}
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("events out of order after cancels: %v", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var ran []int
+	s.At(units.Time(units.Second), func() { ran = append(ran, 1) })
+	s.At(units.Time(3*units.Second), func() { ran = append(ran, 2) })
+	s.RunUntil(units.Time(2 * units.Second))
+	if len(ran) != 1 || ran[0] != 1 {
+		t.Fatalf("ran = %v, want [1]", ran)
+	}
+	if s.Now() != units.Time(2*units.Second) {
+		t.Fatalf("clock = %v, want 2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(ran) != 2 {
+		t.Fatalf("ran = %v, want both", ran)
+	}
+}
+
+func TestTimerResetReplacesPending(t *testing.T) {
+	s := New()
+	fires := 0
+	var tm *Timer
+	tm = s.NewTimer(func() { fires++ })
+	tm.Reset(10 * units.Millisecond)
+	tm.Reset(20 * units.Millisecond) // replaces the first arming
+	s.Run()
+	if fires != 1 {
+		t.Fatalf("fires = %d, want 1", fires)
+	}
+	if s.Now() != units.Time(20*units.Millisecond) {
+		t.Fatalf("fired at %v, want 20ms", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New()
+	fires := 0
+	tm := s.NewTimer(func() { fires++ })
+	tm.Reset(units.Millisecond)
+	if !tm.Armed() {
+		t.Fatal("timer should be armed")
+	}
+	tm.Stop()
+	if tm.Armed() {
+		t.Fatal("timer should be disarmed")
+	}
+	s.Run()
+	if fires != 0 {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerRearmFromCallback(t *testing.T) {
+	s := New()
+	fires := 0
+	var tm *Timer
+	tm = s.NewTimer(func() {
+		fires++
+		if fires < 3 {
+			tm.Reset(units.Millisecond)
+		}
+	})
+	tm.Reset(units.Millisecond)
+	s.Run()
+	if fires != 3 {
+		t.Fatalf("fires = %d, want 3", fires)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	var ticks []units.Time
+	stop := s.Every(10*units.Millisecond, func() { ticks = append(ticks, s.Now()) })
+	s.At(units.Time(35*units.Millisecond), func() { stop() })
+	s.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %d, want 3 (at 10,20,30ms)", len(ticks))
+	}
+	for i, tk := range ticks {
+		want := units.Time(10*(i+1)) * units.Time(units.Millisecond)
+		if tk != want {
+			t.Fatalf("tick %d at %v, want %v", i, tk, want)
+		}
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.At(units.Time(i)*units.Time(units.Microsecond), func() {})
+	}
+	s.Run()
+	if s.Processed() != 5 {
+		t.Fatalf("processed = %d, want 5", s.Processed())
+	}
+}
+
+func TestHeapRandomizedOrdering(t *testing.T) {
+	// Property: for any insertion order, events pop in nondecreasing time.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		s := New()
+		var got []units.Time
+		n := 200
+		for i := 0; i < n; i++ {
+			tt := units.Time(rng.Intn(1000)) * units.Time(units.Microsecond)
+			s.At(tt, func() { got = append(got, s.Now()) })
+		}
+		s.Run()
+		if len(got) != n {
+			t.Fatalf("ran %d events, want %d", len(got), n)
+		}
+		for i := 1; i < n; i++ {
+			if got[i] < got[i-1] {
+				t.Fatalf("trial %d: time went backwards: %v < %v", trial, got[i], got[i-1])
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.At(units.Time(j%97)*units.Time(units.Microsecond), func() {})
+		}
+		s.Run()
+	}
+}

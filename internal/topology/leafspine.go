@@ -1,0 +1,196 @@
+package topology
+
+import (
+	"fmt"
+
+	"dynaq/internal/buffer"
+	"dynaq/internal/netsim"
+	"dynaq/internal/packet"
+	"dynaq/internal/sched"
+	"dynaq/internal/sim"
+	"dynaq/internal/transport"
+	"dynaq/internal/units"
+)
+
+// LeafSpineConfig describes the non-blocking two-tier fabric of §V-B2: every
+// leaf has HostsPerLeaf downlinks and one uplink to each spine, all at the
+// same rate (12 leaves × 12 spines × 12 hosts in the paper).
+type LeafSpineConfig struct {
+	// Leaves and Spines set the fabric size.
+	Leaves, Spines int
+	// HostsPerLeaf hosts hang off each leaf.
+	HostsPerLeaf int
+	// Rate is the speed of every link (the fabric is non-blocking).
+	Rate units.Rate
+	// Delay is the one-way propagation per link. A spine-crossing path is
+	// host→leaf→spine→leaf→host, so the base RTT is 8·Delay plus
+	// serialization.
+	Delay units.Duration
+	// Buffer is the per-port buffer size on every switch port.
+	Buffer units.ByteSize
+	// Queues is the number of service queues per switch port.
+	Queues int
+
+	Factories
+}
+
+// LeafSpine is an assembled two-tier fabric.
+type LeafSpine struct {
+	Sim       *sim.Simulator
+	Leaves    []*netsim.Switch
+	Spines    []*netsim.Switch
+	Hosts     []*netsim.Host
+	Endpoints []*transport.Endpoint
+
+	hostsPerLeaf int
+}
+
+// ecmpHash is a SplitMix64-style mixer: flows hash uniformly across spines
+// regardless of id assignment order.
+func ecmpHash(f packet.FlowID) uint64 {
+	x := uint64(f) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewLeafSpine wires the fabric. Host ids are global: host h sits on leaf
+// h / HostsPerLeaf.
+func NewLeafSpine(s *sim.Simulator, cfg LeafSpineConfig) (*LeafSpine, error) {
+	switch {
+	case cfg.Leaves < 2:
+		return nil, fmt.Errorf("topology: leaf-spine needs ≥2 leaves, got %d", cfg.Leaves)
+	case cfg.Spines < 1:
+		return nil, fmt.Errorf("topology: leaf-spine needs ≥1 spine, got %d", cfg.Spines)
+	case cfg.HostsPerLeaf < 1:
+		return nil, fmt.Errorf("topology: leaf-spine needs ≥1 host per leaf, got %d", cfg.HostsPerLeaf)
+	case cfg.NewScheduler == nil || cfg.NewAdmission == nil:
+		return nil, fmt.Errorf("topology: leaf-spine needs scheduler and admission factories")
+	}
+	ls := &LeafSpine{Sim: s, hostsPerLeaf: cfg.HostsPerLeaf}
+	nHosts := cfg.Leaves * cfg.HostsPerLeaf
+	for h := 0; h < nHosts; h++ {
+		ls.Hosts = append(ls.Hosts, netsim.NewHost(h, nil))
+	}
+
+	newPort := func(to netsim.Node) (*netsim.Port, error) {
+		schd, err := cfg.NewScheduler(cfg.Queues)
+		if err != nil {
+			return nil, err
+		}
+		adm, err := cfg.NewAdmission(cfg.Buffer, cfg.Queues)
+		if err != nil {
+			return nil, err
+		}
+		return netsim.NewPort(s, netsim.PortConfig{
+			Rate:      cfg.Rate,
+			Buffer:    cfg.Buffer,
+			Queues:    cfg.Queues,
+			Scheduler: schd,
+			Admission: adm,
+			Link:      netsim.NewLink(s, cfg.Delay, to),
+		})
+	}
+
+	// Spines first (their downlinks point at leaves, so build with
+	// placeholder targets resolved through a closure over ls.Leaves).
+	// Simplest is to create leaves with downlinks to hosts, then spines
+	// with downlinks to the now-existing leaves, then patch leaf uplinks —
+	// but links are immutable. Instead: leaves get host downlinks and
+	// spine uplinks in one pass, which requires spines to exist, while
+	// spine downlinks require leaves. Break the cycle with a relay node.
+	relays := make([]*relayNode, cfg.Spines)
+	for i := range relays {
+		relays[i] = &relayNode{}
+	}
+
+	// Leaves: ports [0, HostsPerLeaf) face hosts, [HostsPerLeaf,
+	// HostsPerLeaf+Spines) face spines (through relays).
+	for l := 0; l < cfg.Leaves; l++ {
+		l := l
+		ports := make([]*netsim.Port, 0, cfg.HostsPerLeaf+cfg.Spines)
+		for j := 0; j < cfg.HostsPerLeaf; j++ {
+			p, err := newPort(ls.Hosts[l*cfg.HostsPerLeaf+j])
+			if err != nil {
+				return nil, err
+			}
+			ports = append(ports, p)
+		}
+		for sp := 0; sp < cfg.Spines; sp++ {
+			p, err := newPort(relays[sp])
+			if err != nil {
+				return nil, err
+			}
+			ports = append(ports, p)
+		}
+		route := func(p *packet.Packet) int {
+			dstLeaf := p.Dst / cfg.HostsPerLeaf
+			if dstLeaf == l {
+				return p.Dst % cfg.HostsPerLeaf
+			}
+			return cfg.HostsPerLeaf + int(ecmpHash(p.Flow)%uint64(cfg.Spines))
+		}
+		sw, err := netsim.NewSwitch(fmt.Sprintf("leaf%d", l), ports, route)
+		if err != nil {
+			return nil, err
+		}
+		ls.Leaves = append(ls.Leaves, sw)
+	}
+
+	// Spines: port l faces leaf l.
+	for sp := 0; sp < cfg.Spines; sp++ {
+		ports := make([]*netsim.Port, 0, cfg.Leaves)
+		for l := 0; l < cfg.Leaves; l++ {
+			p, err := newPort(ls.Leaves[l])
+			if err != nil {
+				return nil, err
+			}
+			ports = append(ports, p)
+		}
+		route := func(p *packet.Packet) int { return p.Dst / cfg.HostsPerLeaf }
+		sw, err := netsim.NewSwitch(fmt.Sprintf("spine%d", sp), ports, route)
+		if err != nil {
+			return nil, err
+		}
+		ls.Spines = append(ls.Spines, sw)
+		relays[sp].dst = sw
+	}
+
+	// Host NICs point at their leaf.
+	for h, host := range ls.Hosts {
+		nic, err := netsim.NewPort(s, netsim.PortConfig{
+			Rate:      hostNICSpeedup * cfg.Rate,
+			Buffer:    hostNICBuffer,
+			Queues:    1,
+			Scheduler: sched.NewSPQ(),
+			Admission: buffer.NewBestEffort(),
+			Link:      netsim.NewLink(s, cfg.Delay, ls.Leaves[h/cfg.HostsPerLeaf]),
+		})
+		if err != nil {
+			return nil, err
+		}
+		host.SetEgress(nic)
+		ls.Endpoints = append(ls.Endpoints, transport.NewEndpoint(s, host))
+	}
+	return ls, nil
+}
+
+// HostPort returns the leaf downlink port facing host h — where receiver-
+// side congestion forms.
+func (ls *LeafSpine) HostPort(h int) *netsim.Port {
+	return ls.Leaves[h/ls.hostsPerLeaf].Port(h % ls.hostsPerLeaf)
+}
+
+// relayNode breaks the leaf↔spine construction cycle: a zero-delay
+// forwarder whose destination is patched after both tiers exist.
+type relayNode struct {
+	dst netsim.Node
+}
+
+// Receive implements netsim.Node.
+func (r *relayNode) Receive(p *packet.Packet) {
+	if r.dst == nil {
+		panic("topology: relay used before wiring completed")
+	}
+	r.dst.Receive(p)
+}

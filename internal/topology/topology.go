@@ -1,0 +1,135 @@
+// Package topology assembles the two network shapes the paper evaluates on:
+// a star (one switch emulating a compute rack, used by the testbed and the
+// static-flow simulations) and a non-blocking leaf-spine fabric (the
+// dynamic-flow simulations, §V-B2).
+package topology
+
+import (
+	"fmt"
+
+	"dynaq/internal/buffer"
+	"dynaq/internal/netsim"
+	"dynaq/internal/packet"
+	"dynaq/internal/sched"
+	"dynaq/internal/sim"
+	"dynaq/internal/transport"
+	"dynaq/internal/units"
+)
+
+// hostNICBuffer is the deep host egress buffer: hosts are window-limited,
+// so the NIC queue only ever holds in-flight windows; it must never drop.
+const hostNICBuffer = units.GB
+
+// hostNICSpeedup makes host NICs serialize faster than switch ports so the
+// standing queue always forms inside the managed switch buffer, never in
+// the dumb NIC FIFO. This mirrors both reference substrates: in ns-2 the
+// sender's access-link queue *is* the managed queue (there is no separate
+// NIC stage), and the paper's qdisc prototype shapes its egress to 99.5% of
+// NIC capacity for exactly this reason — "to avoid excessive buffering in
+// NIC drivers and NIC hardware" (§IV-B).
+const hostNICSpeedup = 4
+
+// Factories build per-port scheduler and buffer-management instances; every
+// port needs its own state.
+type Factories struct {
+	// NewScheduler returns a scheduler for a port with n service queues.
+	NewScheduler func(n int) (sched.Scheduler, error)
+	// NewAdmission returns the buffer-management scheme for a port with
+	// buffer b and n service queues.
+	NewAdmission func(b units.ByteSize, n int) (buffer.Admission, error)
+}
+
+// StarConfig describes a single-switch rack.
+type StarConfig struct {
+	// Hosts is the number of end hosts, each on its own switch port.
+	Hosts int
+	// Rate is the speed of every link.
+	Rate units.Rate
+	// Delay is the one-way propagation delay of each link. A data packet
+	// and its ACK cross four links, so the base RTT is 4·Delay plus
+	// serialization.
+	Delay units.Duration
+	// Buffer is the switch per-port buffer size B.
+	Buffer units.ByteSize
+	// Queues is the number of service queues per switch port.
+	Queues int
+
+	Factories
+}
+
+// Star is an assembled single-switch network.
+type Star struct {
+	Sim       *sim.Simulator
+	Switch    *netsim.Switch
+	Hosts     []*netsim.Host
+	Endpoints []*transport.Endpoint
+}
+
+// NewStar wires cfg.Hosts hosts to one switch.
+func NewStar(s *sim.Simulator, cfg StarConfig) (*Star, error) {
+	if cfg.Hosts < 2 {
+		return nil, fmt.Errorf("topology: star needs at least 2 hosts, got %d", cfg.Hosts)
+	}
+	if cfg.NewScheduler == nil || cfg.NewAdmission == nil {
+		return nil, fmt.Errorf("topology: star needs scheduler and admission factories")
+	}
+	st := &Star{Sim: s}
+
+	// Wiring order: hosts, then switch ports (links point at hosts), then
+	// the switch, then host NICs (links point back at the switch).
+	hosts := make([]*netsim.Host, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		hosts[i] = netsim.NewHost(i, nil)
+	}
+	ports := make([]*netsim.Port, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		schd, err := cfg.NewScheduler(cfg.Queues)
+		if err != nil {
+			return nil, fmt.Errorf("topology: port %d scheduler: %w", i, err)
+		}
+		adm, err := cfg.NewAdmission(cfg.Buffer, cfg.Queues)
+		if err != nil {
+			return nil, fmt.Errorf("topology: port %d admission: %w", i, err)
+		}
+		ports[i], err = netsim.NewPort(s, netsim.PortConfig{
+			Rate:      cfg.Rate,
+			Buffer:    cfg.Buffer,
+			Queues:    cfg.Queues,
+			Scheduler: schd,
+			Admission: adm,
+			Link:      netsim.NewLink(s, cfg.Delay, hosts[i]),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	route := func(p *packet.Packet) int { return p.Dst }
+	sw, err := netsim.NewSwitch("tor", ports, route)
+	if err != nil {
+		return nil, err
+	}
+	st.Switch = sw
+
+	st.Hosts = hosts
+	st.Endpoints = make([]*transport.Endpoint, cfg.Hosts)
+	for i := range hosts {
+		nic, err := netsim.NewPort(s, netsim.PortConfig{
+			Rate:      hostNICSpeedup * cfg.Rate,
+			Buffer:    hostNICBuffer,
+			Queues:    1,
+			Scheduler: sched.NewSPQ(),
+			Admission: buffer.NewBestEffort(),
+			Link:      netsim.NewLink(s, cfg.Delay, sw),
+		})
+		if err != nil {
+			return nil, err
+		}
+		hosts[i].SetEgress(nic)
+		st.Endpoints[i] = transport.NewEndpoint(s, hosts[i])
+	}
+	return st, nil
+}
+
+// Port returns the switch output port facing host i — the port whose
+// buffer-management behaviour the experiments measure.
+func (st *Star) Port(i int) *netsim.Port { return st.Switch.Port(i) }

@@ -1,0 +1,112 @@
+// Package trace records per-packet port events for debugging and
+// analysis: a bounded ring of events with kind filters, per-kind counters,
+// and a human-readable dump. Attach a Recorder to any port via
+// netsim.Port.SetEventHook.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"dynaq/internal/netsim"
+)
+
+// Recorder collects port events into a bounded ring buffer.
+type Recorder struct {
+	cap    int
+	events []netsim.PortEvent
+	start  int // ring start when full
+	full   bool
+	counts map[netsim.PortEventKind]int64
+	filter map[netsim.PortEventKind]bool // nil = record all kinds
+}
+
+// NewRecorder builds a recorder keeping the most recent capacity events.
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("trace: capacity %d must be positive", capacity)
+	}
+	return &Recorder{
+		cap:    capacity,
+		counts: make(map[netsim.PortEventKind]int64),
+	}, nil
+}
+
+// Only restricts recording (not counting) to the given kinds.
+func (r *Recorder) Only(kinds ...netsim.PortEventKind) *Recorder {
+	r.filter = make(map[netsim.PortEventKind]bool, len(kinds))
+	for _, k := range kinds {
+		r.filter[k] = true
+	}
+	return r
+}
+
+// Hook returns the function to install with Port.SetEventHook. One
+// recorder may serve several ports.
+func (r *Recorder) Hook() netsim.EventHook {
+	return func(ev netsim.PortEvent) { r.record(ev) }
+}
+
+// Attach installs the recorder on a port (replacing any previous hook).
+func (r *Recorder) Attach(p *netsim.Port) { p.SetEventHook(r.Hook()) }
+
+func (r *Recorder) record(ev netsim.PortEvent) {
+	r.counts[ev.Kind]++
+	if r.filter != nil && !r.filter[ev.Kind] {
+		return
+	}
+	if len(r.events) < r.cap {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.start] = ev
+	r.start = (r.start + 1) % r.cap
+	r.full = true
+}
+
+// Count returns how many events of the kind were seen (including ones the
+// ring has since discarded or the filter skipped).
+func (r *Recorder) Count(k netsim.PortEventKind) int64 { return r.counts[k] }
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []netsim.PortEvent {
+	if !r.full {
+		return append([]netsim.PortEvent(nil), r.events...)
+	}
+	out := make([]netsim.PortEvent, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Dump writes the retained events to w, one line each.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%-12s t=%-14v q=%d %v\n",
+			ev.Kind, ev.At, ev.Queue, ev.Pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders the per-kind counters.
+func (r *Recorder) Summary() string {
+	kinds := []netsim.PortEventKind{
+		netsim.EvEnqueue, netsim.EvTransmit, netsim.EvDrop,
+		netsim.EvMark, netsim.EvEvict, netsim.EvDequeueDrop,
+	}
+	out := ""
+	for _, k := range kinds {
+		if c := r.counts[k]; c > 0 {
+			out += fmt.Sprintf("%s=%d ", k, c)
+		}
+	}
+	if out == "" {
+		return "(no events)"
+	}
+	return out[:len(out)-1]
+}

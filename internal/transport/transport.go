@@ -1,0 +1,670 @@
+// Package transport implements the packet-level end-host transports the
+// paper evaluates under: NewReno TCP (the testbed's "TCP"), CUBIC, and
+// DCTCP. The state machines model what matters for queue dynamics — window
+// growth and backoff, fast retransmit/recovery, retransmission timeouts
+// with RTO_min, and per-packet ECN echo — not byte-exact Linux behaviour.
+package transport
+
+import (
+	"fmt"
+	"math"
+
+	"dynaq/internal/netsim"
+	"dynaq/internal/packet"
+	"dynaq/internal/sim"
+	"dynaq/internal/units"
+)
+
+// Wire-format constants.
+const (
+	// HeaderSize is the TCP/IP header overhead per segment.
+	HeaderSize units.ByteSize = 40
+	// AckSize is the wire size of a pure ACK.
+	AckSize units.ByteSize = 40
+	// DefaultMSS is the payload of a full segment on a 1500B MTU.
+	DefaultMSS units.ByteSize = 1460
+	// JumboMSS is the payload of a full segment on a 9000B jumbo frame
+	// (Fig. 11/12 enable jumbo frames on 100Gbps links).
+	JumboMSS units.ByteSize = 8960
+	// InitialWindow is the initial congestion window in segments
+	// (RFC 6928, as the paper configures).
+	InitialWindow = 10
+	// DefaultMinRTO matches the paper's testbed RTO_min.
+	DefaultMinRTO = 10 * units.Millisecond
+	// dupThresh is the classic three-duplicate-ACK fast-retransmit
+	// threshold.
+	dupThresh = 3
+	// maxRTOBackoff caps exponential backoff (RTO ≤ minRTO·2^max).
+	maxRTOBackoff = 10
+)
+
+// Controller is the congestion-control algorithm plugged into a Sender. A
+// controller mutates the sender's cwnd/ssthresh through the setters; the
+// sender owns loss detection, recovery bookkeeping, and retransmission.
+type Controller interface {
+	// Name identifies the algorithm in result tables.
+	Name() string
+	// OnAck processes an ACK that cumulatively acknowledged acked new
+	// bytes outside of fast recovery; echo reports the ECN congestion
+	// echo bit.
+	OnAck(s *Sender, acked units.ByteSize, echo bool)
+	// OnLoss runs at fast-retransmit time: multiplicative decrease. The
+	// sender then applies NewReno window inflation on top.
+	OnLoss(s *Sender)
+	// OnTimeout runs on retransmission timeout: collapse the window.
+	OnTimeout(s *Sender)
+}
+
+// FlowConfig describes one flow from a local endpoint to a destination
+// host.
+type FlowConfig struct {
+	// Flow is the unique flow id.
+	Flow packet.FlowID
+	// Dst is the destination host id.
+	Dst int
+	// Class is the service class stamped on data packets.
+	Class int
+	// ClassOf, when non-nil, overrides Class per sequence number; the
+	// PIAS classifier uses it to demote a flow's later bytes.
+	ClassOf func(seq int64) int
+	// Size is the flow length in payload bytes; 0 means unbounded
+	// (an iperf-style flow stopped explicitly with Stop).
+	Size units.ByteSize
+	// MSS is the segment payload size (DefaultMSS when zero).
+	MSS units.ByteSize
+	// Ctrl is the congestion controller (NewReno when nil).
+	Ctrl Controller
+	// ECN enables ECT marking on data packets (set for DCTCP).
+	ECN bool
+	// MinRTO is the RTO floor (DefaultMinRTO when zero).
+	MinRTO units.Duration
+	// OnComplete, when non-nil, fires once when the last payload byte is
+	// cumulatively acknowledged, with the flow completion time.
+	OnComplete func(fct units.Duration)
+}
+
+// Sender is one TCP-like flow source.
+type Sender struct {
+	sim  *sim.Simulator
+	emit func(*packet.Packet)
+
+	flow    packet.FlowID
+	src     int
+	dst     int
+	class   int
+	classOf func(seq int64) int
+
+	mss  units.ByteSize
+	size int64 // flow length in payload bytes; MaxInt64 when unbounded
+	ecn  bool
+	ctrl Controller
+
+	cwnd     float64 // congestion window, bytes
+	ssthresh float64
+	una      int64 // lowest unacknowledged byte
+	nxt      int64 // next byte to send
+
+	dupacks    int
+	inRecovery bool
+	recover    int64 // recovery ends when una passes this
+
+	rto      units.Duration
+	minRTO   units.Duration
+	backoff  uint
+	rtoTimer *sim.Timer
+	srtt     units.Duration
+	rttvar   units.Duration
+	hasSRTT  bool
+
+	// Karn-style single outstanding RTT sample.
+	sampleSeq  int64 // -1 when no sample outstanding
+	sampleTime units.Time
+
+	started    units.Time
+	done       bool
+	onComplete func(fct units.Duration)
+
+	stats SenderStats
+}
+
+// SenderStats counts sender-side events.
+type SenderStats struct {
+	SentPackets  int64
+	SentBytes    units.ByteSize
+	Retransmits  int64
+	Timeouts     int64
+	FastRecovers int64
+	EchoedAcks   int64
+}
+
+func newSender(s *sim.Simulator, src int, emit func(*packet.Packet), cfg FlowConfig) (*Sender, error) {
+	if cfg.Dst == src {
+		return nil, fmt.Errorf("transport: flow %d is a self-loop at host %d", cfg.Flow, src)
+	}
+	if cfg.Size < 0 {
+		return nil, fmt.Errorf("transport: flow %d has negative size %d", cfg.Flow, cfg.Size)
+	}
+	mss := cfg.MSS
+	if mss == 0 {
+		mss = DefaultMSS
+	}
+	if mss <= 0 {
+		return nil, fmt.Errorf("transport: flow %d has invalid MSS %d", cfg.Flow, cfg.MSS)
+	}
+	ctrl := cfg.Ctrl
+	if ctrl == nil {
+		ctrl = NewReno()
+	}
+	minRTO := cfg.MinRTO
+	if minRTO == 0 {
+		minRTO = DefaultMinRTO
+	}
+	size := int64(cfg.Size)
+	if size == 0 {
+		size = math.MaxInt64
+	}
+	snd := &Sender{
+		sim:        s,
+		emit:       emit,
+		flow:       cfg.Flow,
+		src:        src,
+		dst:        cfg.Dst,
+		class:      cfg.Class,
+		classOf:    cfg.ClassOf,
+		mss:        mss,
+		size:       size,
+		ecn:        cfg.ECN,
+		ctrl:       ctrl,
+		cwnd:       float64(InitialWindow) * float64(mss),
+		ssthresh:   math.MaxFloat64,
+		rto:        minRTO,
+		minRTO:     minRTO,
+		sampleSeq:  -1,
+		started:    s.Now(),
+		onComplete: cfg.OnComplete,
+	}
+	snd.rtoTimer = s.NewTimer(snd.onTimeout)
+	return snd, nil
+}
+
+// Flow returns the flow id.
+func (s *Sender) Flow() packet.FlowID { return s.flow }
+
+// Done reports whether the flow has completed (or was stopped and drained).
+func (s *Sender) Done() bool { return s.done }
+
+// Cwnd returns the congestion window in bytes.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// SetCwnd lets a Controller adjust the window; it enforces the one-MSS
+// floor.
+func (s *Sender) SetCwnd(w float64) {
+	if w < float64(s.mss) {
+		w = float64(s.mss)
+	}
+	s.cwnd = w
+}
+
+// Ssthresh returns the slow-start threshold in bytes.
+func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+
+// SetSsthresh lets a Controller adjust ssthresh; it enforces the two-MSS
+// floor (RFC 5681).
+func (s *Sender) SetSsthresh(v float64) {
+	if v < 2*float64(s.mss) {
+		v = 2 * float64(s.mss)
+	}
+	s.ssthresh = v
+}
+
+// MSS returns the segment payload size.
+func (s *Sender) MSS() units.ByteSize { return s.mss }
+
+// Una returns the lowest unacknowledged byte (the cumulative ACK point).
+func (s *Sender) Una() int64 { return s.una }
+
+// Nxt returns the next byte to be sent.
+func (s *Sender) Nxt() int64 { return s.nxt }
+
+// FlightSize returns the outstanding bytes.
+func (s *Sender) FlightSize() units.ByteSize { return units.ByteSize(s.nxt - s.una) }
+
+// Stats returns a snapshot of the sender counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() units.Duration { return s.srtt }
+
+// Now exposes the simulated clock to controllers.
+func (s *Sender) Now() units.Time { return s.sim.Now() }
+
+// start begins transmission.
+func (s *Sender) start() { s.trySend() }
+
+// Stop ends an unbounded flow: no new data is sent; in-flight data still
+// drains (retransmissions included). Completion fires when the last sent
+// byte is acknowledged.
+func (s *Sender) Stop() {
+	if s.done {
+		return
+	}
+	s.size = s.nxt
+	if s.una >= s.size {
+		s.complete()
+	}
+}
+
+func (s *Sender) classFor(seq int64) int {
+	if s.classOf != nil {
+		return s.classOf(seq)
+	}
+	return s.class
+}
+
+func (s *Sender) trySend() {
+	if s.done {
+		return
+	}
+	wnd := int64(s.cwnd)
+	if wnd < int64(s.mss) {
+		wnd = int64(s.mss)
+	}
+	for s.nxt < s.size {
+		payload := int64(s.mss)
+		if rest := s.size - s.nxt; rest < payload {
+			payload = rest
+		}
+		if s.nxt-s.una+payload > wnd {
+			break
+		}
+		s.transmit(s.nxt, units.ByteSize(payload), false)
+		s.nxt += payload
+	}
+}
+
+func (s *Sender) transmit(seq int64, payload units.ByteSize, isRtx bool) {
+	p := &packet.Packet{
+		Kind:    packet.Data,
+		Flow:    s.flow,
+		Src:     s.src,
+		Dst:     s.dst,
+		Seq:     seq,
+		Payload: payload,
+		Size:    payload + HeaderSize,
+		Class:   s.classFor(seq),
+		SentAt:  s.sim.Now(),
+	}
+	if s.ecn {
+		p.ECN = packet.ECT
+	}
+	if isRtx {
+		s.stats.Retransmits++
+		if s.sampleSeq == seq {
+			s.sampleSeq = -1 // Karn: never time a retransmitted segment
+		}
+	} else if s.sampleSeq < 0 {
+		s.sampleSeq = seq
+		s.sampleTime = s.sim.Now()
+	}
+	s.stats.SentPackets++
+	s.stats.SentBytes += p.Size
+	if !s.rtoTimer.Armed() {
+		s.rtoTimer.Reset(s.rto)
+	}
+	s.emit(p)
+}
+
+// onAck processes a cumulative acknowledgment.
+func (s *Sender) onAck(p *packet.Packet) {
+	if s.done {
+		return
+	}
+	if p.Echo {
+		s.stats.EchoedAcks++
+	}
+	switch {
+	case p.Ack > s.una:
+		s.onNewAck(p.Ack, p.Echo)
+	case p.Ack == s.una:
+		s.onDupAck()
+	}
+	// p.Ack < s.una: stale ACK, ignored.
+}
+
+func (s *Sender) onNewAck(ack int64, echo bool) {
+	acked := units.ByteSize(ack - s.una)
+	s.una = ack
+	s.backoff = 0
+	if s.sampleSeq >= 0 && ack > s.sampleSeq {
+		s.updateRTT(s.sim.Now().Sub(s.sampleTime))
+		s.sampleSeq = -1
+	}
+	if s.inRecovery {
+		if ack >= s.recover {
+			// Full ACK: leave recovery and deflate to ssthresh.
+			s.inRecovery = false
+			s.dupacks = 0
+			s.SetCwnd(s.ssthresh)
+		} else {
+			// NewReno partial ACK: the next hole is lost too.
+			// Retransmit it and deflate by the acked amount
+			// (plus one MSS of inflation).
+			s.retransmitUna()
+			s.SetCwnd(s.cwnd - float64(acked) + float64(s.mss))
+		}
+	} else {
+		s.dupacks = 0
+		s.ctrl.OnAck(s, acked, echo)
+	}
+	if s.una >= s.size {
+		s.complete()
+		return
+	}
+	s.rtoTimer.Reset(s.rto)
+	s.trySend()
+}
+
+func (s *Sender) onDupAck() {
+	if s.nxt == s.una {
+		return // nothing in flight: e.g. duplicate of the final ACK
+	}
+	if s.inRecovery {
+		// Window inflation: each dup ACK signals a departed segment.
+		s.cwnd += float64(s.mss)
+		s.trySend()
+		return
+	}
+	s.dupacks++
+	if s.dupacks < dupThresh {
+		return
+	}
+	// Fast retransmit.
+	s.inRecovery = true
+	s.recover = s.nxt
+	s.stats.FastRecovers++
+	s.ctrl.OnLoss(s)
+	s.SetCwnd(s.ssthresh + dupThresh*float64(s.mss))
+	s.retransmitUna()
+	s.rtoTimer.Reset(s.rto)
+}
+
+func (s *Sender) retransmitUna() {
+	payload := int64(s.mss)
+	if rest := s.size - s.una; rest < payload {
+		payload = rest
+	}
+	if payload <= 0 {
+		return
+	}
+	s.transmit(s.una, units.ByteSize(payload), true)
+}
+
+func (s *Sender) onTimeout() {
+	if s.done {
+		return
+	}
+	s.stats.Timeouts++
+	s.ctrl.OnTimeout(s)
+	s.inRecovery = false
+	s.dupacks = 0
+	s.sampleSeq = -1
+	if s.backoff < maxRTOBackoff {
+		s.backoff++
+	}
+	s.rto = s.baseRTO() << s.backoff
+	// Go-back-N: resume from the ACK point.
+	s.nxt = s.una
+	payload := int64(s.mss)
+	if rest := s.size - s.nxt; rest < payload {
+		payload = rest
+	}
+	if payload <= 0 {
+		// Stopped flow whose tail was already acknowledged.
+		s.complete()
+		return
+	}
+	s.transmit(s.nxt, units.ByteSize(payload), true)
+	s.nxt += payload
+	s.rtoTimer.Reset(s.rto)
+}
+
+func (s *Sender) baseRTO() units.Duration {
+	if !s.hasSRTT {
+		return s.minRTO
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.minRTO {
+		rto = s.minRTO
+	}
+	return rto
+}
+
+func (s *Sender) updateRTT(m units.Duration) {
+	if m <= 0 {
+		m = units.Microsecond
+	}
+	if !s.hasSRTT {
+		s.srtt = m
+		s.rttvar = m / 2
+		s.hasSRTT = true
+	} else {
+		// RFC 6298 with α=1/8, β=1/4.
+		diff := s.srtt - m
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + m) / 8
+	}
+	s.rto = s.baseRTO()
+}
+
+func (s *Sender) complete() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.rtoTimer.Stop()
+	if s.onComplete != nil {
+		s.onComplete(s.sim.Now().Sub(s.started))
+	}
+}
+
+// Receiver is the flow sink: cumulative ACKs with out-of-order buffering
+// and ECN echo. By default every data packet is acknowledged immediately
+// (per-packet echo, DCTCP-exact). With delayed ACKs enabled, in-order
+// unmarked segments coalesce up to ackEvery packets or the delayed-ACK
+// timer, while the RFC 8257 rules force an immediate ACK on any CE-state
+// change (so DCTCP's mark-fraction estimate stays exact) and on any
+// out-of-order arrival (so duplicate ACKs still drive fast retransmit).
+type Receiver struct {
+	sim    *sim.Simulator
+	me     int
+	emit   func(*packet.Packet)
+	flow   packet.FlowID
+	rcvNxt int64
+	ooo    map[int64]int64 // seq → end of buffered out-of-order segments
+	rcvd   units.ByteSize
+
+	ackEvery int            // coalescing factor; ≤1 = immediate ACKs
+	ackDelay units.Duration // flush deadline for a pending delayed ACK
+	ackTimer *sim.Timer
+	unacked  int
+	lastCE   bool // CE state of the most recent data packet
+	lastPkt  *packet.Packet
+	acksSent int64
+}
+
+func newReceiver(s *sim.Simulator, me int, emit func(*packet.Packet), flow packet.FlowID) *Receiver {
+	r := &Receiver{sim: s, me: me, emit: emit, flow: flow, ooo: make(map[int64]int64)}
+	r.ackTimer = s.NewTimer(func() { r.flush() })
+	return r
+}
+
+// setDelayedAcks enables ACK coalescing: at most every packets per ACK,
+// flushed after delay at the latest.
+func (r *Receiver) setDelayedAcks(every int, delay units.Duration) {
+	r.ackEvery = every
+	r.ackDelay = delay
+}
+
+// Received returns the payload bytes delivered in order so far.
+func (r *Receiver) Received() units.ByteSize { return units.ByteSize(r.rcvNxt) }
+
+// AcksSent counts the acknowledgments emitted (for coalescing tests).
+func (r *Receiver) AcksSent() int64 { return r.acksSent }
+
+func (r *Receiver) onData(p *packet.Packet) {
+	// Immediate-ACK conditions (RFC 5681): out-of-order arrivals (to feed
+	// duplicate ACKs into fast retransmit) and arrivals while a
+	// reassembly gap is pending (gap fills must unblock the sender now).
+	inOrder := p.Seq == r.rcvNxt && len(r.ooo) == 0
+	end := p.Seq + int64(p.Payload)
+	if p.Seq <= r.rcvNxt {
+		if end > r.rcvNxt {
+			r.rcvNxt = end
+		}
+		// Pull any now-contiguous out-of-order segments.
+		for {
+			e, ok := r.ooo[r.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt = e
+		}
+	} else if e, ok := r.ooo[p.Seq]; !ok || end > e {
+		r.ooo[p.Seq] = end
+	}
+	r.rcvd += p.Payload
+	ce := p.ECN == packet.CE
+	ceChanged := ce != r.lastCE && r.unacked > 0
+	r.lastCE = ce
+	r.lastPkt = p
+	if r.ackEvery <= 1 {
+		r.flush()
+		return
+	}
+	if ceChanged {
+		// RFC 8257: the CE state flipped — acknowledge the *previous*
+		// run first so its echo is not misattributed, then start a new
+		// run for this packet.
+		prevEcho := !ce
+		r.sendAck(p, prevEcho)
+		r.unacked = 0
+	}
+	r.unacked++
+	if !inOrder || r.unacked >= r.ackEvery {
+		r.flush()
+		return
+	}
+	if !r.ackTimer.Armed() {
+		r.ackTimer.Reset(r.ackDelay)
+	}
+}
+
+// flush acknowledges everything received so far with the current CE run's
+// echo state.
+func (r *Receiver) flush() {
+	if r.lastPkt == nil {
+		return
+	}
+	r.ackTimer.Stop()
+	r.unacked = 0
+	r.sendAck(r.lastPkt, r.lastCE)
+}
+
+func (r *Receiver) sendAck(ref *packet.Packet, echo bool) {
+	r.acksSent++
+	r.emit(&packet.Packet{
+		Kind:  packet.Ack,
+		Flow:  r.flow,
+		Src:   r.me,
+		Dst:   ref.Src,
+		Ack:   r.rcvNxt,
+		Size:  AckSize,
+		Class: ref.Class,
+		Echo:  echo,
+	})
+}
+
+// Endpoint is the transport stack of one host: it demultiplexes arriving
+// packets to flow senders/receivers and originates new flows.
+type Endpoint struct {
+	sim       *sim.Simulator
+	host      *netsim.Host
+	senders   map[packet.FlowID]*Sender
+	receivers map[packet.FlowID]*Receiver
+
+	// Delayed-ACK policy applied to receivers created from now on.
+	ackEvery int
+	ackDelay units.Duration
+}
+
+// NewEndpoint installs a transport stack on host.
+func NewEndpoint(s *sim.Simulator, host *netsim.Host) *Endpoint {
+	ep := &Endpoint{
+		sim:       s,
+		host:      host,
+		senders:   make(map[packet.FlowID]*Sender),
+		receivers: make(map[packet.FlowID]*Receiver),
+	}
+	host.SetHandler(ep.receive)
+	return ep
+}
+
+// Host returns the attached host.
+func (ep *Endpoint) Host() *netsim.Host { return ep.host }
+
+// SetDelayedAcks enables ACK coalescing on receivers this endpoint creates
+// afterwards: at most every data packets per ACK, flushed after delay.
+// Out-of-order arrivals and ECN CE-state changes still acknowledge
+// immediately (RFC 5681 / RFC 8257).
+func (ep *Endpoint) SetDelayedAcks(every int, delay units.Duration) error {
+	if every < 2 {
+		return fmt.Errorf("transport: delayed ACKs need every ≥ 2, got %d", every)
+	}
+	if delay <= 0 {
+		return fmt.Errorf("transport: delayed ACKs need a positive delay")
+	}
+	ep.ackEvery = every
+	ep.ackDelay = delay
+	return nil
+}
+
+// StartFlow originates a flow from this endpoint. The sender begins
+// transmitting immediately (connection setup is not modelled, as in the
+// paper's ns-2 simulations).
+func (ep *Endpoint) StartFlow(cfg FlowConfig) (*Sender, error) {
+	if _, ok := ep.senders[cfg.Flow]; ok {
+		return nil, fmt.Errorf("transport: duplicate flow id %d at host %d", cfg.Flow, ep.host.ID())
+	}
+	snd, err := newSender(ep.sim, ep.host.ID(), ep.host.Send, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ep.senders[cfg.Flow] = snd
+	snd.start()
+	return snd, nil
+}
+
+func (ep *Endpoint) receive(p *packet.Packet) {
+	switch p.Kind {
+	case packet.Data:
+		r, ok := ep.receivers[p.Flow]
+		if !ok {
+			r = newReceiver(ep.sim, ep.host.ID(), ep.host.Send, p.Flow)
+			if ep.ackEvery >= 2 {
+				r.setDelayedAcks(ep.ackEvery, ep.ackDelay)
+			}
+			ep.receivers[p.Flow] = r
+		}
+		r.onData(p)
+	case packet.Ack:
+		if snd, ok := ep.senders[p.Flow]; ok {
+			snd.onAck(p)
+		}
+		// ACKs for completed/unknown flows are silently dropped, like a
+		// closed socket answering with RST would end the exchange.
+	}
+}

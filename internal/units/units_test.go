@@ -1,0 +1,174 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDurationString(t *testing.T) {
+	tests := []struct {
+		give Duration
+		want string
+	}{
+		{0, "0s"},
+		{Second, "1s"},
+		{500 * Millisecond, "500ms"},
+		{84 * Microsecond, "84us"},
+		{800 * Nanosecond, "800ns"},
+		{7 * Picosecond, "7ps"},
+		{2 * Second, "2s"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	tests := []struct {
+		give ByteSize
+		want string
+	}{
+		{85 * KB, "85KB"},
+		{1 * MB, "1MB"},
+		{192 * KB, "192KB"},
+		{1500 * Byte, "1500B"},
+		{2 * GB, "2GB"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	tests := []struct {
+		give Rate
+		want string
+	}{
+		{Gbps, "1Gbps"},
+		{100 * Gbps, "100Gbps"},
+		{10 * Mbps, "10Mbps"},
+		{999, "999bps"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Rate(%d).String() = %q, want %q", int64(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestTransmit(t *testing.T) {
+	tests := []struct {
+		rate Rate
+		size ByteSize
+		want Duration
+	}{
+		// 1500B at 1Gbps = 12000 bits / 1e9 bps = 12 us.
+		{Gbps, 1500, 12 * Microsecond},
+		// 1500B at 100Gbps = 120 ns.
+		{100 * Gbps, 1500, 120 * Nanosecond},
+		// 1B at 100Gbps = 80 ps (the case that motivates picoseconds).
+		{100 * Gbps, 1, 80 * Picosecond},
+		// 9000B jumbo at 100Gbps = 720 ns.
+		{100 * Gbps, 9000, 720 * Nanosecond},
+		{10 * Gbps, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.rate.Transmit(tt.size); got != tt.want {
+			t.Errorf("%v.Transmit(%v) = %v, want %v", tt.rate, tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestTransmitLargeNoOverflow(t *testing.T) {
+	// 1GB at 1Gbps should be exactly 8 seconds, without int64 overflow in
+	// the intermediate product.
+	if got, want := Gbps.Transmit(GB), 8*Second; got != want {
+		t.Fatalf("Transmit(1GB@1Gbps) = %v, want %v", got, want)
+	}
+}
+
+func TestBDP(t *testing.T) {
+	tests := []struct {
+		c    Rate
+		rtt  Duration
+		want ByteSize
+	}{
+		// Paper testbed: 1Gbps, ~500us RTT -> 62.5KB.
+		{Gbps, 500 * Microsecond, 62500},
+		// Paper sim: 10Gbps, 84us RTT -> 105KB.
+		{10 * Gbps, 84 * Microsecond, 105000},
+		// Paper sim: 100Gbps, 40us -> 500KB.
+		{100 * Gbps, 40 * Microsecond, 500000},
+	}
+	for _, tt := range tests {
+		if got := BDP(tt.c, tt.rtt); got != tt.want {
+			t.Errorf("BDP(%v, %v) = %v, want %v", tt.c, tt.rtt, got, tt.want)
+		}
+	}
+}
+
+func TestBytesInInverseOfTransmit(t *testing.T) {
+	f := func(rawSize uint16, rateSel uint8) bool {
+		size := ByteSize(rawSize)
+		rates := []Rate{Gbps, 10 * Gbps, 40 * Gbps, 100 * Gbps}
+		r := rates[int(rateSel)%len(rates)]
+		d := r.Transmit(size)
+		got := r.BytesIn(d)
+		// BytesIn truncates, so it can be off by at most one byte below.
+		return got == size || got == size-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 125MB in one second is 1Gbps.
+	if got := Throughput(125*MB, Second); got != Gbps {
+		t.Errorf("Throughput(125MB, 1s) = %v, want 1Gbps", got)
+	}
+	if got := Throughput(125*MB, 0); got != 0 {
+		t.Errorf("Throughput(_, 0) = %v, want 0", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(500 * Microsecond)
+	if got := t1.Sub(t0); got != 500*Microsecond {
+		t.Errorf("Sub = %v, want 500us", got)
+	}
+	if got := t1.Seconds(); got != 0.0005 {
+		t.Errorf("Seconds = %v, want 0.0005", got)
+	}
+}
+
+func TestStdConversion(t *testing.T) {
+	d := FromStd(10 * time.Millisecond)
+	if d != 10*Millisecond {
+		t.Fatalf("FromStd = %v, want 10ms", d)
+	}
+	if d.Std() != 10*time.Millisecond {
+		t.Fatalf("Std = %v, want 10ms", d.Std())
+	}
+}
+
+func TestSecondsConstructor(t *testing.T) {
+	if got := Seconds(0.5); got != 500*Millisecond {
+		t.Errorf("Seconds(0.5) = %v, want 500ms", got)
+	}
+	if got := Seconds(1e-6); got != Microsecond {
+		t.Errorf("Seconds(1e-6) = %v, want 1us", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := (100 * Microsecond).Scale(1.5); got != 150*Microsecond {
+		t.Errorf("Scale(1.5) = %v, want 150us", got)
+	}
+}

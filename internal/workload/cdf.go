@@ -1,0 +1,194 @@
+// Package workload generates the traffic the paper evaluates with: flow
+// sizes drawn from empirical CDFs of four production workloads (web search
+// [DCTCP], data mining [VL2], cache and hadoop [Facebook]) and Poisson flow
+// arrivals targeted at a fraction of the bottleneck capacity.
+//
+// The exact production traces are proprietary; the CDFs embedded here are
+// piecewise-linear approximations of the published distributions,
+// preserving the properties the experiments depend on: heavy tails, ~50%
+// tiny flows, and most bytes in multi-megabyte flows (see DESIGN.md's
+// substitution table).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dynaq/internal/units"
+)
+
+// Point is one knot of an empirical CDF: P(flow size ≤ Size) = Prob.
+type Point struct {
+	Size units.ByteSize
+	Prob float64
+}
+
+// CDF is a piecewise-linear empirical flow-size distribution.
+type CDF struct {
+	name   string
+	points []Point
+}
+
+// NewCDF validates knots (strictly increasing sizes, nondecreasing
+// probabilities ending at 1) and builds a distribution. An implicit (0, 0)
+// origin precedes the first knot.
+func NewCDF(name string, points []Point) (*CDF, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("workload: CDF %q needs at least one point", name)
+	}
+	prevSize, prevProb := units.ByteSize(0), 0.0
+	for i, p := range points {
+		if p.Size <= prevSize {
+			return nil, fmt.Errorf("workload: CDF %q point %d: size %d not increasing", name, i, p.Size)
+		}
+		if p.Prob < prevProb || p.Prob > 1 {
+			return nil, fmt.Errorf("workload: CDF %q point %d: prob %v invalid", name, i, p.Prob)
+		}
+		prevSize, prevProb = p.Size, p.Prob
+	}
+	if points[len(points)-1].Prob != 1 {
+		return nil, fmt.Errorf("workload: CDF %q must end at probability 1", name)
+	}
+	return &CDF{name: name, points: append([]Point(nil), points...)}, nil
+}
+
+// mustCDF is NewCDF for the package's embedded distributions.
+func mustCDF(name string, points []Point) *CDF {
+	c, err := NewCDF(name, points)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the workload name.
+func (c *CDF) Name() string { return c.name }
+
+// Sample draws a flow size by inverse-transform sampling with linear
+// interpolation between knots. Sizes are at least one byte.
+func (c *CDF) Sample(rng *rand.Rand) units.ByteSize {
+	u := rng.Float64()
+	i := sort.Search(len(c.points), func(i int) bool { return c.points[i].Prob >= u })
+	if i == len(c.points) {
+		i = len(c.points) - 1
+	}
+	lowSize, lowProb := units.ByteSize(0), 0.0
+	if i > 0 {
+		lowSize, lowProb = c.points[i-1].Size, c.points[i-1].Prob
+	}
+	hi := c.points[i]
+	if hi.Prob == lowProb {
+		return max(hi.Size, 1)
+	}
+	frac := (u - lowProb) / (hi.Prob - lowProb)
+	size := units.ByteSize(float64(lowSize) + frac*float64(hi.Size-lowSize))
+	return max(size, 1)
+}
+
+// Mean returns the distribution's analytic mean: Σ segment-midpoint·mass
+// over the piecewise-linear segments.
+func (c *CDF) Mean() units.ByteSize {
+	var mean float64
+	lowSize, lowProb := units.ByteSize(0), 0.0
+	for _, p := range c.points {
+		mass := p.Prob - lowProb
+		mid := (float64(lowSize) + float64(p.Size)) / 2
+		mean += mass * mid
+		lowSize, lowProb = p.Size, p.Prob
+	}
+	return units.ByteSize(mean)
+}
+
+func max(a, b units.ByteSize) units.ByteSize {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// The four production workloads of Figure 2. Probabilities and sizes
+// approximate the published CDF shapes.
+var (
+	// webSearch follows the DCTCP paper's web-search workload: flows of a
+	// few KB to tens of MB, mean ≈ 1.6MB, with the least-skewed byte
+	// distribution of the four (which is what makes it the stress test —
+	// many concurrent medium flows share the bottleneck).
+	webSearch = mustCDF("websearch", []Point{
+		{6 * units.KB, 0.15},
+		{13 * units.KB, 0.20},
+		{19 * units.KB, 0.30},
+		{33 * units.KB, 0.40},
+		{53 * units.KB, 0.53},
+		{133 * units.KB, 0.60},
+		{667 * units.KB, 0.70},
+		{1333 * units.KB, 0.80},
+		{3333 * units.KB, 0.90},
+		{6667 * units.KB, 0.97},
+		{20 * units.MB, 1.00},
+	})
+
+	// dataMining follows VL2: "roughly 50% of flows are 1KB while 90% of
+	// bytes are from flows larger than 100MB" (§V of the DynaQ paper).
+	dataMining = mustCDF("datamining", []Point{
+		{1 * units.KB, 0.50},
+		{2 * units.KB, 0.60},
+		{5 * units.KB, 0.70},
+		{100 * units.KB, 0.80},
+		{1 * units.MB, 0.90},
+		{10 * units.MB, 0.95},
+		{100 * units.MB, 0.98},
+		{1 * units.GB, 1.00},
+	})
+
+	// cache follows Facebook's cache-follower traffic: dominated by small
+	// request/response pairs with a medium tail.
+	cache = mustCDF("cache", []Point{
+		{330 * units.Byte, 0.30},
+		{575 * units.Byte, 0.50},
+		{1 * units.KB, 0.60},
+		{3 * units.KB, 0.70},
+		{10 * units.KB, 0.80},
+		{100 * units.KB, 0.90},
+		{500 * units.KB, 0.97},
+		{10 * units.MB, 1.00},
+	})
+
+	// hadoop follows Facebook's hadoop traffic: bimodal — tiny control
+	// flows and large shuffle transfers.
+	hadoop = mustCDF("hadoop", []Point{
+		{180 * units.Byte, 0.30},
+		{360 * units.Byte, 0.50},
+		{1 * units.KB, 0.60},
+		{10 * units.KB, 0.70},
+		{100 * units.KB, 0.80},
+		{1 * units.MB, 0.90},
+		{30 * units.MB, 0.98},
+		{300 * units.MB, 1.00},
+	})
+)
+
+// WebSearch returns the web-search workload [DCTCP, SIGCOMM'10].
+func WebSearch() *CDF { return webSearch }
+
+// DataMining returns the data-mining workload [VL2, SIGCOMM'09].
+func DataMining() *CDF { return dataMining }
+
+// Cache returns the cache workload [Facebook, SIGCOMM'15].
+func Cache() *CDF { return cache }
+
+// Hadoop returns the hadoop workload [Facebook, SIGCOMM'15].
+func Hadoop() *CDF { return hadoop }
+
+// All returns the four workloads in Figure 2 order.
+func All() []*CDF { return []*CDF{webSearch, dataMining, cache, hadoop} }
+
+// ByName looks a workload up by its name.
+func ByName(name string) (*CDF, error) {
+	for _, c := range All() {
+		if c.name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q", name)
+}

@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+// FuzzCDFSample checks that arbitrary valid CDFs always sample within
+// their support and never return non-positive sizes.
+func FuzzCDFSample(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint16(1000))
+	f.Add(int64(9), uint16(1), uint16(2))
+	f.Fuzz(func(t *testing.T, seed int64, aRaw, bRaw uint16) {
+		a := units.ByteSize(aRaw) + 1
+		b := a + units.ByteSize(bRaw) + 1
+		cdf, err := NewCDF("fuzz", []Point{{a, 0.5}, {b, 1.0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			s := cdf.Sample(rng)
+			if s < 1 || s > b {
+				t.Fatalf("sample %d outside (0, %d]", s, b)
+			}
+		}
+		if m := cdf.Mean(); m <= 0 || m > b {
+			t.Fatalf("mean %d outside support", m)
+		}
+	})
+}

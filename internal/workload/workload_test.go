@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynaq/internal/units"
+)
+
+func TestNewCDFValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		points  []Point
+		wantErr bool
+	}{
+		{name: "empty", wantErr: true},
+		{name: "non-increasing size", points: []Point{{100, 0.5}, {100, 1}}, wantErr: true},
+		{name: "decreasing prob", points: []Point{{100, 0.8}, {200, 0.5}}, wantErr: true},
+		{name: "prob beyond 1", points: []Point{{100, 1.5}}, wantErr: true},
+		{name: "not ending at 1", points: []Point{{100, 0.9}}, wantErr: true},
+		{name: "valid", points: []Point{{100, 0.5}, {1000, 1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewCDF(tt.name, tt.points)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEmbeddedCDFsAreValid(t *testing.T) {
+	if len(All()) != 4 {
+		t.Fatalf("All() = %d workloads, want 4 (Figure 2)", len(All()))
+	}
+	for _, c := range All() {
+		if c.Mean() <= 0 {
+			t.Errorf("%s: non-positive mean", c.Name())
+		}
+		got, err := ByName(c.Name())
+		if err != nil || got != c {
+			t.Errorf("ByName(%q) = %v, %v", c.Name(), got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestSampleMatchesCDFQuantiles(t *testing.T) {
+	// Property: empirical quantiles of many samples must track the knots.
+	for _, c := range All() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			n := 200000
+			var atOrBelow [16]int
+			knots := c.points
+			for i := 0; i < n; i++ {
+				s := c.Sample(rng)
+				for k, p := range knots {
+					if s <= p.Size {
+						atOrBelow[k]++
+					}
+				}
+			}
+			for k, p := range knots {
+				got := float64(atOrBelow[k]) / float64(n)
+				if math.Abs(got-p.Prob) > 0.01 {
+					t.Errorf("P(size ≤ %v) = %.3f, want %.3f", p.Size, got, p.Prob)
+				}
+			}
+		})
+	}
+}
+
+func TestSampleMeanMatchesAnalyticMean(t *testing.T) {
+	for _, c := range All() {
+		rng := rand.New(rand.NewSource(7))
+		n := 300000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(c.Sample(rng))
+		}
+		got := sum / float64(n)
+		want := float64(c.Mean())
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s: sample mean %.0f, analytic %.0f", c.Name(), got, want)
+		}
+	}
+}
+
+func TestDataMiningMatchesPaperQuote(t *testing.T) {
+	// §V: "roughly 50% of flows are 1KB while 90% of bytes are from flows
+	// larger than 100MB" — check 50% ≤ 1KB exactly and byte skew loosely.
+	c := DataMining()
+	rng := rand.New(rand.NewSource(3))
+	n := 300000
+	small, totalBytes, hugeBytes := 0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		s := c.Sample(rng)
+		if s <= units.KB {
+			small++
+		}
+		totalBytes += float64(s)
+		if s > 100*units.MB {
+			hugeBytes += float64(s)
+		}
+	}
+	if frac := float64(small) / float64(n); math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("P(≤1KB) = %.3f, want 0.5", frac)
+	}
+	if skew := hugeBytes / totalBytes; skew < 0.7 {
+		t.Errorf("bytes from >100MB flows = %.2f, want ≥ 0.7 (heavy tail)", skew)
+	}
+}
+
+func TestSampleNeverZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			if Cache().Sample(rng) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowGenValidation(t *testing.T) {
+	if _, err := NewFlowGen(1, nil, units.Gbps, 0.5); err == nil {
+		t.Error("nil CDF should fail")
+	}
+	if _, err := NewFlowGen(1, WebSearch(), 0, 0.5); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := NewFlowGen(1, WebSearch(), units.Gbps, 0); err == nil {
+		t.Error("zero load should fail")
+	}
+	if _, err := NewFlowGen(1, WebSearch(), units.Gbps, 1.5); err == nil {
+		t.Error("overload should fail")
+	}
+}
+
+func TestFlowGenLambdaLoadsCapacity(t *testing.T) {
+	g, err := NewFlowGen(1, WebSearch(), units.Gbps, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ · E[size] · 8 must equal load · C.
+	offered := g.Lambda() * float64(WebSearch().Mean()) * 8
+	want := 0.6 * 1e9
+	if math.Abs(offered-want)/want > 1e-9 {
+		t.Fatalf("offered load = %.0f bits/s, want %.0f", offered, want)
+	}
+}
+
+func TestFlowGenInterarrivalIsExponential(t *testing.T) {
+	g, err := NewFlowGen(42, WebSearch(), units.Gbps, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := g.NextInterarrival()
+		if d < 0 {
+			t.Fatal("negative inter-arrival")
+		}
+		sum += d.Seconds()
+	}
+	gotMean := sum / float64(n)
+	wantMean := 1 / g.Lambda()
+	if math.Abs(gotMean-wantMean)/wantMean > 0.02 {
+		t.Fatalf("mean gap = %v s, want %v s", gotMean, wantMean)
+	}
+}
+
+func TestFlowGenDeterministicBySeed(t *testing.T) {
+	a, _ := NewFlowGen(9, Hadoop(), units.Gbps, 0.4)
+	b, _ := NewFlowGen(9, Hadoop(), units.Gbps, 0.4)
+	for i := 0; i < 100; i++ {
+		if a.NextSize() != b.NextSize() || a.NextInterarrival() != b.NextInterarrival() {
+			t.Fatal("same seed must generate identical traffic")
+		}
+	}
+}
