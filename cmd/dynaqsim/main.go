@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"dynaq/internal/experiment"
+	"dynaq/internal/faults"
 	"dynaq/internal/metrics"
 	"dynaq/internal/scenario"
 	"dynaq/internal/units"
@@ -38,6 +40,8 @@ func main() {
 		sample   = flag.Float64("sample", 0.5, "throughput sampling interval in seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
 		traceN   = flag.Int("trace", 0, "dump the last N drop/mark/evict events at the bottleneck")
+		faultsF  = flag.String("faults", "", "JSON file with a fault schedule (array of fault specs; targets tor:<i>, host<i>:nic, group tor)")
+		guard    = flag.Bool("guard", false, "arm the invariant guardrail on every switch port")
 		config   = flag.String("config", "", "run a JSON scenario file instead of flags (see internal/scenario)")
 	)
 	flag.Parse()
@@ -94,6 +98,19 @@ func main() {
 		Seed:        *seed,
 	}
 	cfg.TraceEvents = *traceN
+	cfg.Guard = *guard
+	if *faultsF != "" {
+		data, err := os.ReadFile(*faultsF)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := json.Unmarshal(data, &cfg.Faults); err != nil {
+			fatalf("-faults %s: %v", *faultsF, err)
+		}
+		if err := faults.Validate(cfg.Faults); err != nil {
+			fatalf("-faults %s: %v", *faultsF, err)
+		}
+	}
 	res, err := experiment.RunStatic(cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -128,6 +145,29 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	if len(res.FaultTimeline) > 0 {
+		fmt.Printf("\nfault timeline (%d transitions, %d lost, %d corrupted on links):\n",
+			len(res.FaultTimeline), res.LinkLost, res.LinkCorrupted)
+		for _, tr := range res.FaultTimeline {
+			fmt.Printf("  %s\n", tr)
+		}
+	}
+	if *guard {
+		printViolations(res.ViolationTotal, res.Violations)
+	}
+}
+
+// printViolations reports the guardrail outcome: silence is not a pass, so
+// the clean case is stated explicitly.
+func printViolations(total int64, recorded []faults.Violation) {
+	if total == 0 {
+		fmt.Printf("\nguardrail: no invariant violations\n")
+		return
+	}
+	fmt.Printf("\nguardrail: %d violations (showing %d):\n", total, len(recorded))
+	for _, v := range recorded {
+		fmt.Printf("  %s\n", v)
+	}
 }
 
 // runConfig executes a JSON scenario document.
@@ -158,6 +198,7 @@ func runConfig(path string) {
 			}
 			fmt.Printf("  aggregate=%.1fMbps\n", float64(last.Aggregate)/1e6)
 		}
+		reportFaults(r.Guarded(), len(st.FaultTimeline), st.LinkLost, st.LinkCorrupted, st.ViolationTotal, st.Violations)
 	case res.Dynamic != nil:
 		d := res.Dynamic
 		fmt.Printf("%s scenario (%s, load %.0f%%): %d/%d flows\n",
@@ -167,6 +208,19 @@ func runConfig(path string) {
 			d.FCT.Avg(metrics.SmallFlows).Seconds()*1e3,
 			d.FCT.Avg(metrics.LargeFlows).Seconds()*1e3,
 			d.FCT.Percentile(metrics.SmallFlows, 0.99).Seconds()*1e3)
+		reportFaults(r.Guarded(), len(d.FaultTimeline), d.LinkLost, d.LinkCorrupted, d.ViolationTotal, d.Violations)
+	}
+}
+
+// reportFaults summarises a scenario run's fault activity and guardrail
+// verdict (quiet when the scenario scheduled neither).
+func reportFaults(guarded bool, transitions int, lost, corrupted, violationTotal int64, recorded []faults.Violation) {
+	if transitions > 0 {
+		fmt.Printf("faults: %d transitions, %d lost, %d corrupted on links\n",
+			transitions, lost, corrupted)
+	}
+	if guarded {
+		printViolations(violationTotal, recorded)
 	}
 }
 

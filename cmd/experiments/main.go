@@ -51,6 +51,7 @@ var figures = []struct {
 	{"ext-zoo", "transport zoo: reno/cubic/dctcp/timely queues under one scheme", wrap(experiment.ExtTransportZoo)},
 	{"ext-closedloop", "Fig 8 with the §V-A2 request/response application (closed loop)", wrap(experiment.ExtClosedLoop)},
 	{"ext-dynaq-ecn", "DynaQ drop mode (TCP) vs ECN mode (PMSB marking, DCTCP) (§III-B3)", wrap(experiment.ExtDynaQECNMode)},
+	{"ext-faults", "scripted faults: flapping NIC/spine + lossy optics, guardrail armed", wrap(experiment.ExtFaults)},
 	{"2", "workload flow-size distributions (Figure 2)", wrap(experiment.Fig2)},
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dynaq/internal/faults"
 	"dynaq/internal/metrics"
+	"dynaq/internal/netsim"
 	"dynaq/internal/packet"
 	"dynaq/internal/pias"
 	"dynaq/internal/sim"
@@ -64,6 +66,19 @@ type DynamicConfig struct {
 	// MaxRuntime bounds the simulated time after the last arrival to
 	// drain stragglers (default 10s of simulated time).
 	MaxRuntime units.Duration
+
+	// Faults is the scripted fault schedule, resolved against the
+	// topology's fault registry (see topology.Star.FaultRegistry and
+	// topology.LeafSpine.FaultRegistry for the link names).
+	Faults []faults.Spec
+	// Guard wires the invariant guardrail into every switch port.
+	Guard bool
+	// FailureAware enables failure-aware ECMP on the leaf-spine (ignored
+	// on the star, which has a single path per destination).
+	FailureAware bool
+	// DetectionDelay is the failure-aware routing convergence time
+	// (default 1ms when FailureAware is set).
+	DetectionDelay units.Duration
 }
 
 // DynamicResult is the outcome of an FCT run.
@@ -73,6 +88,16 @@ type DynamicResult struct {
 	FCT       *metrics.FCTCollector
 	Generated int
 	Completed int
+
+	// FaultTimeline is the applied fault transitions (empty without Faults).
+	FaultTimeline []faults.Transition
+	// LinkLost / LinkCorrupted total the packets the faults blackholed or
+	// corrupted across every link of the topology.
+	LinkLost, LinkCorrupted int64
+	// Violations holds the recorded guardrail violations (Guard only);
+	// ViolationTotal counts all of them, recorded or not.
+	Violations     []faults.Violation
+	ViolationTotal int64
 }
 
 // RunDynamic executes an FCT scenario.
@@ -103,6 +128,9 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 	s := sim.New()
 	var endpoints []*transport.Endpoint
 	var hosts int
+	var reg *faults.Registry
+	var guardPorts []*netsim.Port
+	var guardLabels []string
 	switch cfg.Topo {
 	case TopoStar:
 		if cfg.Servers <= 0 {
@@ -124,6 +152,15 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 			return nil, err
 		}
 		endpoints = star.Endpoints
+		if len(cfg.Faults) > 0 {
+			reg = star.FaultRegistry()
+		}
+		if cfg.Guard {
+			for i := 0; i < hosts; i++ {
+				guardPorts = append(guardPorts, star.Port(i))
+				guardLabels = append(guardLabels, fmt.Sprintf("tor:%d", i))
+			}
+		}
 	case TopoLeafSpine:
 		if cfg.Leaves == 0 || cfg.Spines == 0 || cfg.HostsPerLeaf == 0 {
 			return nil, fmt.Errorf("experiment: leaf-spine needs leaves/spines/hostsPerLeaf")
@@ -133,21 +170,55 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 			cfg.Params.BaseRTT = 8 * cfg.Delay
 		}
 		ls, err := topology.NewLeafSpine(s, topology.LeafSpineConfig{
-			Leaves:       cfg.Leaves,
-			Spines:       cfg.Spines,
-			HostsPerLeaf: cfg.HostsPerLeaf,
-			Rate:         cfg.Rate,
-			Delay:        cfg.Delay,
-			Buffer:       cfg.Buffer,
-			Queues:       cfg.Queues,
-			Factories:    Factories(cfg.Scheme, SchedSPQDRR, cfg.Params, cfg.MTU),
+			Leaves:         cfg.Leaves,
+			Spines:         cfg.Spines,
+			HostsPerLeaf:   cfg.HostsPerLeaf,
+			Rate:           cfg.Rate,
+			Delay:          cfg.Delay,
+			Buffer:         cfg.Buffer,
+			Queues:         cfg.Queues,
+			FailureAware:   cfg.FailureAware,
+			DetectionDelay: cfg.DetectionDelay,
+			Factories:      Factories(cfg.Scheme, SchedSPQDRR, cfg.Params, cfg.MTU),
 		})
 		if err != nil {
 			return nil, err
 		}
 		endpoints = ls.Endpoints
+		if len(cfg.Faults) > 0 {
+			reg = ls.FaultRegistry()
+		}
+		if cfg.Guard {
+			for l, leaf := range ls.Leaves {
+				for i := 0; i < leaf.NumPorts(); i++ {
+					guardPorts = append(guardPorts, leaf.Port(i))
+					guardLabels = append(guardLabels, fmt.Sprintf("leaf%d:%d", l, i))
+				}
+			}
+			for sp, spine := range ls.Spines {
+				for i := 0; i < spine.NumPorts(); i++ {
+					guardPorts = append(guardPorts, spine.Port(i))
+					guardLabels = append(guardLabels, fmt.Sprintf("spine%d:%d", sp, i))
+				}
+			}
+		}
 	default:
 		return nil, fmt.Errorf("experiment: unknown topology %q", cfg.Topo)
+	}
+
+	var eng *faults.Engine
+	if reg != nil {
+		eng = faults.NewEngine(s, reg, cfg.Seed)
+		if err := eng.Schedule(cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
+	var guard *faults.Guardrail
+	if cfg.Guard {
+		guard = faults.NewGuardrail(32)
+		for i, p := range guardPorts {
+			guard.Watch(guardLabels[i], p)
+		}
 	}
 
 	classifier, err := pias.NewClassifier(cfg.Demotion, 0)
@@ -258,6 +329,15 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 	deadline := units.Time(cfg.MaxRuntime)
 	for res.Completed < cfg.Flows && s.Pending() > 0 && s.Now() < deadline {
 		s.Step()
+	}
+	if eng != nil {
+		res.FaultTimeline = eng.Timeline()
+		res.LinkLost, res.LinkCorrupted = reg.Totals()
+	}
+	if guard != nil {
+		guard.Recheck(s.Now())
+		res.Violations = guard.Violations()
+		res.ViolationTotal = guard.Total()
 	}
 	return res, nil
 }

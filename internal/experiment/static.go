@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dynaq/internal/faults"
 	"dynaq/internal/metrics"
 	"dynaq/internal/netsim"
 	"dynaq/internal/packet"
@@ -69,6 +70,14 @@ type StaticConfig struct {
 	// events at the bottleneck port into the result's Trace recorder.
 	TraceEvents int
 
+	// Faults is the scripted fault schedule, applied against the star's
+	// fault registry (targets "tor:<i>", "host<i>:nic", group "tor"); the
+	// timeline is a deterministic function of Seed.
+	Faults []faults.Spec
+	// Guard wires the invariant guardrail into every switch port,
+	// recording Σ T_i == B / T_i ≥ 0 / occupancy / pool violations.
+	Guard bool
+
 	MinRTO units.Duration
 	Seed   int64
 }
@@ -82,6 +91,16 @@ type StaticResult struct {
 	Drops int64
 	// Trace holds the bottleneck event recorder when TraceEvents was set.
 	Trace *trace.Recorder
+
+	// FaultTimeline is the applied fault transitions (empty without Faults).
+	FaultTimeline []faults.Transition
+	// LinkLost / LinkCorrupted total the packets the faults blackholed or
+	// corrupted across every link of the topology.
+	LinkLost, LinkCorrupted int64
+	// Violations holds the recorded guardrail violations (Guard only);
+	// ViolationTotal counts all of them, recorded or not.
+	Violations     []faults.Violation
+	ViolationTotal int64
 }
 
 // startJitterSpan spreads flow starts over the first milliseconds like
@@ -135,6 +154,15 @@ func RunStatic(cfg StaticConfig) (*StaticResult, error) {
 		return nil, err
 	}
 	receiver := nSenders
+	var eng *faults.Engine
+	var reg *faults.Registry
+	if len(cfg.Faults) > 0 {
+		reg = star.FaultRegistry()
+		eng = faults.NewEngine(s, reg, cfg.Seed)
+		if err := eng.Schedule(cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	var flowID packet.FlowID
@@ -189,6 +217,15 @@ func RunStatic(cfg StaticConfig) (*StaticResult, error) {
 		rec.Only(netsim.EvDrop, netsim.EvMark, netsim.EvEvict, netsim.EvDequeueDrop)
 		rec.Attach(port)
 	}
+	// Installed after the recorder: Attach replaces the port's hook, while
+	// Watch chains, so this order keeps both observers live.
+	var guard *faults.Guardrail
+	if cfg.Guard {
+		guard = faults.NewGuardrail(32)
+		for i := 0; i <= nSenders; i++ {
+			guard.Watch(fmt.Sprintf("tor:%d", i), star.Port(i))
+		}
+	}
 	ts := metrics.NewThroughputSampler(s, port, cfg.SampleEvery)
 	var qt *metrics.QueueTrace
 	if cfg.TraceQueues {
@@ -209,6 +246,15 @@ func RunStatic(cfg StaticConfig) (*StaticResult, error) {
 	}
 	if qt != nil {
 		res.QueueTrace = qt.Samples()
+	}
+	if eng != nil {
+		res.FaultTimeline = eng.Timeline()
+		res.LinkLost, res.LinkCorrupted = reg.Totals()
+	}
+	if guard != nil {
+		guard.Recheck(s.Now())
+		res.Violations = guard.Violations()
+		res.ViolationTotal = guard.Total()
 	}
 	return res, nil
 }

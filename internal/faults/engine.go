@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"dynaq/internal/netsim"
+	"dynaq/internal/sim"
+	"dynaq/internal/units"
+)
+
+// Engine arms a validated fault schedule on the discrete-event simulator.
+//
+// Determinism: every random draw is pinned at Schedule time. Flap jitter is
+// drawn from one generator seeded with the engine seed, consumed in spec
+// order (never inside event callbacks, where the interleaving of unrelated
+// events could reorder draws). Each link that gets a loss or corruption rate
+// receives its own variate source seeded from the engine seed and the
+// link's registered name, so adding a fault on one link never perturbs the
+// draws of another.
+type Engine struct {
+	sim  *sim.Simulator
+	reg  *Registry
+	seed int64
+
+	timeline []Transition
+	seeded   map[string]bool // links already given a per-link rand source
+}
+
+// NewEngine binds a registry to a simulator. The seed fixes the flap jitter
+// and all per-link loss/corruption variate streams.
+func NewEngine(s *sim.Simulator, reg *Registry, seed int64) *Engine {
+	return &Engine{sim: s, reg: reg, seed: seed, seeded: make(map[string]bool)}
+}
+
+// plan is one fully resolved fault action, computed before any event is
+// armed so a bad spec leaves the simulator untouched.
+type plan struct {
+	at     units.Time
+	target string
+	apply  func()
+	action string
+}
+
+// Schedule validates every spec, resolves every target, precomputes all
+// transitions (including jittered flap toggles), and arms them as simulator
+// events. On error nothing is armed.
+func (e *Engine) Schedule(specs []Spec) error {
+	if err := Validate(specs); err != nil {
+		return err
+	}
+	jitter := rand.New(rand.NewSource(e.seed))
+	var plans []plan
+	for i, s := range specs {
+		links, err := e.reg.Resolve(s.Target)
+		if err != nil {
+			return fmt.Errorf("spec %d: %w", i, err)
+		}
+		switch s.Kind {
+		case KindDown:
+			plans = append(plans, e.togglePlan(s, links, s.AtS, true))
+			if s.UntilS > 0 {
+				plans = append(plans, e.togglePlan(s, links, s.UntilS, false))
+			}
+		case KindUp:
+			plans = append(plans, e.togglePlan(s, links, s.AtS, false))
+		case KindFlap:
+			// All toggle instants are drawn now, in spec order, so the
+			// timeline is independent of event interleaving at run time.
+			down := true
+			for t := s.AtS; t < s.UntilS; t += s.PeriodS / 2 {
+				at := t
+				if s.JitterS > 0 && t > s.AtS {
+					at += (2*jitter.Float64() - 1) * s.JitterS
+				}
+				if at >= s.UntilS {
+					break
+				}
+				plans = append(plans, e.togglePlan(s, links, at, down))
+				down = !down
+			}
+			plans = append(plans, e.togglePlan(s, links, s.UntilS, false))
+		case KindLoss, KindCorrupt:
+			plans = append(plans, e.ratePlan(s, links, s.AtS, s.Rate))
+			if s.UntilS > 0 {
+				plans = append(plans, e.ratePlan(s, links, s.UntilS, 0))
+			}
+		}
+	}
+	sort.SliceStable(plans, func(a, b int) bool { return plans[a].at < plans[b].at })
+	for _, pl := range plans {
+		pl := pl
+		e.sim.At(pl.at, func() {
+			pl.apply()
+			e.timeline = append(e.timeline, Transition{At: pl.at, Target: pl.target, Action: pl.action})
+		})
+	}
+	return nil
+}
+
+func (e *Engine) togglePlan(s Spec, links []*netsim.Link, atS float64, down bool) plan {
+	action := "up"
+	if down {
+		action = "down"
+	}
+	return plan{
+		at:     units.Time(0).Add(units.Seconds(atS)),
+		target: s.Target,
+		action: action,
+		apply: func() {
+			for _, l := range links {
+				l.SetDown(down)
+			}
+		},
+	}
+}
+
+func (e *Engine) ratePlan(s Spec, links []*netsim.Link, atS, rate float64) plan {
+	// Variate sources are installed at schedule time, not fire time, so a
+	// link's draw stream is fixed before any packet can consult it.
+	if rate > 0 {
+		e.seedLinks(s.Target, links)
+	}
+	kind := s.Kind
+	action := fmt.Sprintf("%s=%v", kind, rate)
+	return plan{
+		at:     units.Time(0).Add(units.Seconds(atS)),
+		target: s.Target,
+		action: action,
+		apply: func() {
+			for _, l := range links {
+				if kind == KindLoss {
+					l.SetLossRate(rate)
+				} else {
+					l.SetCorruptRate(rate)
+				}
+			}
+		},
+	}
+}
+
+// seedLinks gives each link of a target its own deterministic variate
+// source, derived from the engine seed and the target name, once.
+func (e *Engine) seedLinks(target string, links []*netsim.Link) {
+	for i, l := range links {
+		key := fmt.Sprintf("%s/%d", target, i)
+		if e.seeded[key] {
+			continue
+		}
+		e.seeded[key] = true
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		src := rand.New(rand.NewSource(e.seed ^ int64(h.Sum64())))
+		l.SetRand(src.Float64)
+	}
+}
+
+// Timeline returns the transitions applied so far, in firing order. Two
+// runs of the same schedule and seed produce identical timelines.
+func (e *Engine) Timeline() []Transition {
+	return append([]Transition(nil), e.timeline...)
+}

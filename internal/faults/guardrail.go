@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"fmt"
+
+	"dynaq/internal/core"
+	"dynaq/internal/netsim"
+	"dynaq/internal/units"
+)
+
+// Violation is one failed runtime invariant check, with enough context to
+// reproduce it.
+type Violation struct {
+	At    units.Time
+	Port  string
+	Check string
+	Err   error
+}
+
+// String renders the violation for logs and CLI output.
+func (v Violation) String() string {
+	return fmt.Sprintf("%v %s [%s]: %v", v.At, v.Port, v.Check, v.Err)
+}
+
+// thresholdState is satisfied by the DynaQ-family admission schemes
+// (buffer.DynaQ, buffer.DynaQTofino), which expose their Algorithm-1 state.
+type thresholdState interface {
+	State() *core.State
+}
+
+// Guardrail audits DynaQ's accounting invariants on every port event while
+// faults churn the network: Σ T_i == B and T_i ≥ 0 (Algorithm 1's conserved
+// quantities), occupancy ≤ B, per-queue byte accounting, and shared-pool
+// reservations. Violations are recorded as structured records instead of
+// panicking, so an experiment under fault injection reports corruption
+// rather than silently producing wrong numbers.
+//
+// Occupancy on a DynaQ port is allowed to transiently exceed B by the stale
+// backlog Σ max(0, q_i − T_i): when Algorithm 1 slashes a victim's
+// threshold below its standing queue, the already-buffered bytes drain at
+// line rate rather than being evicted (§III-B), so a strict occupancy ≤ B
+// check would flag the algorithm's documented behaviour. Every other scheme
+// gets the strict check.
+type Guardrail struct {
+	max        int
+	total      int64
+	violations []Violation
+
+	ports []guardedPort
+}
+
+type guardedPort struct {
+	label string
+	port  *netsim.Port
+}
+
+// NewGuardrail builds a guardrail retaining at most maxRecorded violations
+// (further ones are counted but not stored).
+func NewGuardrail(maxRecorded int) *Guardrail {
+	if maxRecorded <= 0 {
+		maxRecorded = 64
+	}
+	return &Guardrail{max: maxRecorded}
+}
+
+// Watch installs the guardrail on a port (chained after any existing hook),
+// checking invariants on every subsequent port event.
+func (g *Guardrail) Watch(label string, p *netsim.Port) {
+	g.ports = append(g.ports, guardedPort{label: label, port: p})
+	p.AddEventHook(func(ev netsim.PortEvent) { g.check(label, p, ev.At) })
+}
+
+func (g *Guardrail) check(label string, p *netsim.Port, at units.Time) {
+	// Per-queue byte accounting: the queues must sum to the port total.
+	var qsum units.ByteSize
+	for i := 0; i < p.NumQueues(); i++ {
+		q := p.QueueLen(i)
+		if q < 0 {
+			g.report(at, label, "queue-bytes", fmt.Errorf("queue %d length %d < 0", i, q))
+		}
+		qsum += q
+	}
+	if qsum != p.TotalLen() {
+		g.report(at, label, "queue-bytes",
+			fmt.Errorf("Σ queue lengths %d != port total %d", qsum, p.TotalLen()))
+	}
+
+	// Occupancy ≤ B, with the DynaQ stale-backlog allowance.
+	limit := p.Buffer()
+	ts, dynaq := p.Admission().(thresholdState)
+	if dynaq {
+		st := ts.State()
+		for i := 0; i < p.NumQueues() && i < st.NumQueues(); i++ {
+			if over := p.QueueLen(i) - st.Threshold(i); over > 0 {
+				limit += over
+			}
+		}
+	}
+	if p.TotalLen() > limit {
+		g.report(at, label, "occupancy",
+			fmt.Errorf("occupancy %d exceeds buffer %d (allowed %d)", p.TotalLen(), p.Buffer(), limit))
+	}
+
+	// Algorithm 1's conserved quantities: Σ T_i == B, T_i ≥ 0.
+	if dynaq {
+		if err := ts.State().CheckInvariants(); err != nil {
+			g.report(at, label, "thresholds", err)
+		}
+	}
+
+	// Shared-memory accounting: the pool can never be over-reserved, and
+	// this port's buffered bytes must be covered by reservations.
+	if pool := p.Pool(); pool != nil {
+		if pool.Used() > pool.Total() {
+			g.report(at, label, "pool",
+				fmt.Errorf("pool used %d exceeds total %d", pool.Used(), pool.Total()))
+		}
+		if p.TotalLen() > pool.Used() {
+			g.report(at, label, "pool",
+				fmt.Errorf("port holds %d bytes but pool has only %d reserved", p.TotalLen(), pool.Used()))
+		}
+	}
+}
+
+func (g *Guardrail) report(at units.Time, port, check string, err error) {
+	g.total++
+	if len(g.violations) < g.max {
+		g.violations = append(g.violations, Violation{At: at, Port: port, Check: check, Err: err})
+	}
+}
+
+// Recheck re-runs the invariant checks on every watched port at the current
+// state (useful as a final sweep after a run completes).
+func (g *Guardrail) Recheck(now units.Time) {
+	for _, gp := range g.ports {
+		g.check(gp.label, gp.port, now)
+	}
+}
+
+// Total returns how many violations were detected (recorded or not).
+func (g *Guardrail) Total() int64 { return g.total }
+
+// Violations returns the recorded violations, oldest first.
+func (g *Guardrail) Violations() []Violation {
+	return append([]Violation(nil), g.violations...)
+}
+
+// Err summarizes the guardrail outcome: nil when no invariant was ever
+// violated, otherwise an error naming the first violation and the count.
+func (g *Guardrail) Err() error {
+	if g.total == 0 {
+		return nil
+	}
+	return fmt.Errorf("faults: %d invariant violation(s), first: %v", g.total, g.violations[0])
+}

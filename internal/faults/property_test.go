@@ -1,0 +1,90 @@
+package faults_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynaq/internal/buffer"
+	"dynaq/internal/faults"
+	"dynaq/internal/netsim"
+	"dynaq/internal/packet"
+	"dynaq/internal/sched"
+	"dynaq/internal/sim"
+	"dynaq/internal/units"
+)
+
+// TestDynaQInvariantsUnderFaults property-checks Algorithm 1's conserved
+// quantities (Σ T_i == B, T_i ≥ 0) and the port/pool accounting under
+// fault-injected runs: a flapping link plus random loss under randomized
+// overload, the regime the clean-traffic property tests never reach.
+func TestDynaQInvariantsUnderFaults(t *testing.T) {
+	prop := func(seed int64, wRaw [4]uint8, burstRaw uint16) bool {
+		weights := make([]int64, 4)
+		for i, w := range wRaw {
+			weights[i] = int64(w%8) + 1
+		}
+		bursts := int(burstRaw%300) + 50
+
+		s := sim.New()
+		const buf = 40 * units.KB
+		adm, err := buffer.NewDynaQ(buf, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrr, err := sched.NewWRR(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		link := netsim.NewLink(s, 10*units.Microsecond, &countNode{})
+		p, err := netsim.NewPort(s, netsim.PortConfig{
+			Rate:      units.Gbps,
+			Buffer:    buf,
+			Queues:    4,
+			Scheduler: wrr,
+			Admission: adm,
+			Link:      link,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		reg := faults.NewRegistry()
+		reg.AddLink("uplink", link)
+		eng := faults.NewEngine(s, reg, seed)
+		if err := eng.Schedule([]faults.Spec{
+			{Kind: "flap", Target: "uplink", AtS: 0.0001, UntilS: 0.002, PeriodS: 0.0004, JitterS: 0.00005},
+			{Kind: "loss", Target: "uplink", AtS: 0, Rate: 0.05},
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		g := faults.NewGuardrail(16)
+		g.Watch("dut", p)
+
+		arrivals := rand.New(rand.NewSource(seed))
+		for i := 0; i < bursts; i++ {
+			at := units.Time(arrivals.Int63n(int64(2 * units.Millisecond)))
+			cls := arrivals.Intn(4)
+			size := units.ByteSize(64 + arrivals.Int63n(1437))
+			s.At(at, func() {
+				p.Enqueue(&packet.Packet{Flow: packet.FlowID(cls), Class: cls, Size: size})
+			})
+		}
+		s.Run()
+		g.Recheck(s.Now())
+
+		if err := g.Err(); err != nil {
+			t.Logf("seed %d weights %v: %v", seed, weights, err)
+			return false
+		}
+		if err := adm.State().CheckInvariants(); err != nil {
+			t.Logf("seed %d weights %v: final state: %v", seed, weights, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,16 +20,39 @@ type Node interface {
 	Receive(p *packet.Packet)
 }
 
+// SendOutcome classifies what a link did with a packet put on the wire.
+type SendOutcome uint8
+
+// Send outcomes.
+const (
+	// SendDelivered: the packet will arrive after the propagation delay.
+	SendDelivered SendOutcome = iota
+	// SendLost: the packet was blackholed (link down, or random loss).
+	SendLost
+	// SendCorrupted: the frame was bit-corrupted in flight; the receiver's
+	// CRC discards it, so from the transport's view it is lost.
+	SendCorrupted
+)
+
 // Link is a unidirectional point-to-point wire: fixed propagation delay to a
 // destination node. Serialization happens upstream, in the Port that feeds
-// the link, so the link itself never queues. Links support failure
-// injection: while down, every packet put on the wire is lost.
+// the link, so the link itself never queues. Links support fault
+// injection: while down, every packet put on the wire is lost; lossy or
+// corrupting links (failing optics) discard a seeded-random fraction.
 type Link struct {
-	sim   *sim.Simulator
-	delay units.Duration
-	dst   Node
-	down  bool
-	lost  int64
+	sim    *sim.Simulator
+	delay  units.Duration
+	dst    Node
+	down   bool
+	downAt units.Time
+	lost   int64
+
+	lossRate    float64
+	corruptRate float64
+	corrupted   int64
+	// rnd draws uniform [0,1) variates for loss/corruption decisions; it is
+	// injected (seeded) by the fault engine so runs stay deterministic.
+	rnd func() float64
 }
 
 // NewLink wires a link with the given propagation delay toward dst.
@@ -40,34 +63,104 @@ func NewLink(s *sim.Simulator, delay units.Duration, dst Node) *Link {
 	return &Link{sim: s, delay: delay, dst: dst}
 }
 
-// Send propagates p toward the destination node; packets entering a downed
-// link vanish (fiber-cut semantics).
-func (l *Link) Send(p *packet.Packet) {
+// Send propagates p toward the destination node and reports what the wire
+// did with it; packets entering a downed link vanish (fiber-cut semantics),
+// lossy links blackhole a random fraction, corrupting links deliver frames
+// the receiver's CRC rejects.
+func (l *Link) Send(p *packet.Packet) SendOutcome {
 	if l.down {
 		l.lost++
-		return
+		return SendLost
+	}
+	if l.lossRate > 0 && l.rnd() < l.lossRate {
+		l.lost++
+		return SendLost
+	}
+	if l.corruptRate > 0 && l.rnd() < l.corruptRate {
+		l.corrupted++
+		return SendCorrupted
 	}
 	l.sim.After(l.delay, func() { l.dst.Receive(p) })
+	return SendDelivered
 }
 
-// SetDown injects or clears a link failure.
-func (l *Link) SetDown(down bool) { l.down = down }
+// SetDown injects or clears a link failure, recording the failure instant
+// so failure-aware routing can model a detection delay.
+func (l *Link) SetDown(down bool) {
+	if down && !l.down {
+		l.downAt = l.sim.Now()
+	}
+	l.down = down
+}
 
 // Down reports whether the link is failed.
 func (l *Link) Down() bool { return l.down }
 
-// Lost counts packets blackholed while the link was down.
+// DownSince returns when the current outage began (meaningful only while
+// Down() is true).
+func (l *Link) DownSince() units.Time { return l.downAt }
+
+// Usable reports whether a route may still use this link: a healthy link
+// always is, and a failed one remains (wrongly) usable until the outage has
+// lasted the given detection delay — the window in which a real fabric's
+// probes have not yet converged.
+func (l *Link) Usable(detect units.Duration) bool {
+	return !l.down || l.sim.Now().Sub(l.downAt) < detect
+}
+
+// SetRand installs the uniform [0,1) variate source the loss and corruption
+// decisions draw from. The fault engine seeds one per impaired link so the
+// fault timeline is a deterministic function of the scenario seed.
+func (l *Link) SetRand(rnd func() float64) { l.rnd = rnd }
+
+// SetLossRate sets the random packet-loss probability in [0,1). A positive
+// rate requires a variate source (SetRand).
+func (l *Link) SetLossRate(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netsim: loss rate %v outside [0,1)", p))
+	}
+	if p > 0 && l.rnd == nil {
+		panic("netsim: loss rate set without a rand source")
+	}
+	l.lossRate = p
+}
+
+// SetCorruptRate sets the bit-corruption probability in [0,1). A positive
+// rate requires a variate source (SetRand).
+func (l *Link) SetCorruptRate(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netsim: corrupt rate %v outside [0,1)", p))
+	}
+	if p > 0 && l.rnd == nil {
+		panic("netsim: corrupt rate set without a rand source")
+	}
+	l.corruptRate = p
+}
+
+// LossRate returns the current random-loss probability.
+func (l *Link) LossRate() float64 { return l.lossRate }
+
+// CorruptRate returns the current bit-corruption probability.
+func (l *Link) CorruptRate() float64 { return l.corruptRate }
+
+// Lost counts packets blackholed by the link (down-state plus random loss).
 func (l *Link) Lost() int64 { return l.lost }
+
+// Corrupted counts frames delivered corrupted and hence discarded.
+func (l *Link) Corrupted() int64 { return l.corrupted }
 
 // PortStats aggregates per-port counters.
 type PortStats struct {
-	Enqueued     int64 // packets admitted to the buffer
-	Dropped      int64 // packets rejected at enqueue (admission)
-	DequeueDrops int64 // packets discarded at dequeue (TCN-drop ablation)
-	Evicted      int64 // buffered packets pushed out (BarberQ)
-	Marked       int64 // packets CE-marked
-	TxPackets    int64 // packets put on the wire
-	TxBytes      units.ByteSize
+	Enqueued      int64 // packets admitted to the buffer
+	Dropped       int64 // packets rejected at enqueue (admission)
+	DequeueDrops  int64 // packets discarded at dequeue (TCN-drop ablation)
+	Evicted       int64 // buffered packets pushed out (BarberQ)
+	Marked        int64 // packets CE-marked
+	Misclassified int64 // packets with an out-of-range class, collapsed to the last queue
+	TxPackets     int64 // packets put on the wire
+	TxBytes       units.ByteSize
+	LinkLost      int64 // packets the attached link blackholed (down or lossy)
+	LinkCorrupted int64 // frames the attached link corrupted (CRC-discarded)
 }
 
 // PortObserver receives queue-state samples. QueueTrace in internal/metrics
@@ -95,6 +188,13 @@ const (
 	EvDequeueDrop
 	// EvTransmit: a packet finished serialization onto the wire.
 	EvTransmit
+	// EvMisclass: a packet arrived with an out-of-range class and was
+	// collapsed to the last queue.
+	EvMisclass
+	// EvLinkDrop: the attached link blackholed the packet (down or lossy).
+	EvLinkDrop
+	// EvLinkCorrupt: the attached link corrupted the frame in flight.
+	EvLinkCorrupt
 )
 
 // String implements fmt.Stringer.
@@ -112,6 +212,12 @@ func (k PortEventKind) String() string {
 		return "dequeue-drop"
 	case EvTransmit:
 		return "transmit"
+	case EvMisclass:
+		return "misclass"
+	case EvLinkDrop:
+		return "link-drop"
+	case EvLinkCorrupt:
+		return "link-corrupt"
 	default:
 		return fmt.Sprintf("PortEventKind(%d)", uint8(k))
 	}
@@ -290,8 +396,22 @@ func (p *Port) Rate() units.Rate { return p.rate }
 // experiments).
 func (p *Port) Link() *Link { return p.link }
 
-// Stats returns a snapshot of the port counters.
-func (p *Port) Stats() PortStats { return p.stats }
+// Stats returns a snapshot of the port counters, folding in the attached
+// link's loss/corruption counters so fault runs can be audited end to end.
+func (p *Port) Stats() PortStats {
+	s := p.stats
+	s.LinkLost = p.link.Lost()
+	s.LinkCorrupted = p.link.Corrupted()
+	return s
+}
+
+// Admission returns the buffer-management scheme governing this port (for
+// invariant checkers and traces).
+func (p *Port) Admission() buffer.Admission { return p.admit }
+
+// Pool returns the shared switch memory the port draws from, or nil for a
+// private-buffer port.
+func (p *Port) Pool() *buffer.SharedPool { return p.pool }
 
 // QueueDrops returns the enqueue-drop count of queue i.
 func (p *Port) QueueDrops(i int) int64 { return p.queueDrops[i] }
@@ -305,6 +425,16 @@ func (p *Port) Observe(o PortObserver) { p.observers = append(p.observers, o) }
 // SetEventHook installs the per-packet event hook (replacing any previous
 // one; chain externally if several consumers are needed).
 func (p *Port) SetEventHook(h EventHook) { p.hook = h }
+
+// AddEventHook chains h after any previously installed hook, so a trace
+// recorder and an invariant guardrail can observe the same port.
+func (p *Port) AddEventHook(h EventHook) {
+	if prev := p.hook; prev != nil {
+		p.hook = func(ev PortEvent) { prev(ev); h(ev) }
+		return
+	}
+	p.hook = h
+}
 
 func (p *Port) emit(kind PortEventKind, queue int, pkt *packet.Packet) {
 	if p.hook != nil {
@@ -324,8 +454,16 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 	cls := pkt.Class
 	if cls < 0 || cls >= len(p.queues) {
 		// Single-queue host NICs and misconfigured classes collapse to
-		// the last queue (lowest priority) rather than dropping.
+		// the last queue (lowest priority) rather than dropping. On a
+		// multi-queue port that collapse means a misconfiguration upstream
+		// (a flow classified for a queue the port does not have), so it is
+		// counted and surfaced instead of silently folding into the last
+		// queue's statistics.
 		cls = len(p.queues) - 1
+		if len(p.queues) > 1 {
+			p.stats.Misclassified++
+			p.emit(EvMisclass, cls, pkt)
+		}
 	}
 	if !p.admitWithEviction(cls, pkt.Size) {
 		p.stats.Dropped++
@@ -426,7 +564,12 @@ func (p *Port) transmitNext() {
 		p.stats.TxBytes += pkt.Size
 		p.queueTx[i] += pkt.Size
 		p.emit(EvTransmit, i, pkt)
-		p.link.Send(pkt)
+		switch p.link.Send(pkt) {
+		case SendLost:
+			p.emit(EvLinkDrop, i, pkt)
+		case SendCorrupted:
+			p.emit(EvLinkCorrupt, i, pkt)
+		}
 		p.transmitNext()
 	})
 }

@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadRejectsBadNumbersAndFaults covers the numeric validation added on
+// top of JSON decoding: a scenario that parses but describes an impossible
+// network (or an inconsistent fault schedule) must fail at Load, not panic
+// deep inside a run.
+func TestLoadRejectsBadNumbersAndFaults(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{
+			"zero rate",
+			`{"kind": "static", "rate_gbps": 0, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100, "duration_s": 1}`,
+			"rate_gbps",
+		},
+		{
+			"negative rate",
+			`{"kind": "fct", "rate_gbps": -1, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100, "load": 0.5}`,
+			"rate_gbps",
+		},
+		{
+			"zero buffer",
+			`{"kind": "static", "rate_gbps": 1, "buffer_bytes": 0, "queues": 2, "rtt_us": 100, "duration_s": 1}`,
+			"buffer_bytes",
+		},
+		{
+			"zero queues",
+			`{"kind": "static", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 0, "rtt_us": 100, "duration_s": 1}`,
+			"queues",
+		},
+		{
+			"negative rtt",
+			`{"kind": "static", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 2, "rtt_us": -5, "duration_s": 1}`,
+			"rtt_us",
+		},
+		{
+			"fct zero load",
+			`{"kind": "fct", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100, "load": 0}`,
+			"load",
+		},
+		{
+			"fct overload",
+			`{"kind": "fct", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100, "load": 1.2}`,
+			"load",
+		},
+		{
+			"negative detection delay",
+			`{"kind": "fct", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100,
+			  "load": 0.5, "detection_delay_ms": -1}`,
+			"detection_delay_ms",
+		},
+		{
+			"fault without target",
+			`{"kind": "static", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100,
+			  "duration_s": 1, "faults": [{"kind": "down", "at_s": 0.1}]}`,
+			"target",
+		},
+		{
+			"fault bad kind",
+			`{"kind": "static", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100,
+			  "duration_s": 1, "faults": [{"kind": "meteor", "target": "tor:0", "at_s": 0.1}]}`,
+			"meteor",
+		},
+		{
+			"fault loss rate out of range",
+			`{"kind": "static", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100,
+			  "duration_s": 1, "faults": [{"kind": "loss", "target": "tor:0", "at_s": 0, "rate": 1.5}]}`,
+			"rate",
+		},
+		{
+			"flap period missing",
+			`{"kind": "static", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100,
+			  "duration_s": 1, "faults": [{"kind": "flap", "target": "tor:0", "at_s": 0, "until_s": 1}]}`,
+			"period",
+		},
+	}
+	for _, tc := range cases {
+		_, err := Load([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: Load accepted an invalid document", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestLoadAcceptsFaultFields: a well-formed document carrying faults, guard,
+// and failure-aware routing loads into both runner kinds.
+func TestLoadAcceptsFaultFields(t *testing.T) {
+	doc := `{
+	  "kind": "fct",
+	  "scheme": "DynaQ",
+	  "topo": "leafspine",
+	  "leaves": 2, "spines": 2, "hosts_per_leaf": 2,
+	  "rate_gbps": 10,
+	  "buffer_bytes": 196608,
+	  "queues": 4,
+	  "rtt_us": 80,
+	  "load": 0.5,
+	  "flows": 50,
+	  "workloads": ["websearch"],
+	  "min_rto_ms": 5,
+	  "seed": 7,
+	  "guard": true,
+	  "failure_aware": true,
+	  "detection_delay_ms": 0.5,
+	  "faults": [
+	    {"kind": "flap", "target": "spine0", "at_s": 0.002, "until_s": 0.03, "period_s": 0.01, "jitter_s": 0.001},
+	    {"kind": "loss", "target": "leaf0:spine1", "at_s": 0, "rate": 0.005}
+	  ]
+	}`
+	r, err := Load([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.dynamic == nil {
+		t.Fatal("expected a dynamic runner")
+	}
+	if !r.dynamic.Guard || !r.dynamic.FailureAware {
+		t.Fatal("guard/failure-aware flags not wired through")
+	}
+	if len(r.dynamic.Faults) != 2 {
+		t.Fatalf("faults not wired through: %d", len(r.dynamic.Faults))
+	}
+	if r.dynamic.DetectionDelay <= 0 {
+		t.Fatal("detection delay not converted")
+	}
+}
+
+// FuzzLoad asserts that Load never panics: arbitrary byte soup must come
+// back as (runner, nil) or (nil, error), nothing else.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(staticDoc))
+	f.Add([]byte(fctDoc))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"kind": "static"}`))
+	f.Add([]byte(`{"kind": "fct", "rate_gbps": 1e308, "buffer_bytes": 9223372036854775807, "queues": 2147483647}`))
+	f.Add([]byte(`{"kind": "static", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100,
+	  "duration_s": 1, "faults": [{"kind": "flap", "target": "", "at_s": -1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Load(data)
+		if (r == nil) == (err == nil) {
+			t.Fatalf("Load returned runner=%v err=%v", r != nil, err)
+		}
+	})
+}

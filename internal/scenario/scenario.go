@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"dynaq/internal/experiment"
+	"dynaq/internal/faults"
 	"dynaq/internal/transport"
 	"dynaq/internal/units"
 	"dynaq/internal/workload"
@@ -61,7 +62,25 @@ type Document struct {
 	Flows        int      `json:"flows,omitempty"`
 	Workloads    []string `json:"workloads,omitempty"`
 	DCTCP        bool     `json:"dctcp,omitempty"`
+
+	// Fault injection (both kinds). Targets are resolved against the
+	// topology's fault registry: "tor:<i>" / "host<i>:nic" / "tor" on the
+	// star, "leaf<l>:spine<s>" / "spine<s>:leaf<l>" / "leaf<l>:host<h>" /
+	// "host<h>:nic" and the whole-switch groups "leaf<l>" / "spine<s>" on
+	// the leaf-spine.
+	Faults []faults.Spec `json:"faults,omitempty"`
+	// Guard arms the runtime invariant guardrail on every switch port.
+	Guard bool `json:"guard,omitempty"`
+	// FailureAware enables failure-aware ECMP (fct + leafspine only).
+	FailureAware bool `json:"failure_aware,omitempty"`
+	// DetectMs is the failure-detection delay in milliseconds.
+	DetectMs float64 `json:"detection_delay_ms,omitempty"`
 }
+
+// maxQueues bounds the queues field: real multi-queue switch ASICs expose a
+// handful of service queues per port, and an absurd count would otherwise
+// make Load allocate the default weight vector before any experiment runs.
+const maxQueues = 1024
 
 // Result is what a loaded scenario produces when run.
 type Result struct {
@@ -79,6 +98,9 @@ type Runner struct {
 // Kind returns "static" or "fct".
 func (r *Runner) Kind() string { return r.doc.Kind }
 
+// Guarded reports whether the scenario armed the invariant guardrail.
+func (r *Runner) Guarded() bool { return r.doc.Guard }
+
 // Load parses and validates a JSON scenario.
 func Load(data []byte) (*Runner, error) {
 	var doc Document
@@ -88,6 +110,24 @@ func Load(data []byte) (*Runner, error) {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	r := &Runner{doc: doc}
+	if doc.RateGbps <= 0 {
+		return nil, fmt.Errorf("scenario: rate_gbps must be positive, got %v", doc.RateGbps)
+	}
+	if doc.BufferB <= 0 {
+		return nil, fmt.Errorf("scenario: buffer_bytes must be positive, got %d", doc.BufferB)
+	}
+	if doc.Queues < 1 || doc.Queues > maxQueues {
+		return nil, fmt.Errorf("scenario: queues must be in [1, %d], got %d", maxQueues, doc.Queues)
+	}
+	if doc.RTTUs < 0 {
+		return nil, fmt.Errorf("scenario: rtt_us must not be negative, got %v", doc.RTTUs)
+	}
+	if doc.DetectMs < 0 {
+		return nil, fmt.Errorf("scenario: detection_delay_ms must not be negative, got %v", doc.DetectMs)
+	}
+	if err := faults.Validate(doc.Faults); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
 	weights := doc.Weights
 	if weights == nil {
 		weights = make([]int64, doc.Queues)
@@ -139,8 +179,13 @@ func Load(data []byte) (*Runner, error) {
 			SampleEvery: units.Seconds(doc.SampleMs * 1e-3),
 			MinRTO:      minRTO,
 			Seed:        doc.Seed,
+			Faults:      doc.Faults,
+			Guard:       doc.Guard,
 		}
 	case "fct":
+		if doc.Load <= 0 || doc.Load > 1 {
+			return nil, fmt.Errorf("scenario: load must be in (0, 1], got %v", doc.Load)
+		}
 		var cdfs []*workload.CDF
 		for _, name := range doc.Workloads {
 			cdf, err := workload.ByName(name)
@@ -150,24 +195,28 @@ func Load(data []byte) (*Runner, error) {
 			cdfs = append(cdfs, cdf)
 		}
 		r.dynamic = &experiment.DynamicConfig{
-			Scheme:       experiment.Scheme(doc.Scheme),
-			Params:       params,
-			Topo:         experiment.TopoKind(doc.Topo),
-			Servers:      doc.Servers,
-			Leaves:       doc.Leaves,
-			Spines:       doc.Spines,
-			HostsPerLeaf: doc.HostsPerLeaf,
-			Rate:         rate,
-			Delay:        delay,
-			Buffer:       units.ByteSize(doc.BufferB),
-			Queues:       doc.Queues,
-			MTU:          mtu,
-			Load:         doc.Load,
-			Flows:        doc.Flows,
-			Workloads:    cdfs,
-			DCTCP:        doc.DCTCP,
-			MinRTO:       minRTO,
-			Seed:         doc.Seed,
+			Scheme:         experiment.Scheme(doc.Scheme),
+			Params:         params,
+			Topo:           experiment.TopoKind(doc.Topo),
+			Servers:        doc.Servers,
+			Leaves:         doc.Leaves,
+			Spines:         doc.Spines,
+			HostsPerLeaf:   doc.HostsPerLeaf,
+			Rate:           rate,
+			Delay:          delay,
+			Buffer:         units.ByteSize(doc.BufferB),
+			Queues:         doc.Queues,
+			MTU:            mtu,
+			Load:           doc.Load,
+			Flows:          doc.Flows,
+			Workloads:      cdfs,
+			DCTCP:          doc.DCTCP,
+			MinRTO:         minRTO,
+			Seed:           doc.Seed,
+			Faults:         doc.Faults,
+			Guard:          doc.Guard,
+			FailureAware:   doc.FailureAware,
+			DetectionDelay: units.Seconds(doc.DetectMs * 1e-3),
 		}
 	default:
 		return nil, fmt.Errorf("scenario: unknown kind %q (want static or fct)", doc.Kind)

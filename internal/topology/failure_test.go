@@ -3,6 +3,7 @@ package topology_test
 import (
 	"testing"
 
+	"dynaq/internal/faults"
 	"dynaq/internal/sched"
 	"dynaq/internal/sim"
 	"dynaq/internal/topology"
@@ -80,14 +81,84 @@ func TestFailedSpineStallsAffectedFlows(t *testing.T) {
 	// Some completed, some stalled: exactly the static-ECMP failure mode.
 }
 
+// TestFailureAwareECMPReroutesAroundDeadSpine is the counterpart of the
+// static-ECMP test above: with failure-aware routing, flows hashed to the
+// dead spine re-hash onto the surviving one after the detection delay, so
+// every probe completes instead of stranding.
+func TestFailureAwareECMPReroutesAroundDeadSpine(t *testing.T) {
+	s, ls := leafSpineAware(t, true, 500*units.Microsecond)
+	const probes = 8
+	results := make(map[int]bool)
+	for id := 1; id <= probes; id++ {
+		id := id
+		if _, err := ls.Endpoints[0].StartFlow(transport.FlowConfig{
+			Flow: flowID(id), Dst: 3, Class: 0, Size: 200 * units.KB,
+			MinRTO:     5 * units.Millisecond,
+			OnComplete: func(units.Duration) { results[id] = true },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Whole-switch failure of spine 0 via its incident-link group: both its
+	// downlinks and the leaves' uplinks toward it go dark at 1ms.
+	reg := ls.FaultRegistry()
+	eng := faults.NewEngine(s, reg, 1)
+	if err := eng.Schedule([]faults.Spec{{Kind: "down", Target: "spine0", AtS: 0.001}}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(units.Time(2 * units.Second))
+	if completed := len(results); completed != probes {
+		t.Fatalf("completed = %d/%d; failure-aware ECMP should reroute every "+
+			"flow off the dead spine after the detection delay", completed, probes)
+	}
+	if len(eng.Timeline()) == 0 {
+		t.Fatal("fault engine applied no transitions")
+	}
+}
+
+// TestFailureAwareECMPMatchesStaticWhenClean: on a fault-free network the
+// failure-aware route function must pick exactly the spines static ECMP
+// picks, so enabling the feature cannot perturb clean-network results.
+func TestFailureAwareECMPMatchesStaticWhenClean(t *testing.T) {
+	run := func(aware bool) map[int]units.Duration {
+		s, ls := leafSpineAware(t, aware, 500*units.Microsecond)
+		fcts := make(map[int]units.Duration)
+		for id := 1; id <= 6; id++ {
+			id := id
+			if _, err := ls.Endpoints[0].StartFlow(transport.FlowConfig{
+				Flow: flowID(id), Dst: 3, Class: 0, Size: 100 * units.KB,
+				OnComplete: func(d units.Duration) { fcts[id] = d },
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunUntil(units.Time(2 * units.Second))
+		return fcts
+	}
+	static, aware := run(false), run(true)
+	if len(static) != 6 || len(aware) != 6 {
+		t.Fatalf("completions: static %d, aware %d, want 6 each", len(static), len(aware))
+	}
+	for id, d := range static {
+		if aware[id] != d {
+			t.Fatalf("flow %d: clean-network FCT diverged: static %v, aware %v", id, d, aware[id])
+		}
+	}
+}
+
 // leafSpine builds a small fabric for failure tests.
 func leafSpine(t *testing.T) (*sim.Simulator, *topology.LeafSpine) {
+	return leafSpineAware(t, false, 0)
+}
+
+func leafSpineAware(t *testing.T, aware bool, detect units.Duration) (*sim.Simulator, *topology.LeafSpine) {
 	t.Helper()
 	s := sim.New()
 	ls, err := topology.NewLeafSpine(s, topology.LeafSpineConfig{
 		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
 		Rate: 10 * units.Gbps, Delay: 10 * units.Microsecond,
 		Buffer: 192 * units.KB, Queues: 4,
+		FailureAware: aware, DetectionDelay: detect,
 		Factories: topology.Factories{
 			NewScheduler: func(n int) (sched.Scheduler, error) { return sched.EqualWRR(n), nil },
 			NewAdmission: bestEffort,

@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"fmt"
+
+	"dynaq/internal/faults"
+)
+
+// FaultRegistry publishes the star's links under stable names for the
+// fault-injection engine:
+//
+//	tor:<i>      — switch downlink toward host i
+//	host<i>:nic  — host i's NIC uplink toward the switch
+//	tor          — group: every switch downlink (whole-switch failure)
+func (st *Star) FaultRegistry() *faults.Registry {
+	reg := faults.NewRegistry()
+	down := make([]string, len(st.Hosts))
+	for i := range st.Hosts {
+		name := fmt.Sprintf("tor:%d", i)
+		reg.AddLink(name, st.Switch.Port(i).Link())
+		reg.AddLink(fmt.Sprintf("host%d:nic", i), st.Hosts[i].Egress().Link())
+		down[i] = name
+	}
+	reg.AddGroup("tor", down...)
+	return reg
+}
+
+// FaultRegistry publishes the fabric's links under stable names for the
+// fault-injection engine (host ids are global, as everywhere else):
+//
+//	leaf<l>:host<h>   — leaf downlink toward host h
+//	leaf<l>:spine<s>  — leaf uplink toward spine s
+//	spine<s>:leaf<l>  — spine downlink toward leaf l
+//	host<h>:nic       — host h's NIC uplink toward its leaf
+//	leaf<l>           — group: every link incident to leaf l, both directions
+//	spine<s>          — group: every link incident to spine s, both directions
+//
+// The incident groups model whole-switch failure: taking the group down
+// blackholes traffic into and out of the switch, exactly what a powered-off
+// chassis does.
+func (ls *LeafSpine) FaultRegistry() *faults.Registry {
+	reg := faults.NewRegistry()
+	nSpines := len(ls.Spines)
+	leafMembers := make([][]string, len(ls.Leaves))
+	spineMembers := make([][]string, nSpines)
+
+	for l, leaf := range ls.Leaves {
+		for j := 0; j < ls.hostsPerLeaf; j++ {
+			h := l*ls.hostsPerLeaf + j
+			name := fmt.Sprintf("leaf%d:host%d", l, h)
+			reg.AddLink(name, leaf.Port(j).Link())
+			leafMembers[l] = append(leafMembers[l], name)
+
+			nic := fmt.Sprintf("host%d:nic", h)
+			reg.AddLink(nic, ls.Hosts[h].Egress().Link())
+			leafMembers[l] = append(leafMembers[l], nic)
+		}
+		for sp := 0; sp < nSpines; sp++ {
+			name := fmt.Sprintf("leaf%d:spine%d", l, sp)
+			reg.AddLink(name, leaf.Port(ls.hostsPerLeaf+sp).Link())
+			leafMembers[l] = append(leafMembers[l], name)
+			spineMembers[sp] = append(spineMembers[sp], name)
+		}
+	}
+	for sp, spine := range ls.Spines {
+		for l := range ls.Leaves {
+			name := fmt.Sprintf("spine%d:leaf%d", sp, l)
+			reg.AddLink(name, spine.Port(l).Link())
+			spineMembers[sp] = append(spineMembers[sp], name)
+			leafMembers[l] = append(leafMembers[l], name)
+		}
+	}
+	for l := range ls.Leaves {
+		reg.AddGroup(fmt.Sprintf("leaf%d", l), leafMembers[l]...)
+	}
+	for sp := range ls.Spines {
+		reg.AddGroup(fmt.Sprintf("spine%d", sp), spineMembers[sp]...)
+	}
+	return reg
+}

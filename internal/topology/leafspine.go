@@ -31,6 +31,16 @@ type LeafSpineConfig struct {
 	// Queues is the number of service queues per switch port.
 	Queues int
 
+	// FailureAware enables failure-aware ECMP: leaves re-hash flows away
+	// from spines whose path (leaf uplink or spine downlink toward the
+	// destination leaf) has been down longer than DetectionDelay. On a
+	// clean network the routing is bit-identical to static ECMP.
+	FailureAware bool
+	// DetectionDelay is how long an outage must last before failure-aware
+	// routing avoids the path — the convergence time of a real fabric's
+	// liveness probes. Zero with FailureAware set defaults to 1ms.
+	DetectionDelay units.Duration
+
 	Factories
 }
 
@@ -66,6 +76,9 @@ func NewLeafSpine(s *sim.Simulator, cfg LeafSpineConfig) (*LeafSpine, error) {
 		return nil, fmt.Errorf("topology: leaf-spine needs ≥1 host per leaf, got %d", cfg.HostsPerLeaf)
 	case cfg.NewScheduler == nil || cfg.NewAdmission == nil:
 		return nil, fmt.Errorf("topology: leaf-spine needs scheduler and admission factories")
+	}
+	if cfg.FailureAware && cfg.DetectionDelay == 0 {
+		cfg.DetectionDelay = units.Millisecond
 	}
 	ls := &LeafSpine{Sim: s, hostsPerLeaf: cfg.HostsPerLeaf}
 	nHosts := cfg.Leaves * cfg.HostsPerLeaf
@@ -123,12 +136,36 @@ func NewLeafSpine(s *sim.Simulator, cfg LeafSpineConfig) (*LeafSpine, error) {
 			}
 			ports = append(ports, p)
 		}
+		uplinks := ports[cfg.HostsPerLeaf:]
+		// Scratch for failure-aware path selection, reused per packet so
+		// the hot path stays allocation-free.
+		live := make([]int, 0, cfg.Spines)
 		route := func(p *packet.Packet) int {
 			dstLeaf := p.Dst / cfg.HostsPerLeaf
 			if dstLeaf == l {
 				return p.Dst % cfg.HostsPerLeaf
 			}
-			return cfg.HostsPerLeaf + int(ecmpHash(p.Flow)%uint64(cfg.Spines))
+			h := ecmpHash(p.Flow)
+			if !cfg.FailureAware {
+				return cfg.HostsPerLeaf + int(h%uint64(cfg.Spines))
+			}
+			// A spine is a live next hop when both segments of the path
+			// through it — our uplink and its downlink toward the
+			// destination leaf — have not been detected dead. With every
+			// spine live this reduces exactly to static ECMP; with none
+			// (detection not yet converged, or total fabric loss) fall
+			// back to the static choice rather than blackhole locally.
+			live = live[:0]
+			for sp := 0; sp < cfg.Spines; sp++ {
+				if uplinks[sp].Link().Usable(cfg.DetectionDelay) &&
+					ls.Spines[sp].Port(dstLeaf).Link().Usable(cfg.DetectionDelay) {
+					live = append(live, sp)
+				}
+			}
+			if len(live) == 0 {
+				return cfg.HostsPerLeaf + int(h%uint64(cfg.Spines))
+			}
+			return cfg.HostsPerLeaf + live[h%uint64(len(live))]
 		}
 		sw, err := netsim.NewSwitch(fmt.Sprintf("leaf%d", l), ports, route)
 		if err != nil {

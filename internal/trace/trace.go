@@ -98,6 +98,7 @@ func (r *Recorder) Summary() string {
 	kinds := []netsim.PortEventKind{
 		netsim.EvEnqueue, netsim.EvTransmit, netsim.EvDrop,
 		netsim.EvMark, netsim.EvEvict, netsim.EvDequeueDrop,
+		netsim.EvMisclass, netsim.EvLinkDrop, netsim.EvLinkCorrupt,
 	}
 	out := ""
 	for _, k := range kinds {
