@@ -1,0 +1,106 @@
+// Command dynaqlint is the repo's determinism and invariant linter: a
+// stdlib-only static-analysis pass (go/parser + go/types, no x/tools) that
+// flags source constructs which silently break the simulator's
+// byte-identical (scenario, seed) replay guarantee. See internal/lint for
+// the analyzers and DESIGN.md ("Determinism rules") for the rationale.
+//
+// Usage:
+//
+//	dynaqlint ./...                # lint every package, human output
+//	dynaqlint -json ./...          # one JSON object per finding
+//	dynaqlint -list                # describe the analyzers
+//	dynaqlint ./internal/core      # lint one package
+//
+// Exit status: 0 when clean, 1 when any unsuppressed diagnostic was
+// reported, 2 on usage or load errors. CI runs `go run ./cmd/dynaqlint
+// ./...` and fails the build on any finding; legitimate sites carry a
+// `//dynaqlint:allow <analyzer> <reason>` directive instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynaq/internal/lint"
+)
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON Lines instead of text")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dynaqlint [-json] [-list] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("  %-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dirs, err := lint.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynaqlint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintf(os.Stderr, "dynaqlint: no packages matched %v\n", patterns)
+		os.Exit(2)
+	}
+	moduleRoot, modulePath, err := lint.ModuleInfo(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynaqlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	loader := lint.NewLoader()
+	cfg := lint.DefaultConfig()
+	var diags []lint.Diagnostic
+	loadFailed := false
+	for _, dir := range dirs {
+		importPath, err := lint.DirImportPath(moduleRoot, modulePath, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynaqlint: %v\n", err)
+			os.Exit(2)
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynaqlint: %s: %v\n", dir, err)
+			loadFailed = true
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "dynaqlint: %s: typecheck: %v\n", importPath, terr)
+			loadFailed = true
+		}
+		diags = append(diags, lint.Run(pkg, analyzers, cfg)...)
+	}
+
+	if *asJSON {
+		err = lint.WriteJSON(os.Stdout, diags)
+	} else {
+		err = lint.WriteText(os.Stdout, diags)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynaqlint: %v\n", err)
+		os.Exit(2)
+	}
+	switch {
+	case loadFailed:
+		os.Exit(2)
+	case len(diags) > 0:
+		if !*asJSON {
+			fmt.Fprintf(os.Stderr, "dynaqlint: %d finding(s); fix them or add //dynaqlint:allow <analyzer> <reason>\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -114,11 +114,11 @@ func AblationSatisfaction(o Options) (*AblationResult, error) {
 			if smp.At <= warm || smp.At > end {
 				continue
 			}
-			tot := float64(smp.PerQueue[1] + smp.PerQueue[2])
+			tot := smp.PerQueue[1] + smp.PerQueue[2]
 			if tot == 0 {
 				continue
 			}
-			shares = append(shares, float64(smp.PerQueue[1])/tot)
+			shares = append(shares, float64(smp.PerQueue[1])/float64(tot))
 		}
 		mean, sd := meanStd(shares)
 		out.Rows = append(out.Rows, []float64{

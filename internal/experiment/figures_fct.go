@@ -61,6 +61,7 @@ func fctRun(figure string, schemes []Scheme, loads []float64, base DynamicConfig
 // Cell returns the stats for (scheme, load), or nil.
 func (r *FCTResult) Cell(s Scheme, load float64) *FCTStats {
 	for i := range r.Cells {
+		//dynaqlint:allow float-eq Load values are copied experiment literals (0.5, 0.8, ...), never arithmetic results, so exact lookup is intended
 		if r.Cells[i].Scheme == s && r.Cells[i].Load == load {
 			return &r.Cells[i]
 		}

@@ -97,6 +97,7 @@ func (s Scheme) NewAdmission(p SchemeParams, b units.ByteSize, n int) (buffer.Ad
 		return nil, fmt.Errorf("experiment: scheme %s: %d weights for %d queues", s, len(p.Weights), n)
 	}
 	lambda := p.Lambda
+	//dynaqlint:allow float-eq zero-value sentinel for an unset config field, not an arithmetic result
 	if lambda == 0 {
 		lambda = 1
 	}

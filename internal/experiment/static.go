@@ -293,18 +293,18 @@ func (r *StaticResult) AvgAggregate(from, to units.Time) units.Rate {
 
 // ShareOf returns queue's mean share of the aggregate over (from, to].
 func (r *StaticResult) ShareOf(queue int, from, to units.Time) float64 {
-	var q, agg float64
+	var q, agg units.Rate
 	for _, s := range r.Samples {
 		if s.At <= from || s.At > to {
 			continue
 		}
-		q += float64(s.PerQueue[queue])
-		agg += float64(s.Aggregate)
+		q += s.PerQueue[queue]
+		agg += s.Aggregate
 	}
 	if agg == 0 {
 		return 0
 	}
-	return q / agg
+	return float64(q) / float64(agg)
 }
 
 // JainOver computes the mean Jain index across samples in (from, to],

@@ -64,6 +64,7 @@ func (s Spec) Validate() error {
 	}
 	switch s.Kind {
 	case KindDown, KindUp:
+		//dynaqlint:allow float-eq until_s == 0 is the JSON-absent sentinel; the value is decoded, never computed
 		if s.UntilS != 0 && s.UntilS <= s.AtS {
 			return fmt.Errorf("faults: %s %q: until_s %v must follow at_s %v", s.Kind, s.Target, s.UntilS, s.AtS)
 		}
@@ -81,6 +82,7 @@ func (s Spec) Validate() error {
 		if s.Rate <= 0 || s.Rate >= 1 {
 			return fmt.Errorf("faults: %s %q: rate %v must be in (0,1)", s.Kind, s.Target, s.Rate)
 		}
+		//dynaqlint:allow float-eq until_s == 0 is the JSON-absent sentinel; the value is decoded, never computed
 		if s.UntilS != 0 && s.UntilS <= s.AtS {
 			return fmt.Errorf("faults: %s %q: until_s %v must follow at_s %v", s.Kind, s.Target, s.UntilS, s.AtS)
 		}
@@ -170,16 +172,31 @@ func (r *Registry) Totals() (lost, corrupted int64) {
 	return lost, corrupted
 }
 
-// Names returns every registered link and group name, sorted, for error
-// messages and CLI discovery.
-func (r *Registry) Names() []string {
-	out := make([]string, 0, len(r.links)+len(r.groups))
+// LinkNames returns every registered link name, sorted, so registry
+// listings are deterministic regardless of map iteration order.
+func (r *Registry) LinkNames() []string {
+	out := make([]string, 0, len(r.links))
 	for n := range r.links {
 		out = append(out, n)
 	}
+	sort.Strings(out)
+	return out
+}
+
+// GroupNames returns every registered group name, sorted.
+func (r *Registry) GroupNames() []string {
+	out := make([]string, 0, len(r.groups))
 	for n := range r.groups {
 		out = append(out, n)
 	}
+	sort.Strings(out)
+	return out
+}
+
+// Names returns every registered link and group name, sorted, for error
+// messages and CLI discovery.
+func (r *Registry) Names() []string {
+	out := append(r.LinkNames(), r.GroupNames()...)
 	sort.Strings(out)
 	return out
 }

@@ -1,0 +1,51 @@
+package faults_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dynaq/internal/faults"
+	"dynaq/internal/netsim"
+	"dynaq/internal/packet"
+	"dynaq/internal/sim"
+	"dynaq/internal/units"
+)
+
+type dropNode struct{}
+
+func (dropNode) Receive(*packet.Packet) {}
+
+// scrambledRegistry registers links and groups in a deliberately unsorted
+// order, so any map-iteration-order leak in the accessors shows up.
+func scrambledRegistry() *faults.Registry {
+	s := sim.New()
+	r := faults.NewRegistry()
+	for _, name := range []string{"spine1-leaf0", "leaf0-spine1", "host3-leaf1", "leaf1-host3", "aaa", "zzz"} {
+		r.AddLink(name, netsim.NewLink(s, units.Microsecond, dropNode{}))
+	}
+	r.AddGroup("switch-leaf0", "spine1-leaf0", "leaf0-spine1")
+	r.AddGroup("switch-aaa", "aaa")
+	return r
+}
+
+func TestRegistryListingsDeterministic(t *testing.T) {
+	r := scrambledRegistry()
+
+	wantLinks := []string{"aaa", "host3-leaf1", "leaf0-spine1", "leaf1-host3", "spine1-leaf0", "zzz"}
+	wantGroups := []string{"switch-aaa", "switch-leaf0"}
+	wantAll := []string{"aaa", "host3-leaf1", "leaf0-spine1", "leaf1-host3", "spine1-leaf0", "switch-aaa", "switch-leaf0", "zzz"}
+
+	// Map iteration order varies between calls within one process too:
+	// every call must agree with the sorted form, not just the first.
+	for i := 0; i < 50; i++ {
+		if got := r.LinkNames(); !reflect.DeepEqual(got, wantLinks) {
+			t.Fatalf("call %d: LinkNames() = %v, want %v", i, got, wantLinks)
+		}
+		if got := r.GroupNames(); !reflect.DeepEqual(got, wantGroups) {
+			t.Fatalf("call %d: GroupNames() = %v, want %v", i, got, wantGroups)
+		}
+		if got := r.Names(); !reflect.DeepEqual(got, wantAll) {
+			t.Fatalf("call %d: Names() = %v, want %v", i, got, wantAll)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Determinism flags the two stdlib escape hatches that make a simulation run
+// depend on something other than (scenario, seed): wall-clock reads and the
+// process-global math/rand source.
+//
+// Wall-clock reads (time.Now, time.Since, time.Until) smuggle host timing
+// into the run; the simulator has its own virtual clock (sim.Now). The
+// global math/rand functions (rand.Intn, rand.Float64, ...) share one
+// process-wide generator whose state depends on everything else that drew
+// from it, so two runs of the same scenario diverge. Seeded generators built
+// with rand.New(rand.NewSource(seed)) are the sanctioned pattern and are not
+// flagged — unless the source is itself seeded from a nondeterministic value
+// such as time.Now().UnixNano() or os.Getpid().
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock reads and global/unseeded math/rand use",
+	Run:  runDeterminism,
+}
+
+const randPath = "math/rand"
+
+// randConstructors build explicitly-seeded generators; everything else at
+// package level draws from the shared global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgFuncCall(p.TypesInfo, call, "time"); ok {
+				switch name {
+				case "Now", "Since", "Until":
+					p.Reportf(call.Pos(), "wall-clock read time.%s breaks (scenario, seed) replay; use the simulator clock (sim.Now)", name)
+				}
+				return true
+			}
+			if name, ok := pkgFuncCall(p.TypesInfo, call, randPath, randPath+"/v2"); ok {
+				if !randConstructors[name] {
+					p.Reportf(call.Pos(), "global math/rand source (rand.%s) is shared process state; draw from a seeded rand.New(rand.NewSource(seed))", name)
+					return true
+				}
+				if name == "NewSource" || name == "NewZipf" {
+					for _, arg := range call.Args {
+						if bad, fn := nondetSeedCall(p, arg); bad {
+							p.Reportf(arg.Pos(), "rand.%s seeded from a nondeterministic value (%s); derive the seed from the scenario seed", name, fn)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// nondetSeedCall reports whether the expression draws on a known
+// nondeterministic source (wall clock, process identity).
+func nondetSeedCall(p *Pass, e ast.Expr) (bad bool, fn string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := pkgFuncCall(p.TypesInfo, call, "time"); ok {
+			switch name {
+			case "Now", "Since", "Until":
+				bad, fn = true, "time."+name
+				return false
+			}
+		}
+		if name, ok := pkgFuncCall(p.TypesInfo, call, "os"); ok {
+			switch name {
+			case "Getpid", "Getppid":
+				bad, fn = true, "os."+name
+				return false
+			}
+		}
+		return true
+	})
+	return bad, fn
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Threshold
+// arithmetic (T_i, rates, Jain indices) accumulates rounding error, so exact
+// identity tests silently flip between hosts and compiler versions, breaking
+// replay comparisons. Compare against an epsilon, or restructure to integer
+// byte counts (units.ByteSize) which compare exactly.
+//
+// Comparisons where both operands are compile-time constants are exempt:
+// they are evaluated exactly, once, by the compiler.
+var FloatEq = &Analyzer{
+	Name: "float-eq",
+	Doc:  "flag ==/!= between floating-point operands",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, okx := p.TypesInfo.Types[be.X]
+			ty, oky := p.TypesInfo.Types[be.Y]
+			if !okx || !oky {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant comparison, evaluated exactly
+			}
+			if isFloat(tx.Type) || isFloat(ty.Type) {
+				p.Reportf(be.OpPos, "floating-point %s comparison is sensitive to rounding; compare with an epsilon or use integer units", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GuardInvariant protects the audited invariant state — DynaQ thresholds
+// (Σ T_i == B), port occupancy, shared-pool accounting — from drive-by
+// mutation. The owning packages (Config.GuardedPackages) maintain those
+// invariants inside accessor methods; a write to one of their struct fields
+// from any other package bypasses the bookkeeping the runtime guardrail
+// audits, so it is flagged regardless of whether the field happens to be
+// exported today.
+//
+// Reads are fine; so are writes from inside the declaring package, where the
+// accessors live.
+var GuardInvariant = &Analyzer{
+	Name: "guard-invariant",
+	Doc:  "flag cross-package writes to invariant-owning struct fields",
+	Run:  runGuardInvariant,
+}
+
+func runGuardInvariant(p *Pass) {
+	if p.Pkg == nil {
+		return
+	}
+	self := p.Pkg.Path()
+	guarded := make(map[string]bool, len(p.Config.GuardedPackages))
+	for _, g := range p.Config.GuardedPackages {
+		guarded[g] = true
+	}
+	if guarded[self] {
+		return // the owning package maintains its own invariants
+	}
+	check := func(lhs ast.Expr) {
+		field, pkgPath := writtenField(p, lhs)
+		if field == nil || pkgPath == self || !guarded[pkgPath] {
+			return
+		}
+		p.Reportf(lhs.Pos(), "direct mutation of %s.%s from outside %s bypasses its invariant accounting; use the package's accessor methods", field.Pkg().Name(), field.Name(), pkgPath)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					check(lhs)
+				}
+			case *ast.IncDecStmt:
+				check(x.X)
+			}
+			return true
+		})
+	}
+}
+
+// writtenField resolves an assignment target to the struct field it
+// ultimately writes through (unwrapping parens, indexing and dereferences)
+// and the import path of the package declaring that field.
+func writtenField(p *Pass, lhs ast.Expr) (*types.Var, string) {
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.SelectorExpr:
+			sel := p.TypesInfo.Selections[x]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return nil, ""
+			}
+			field, ok := sel.Obj().(*types.Var)
+			if !ok || field.Pkg() == nil {
+				return nil, ""
+			}
+			return field, field.Pkg().Path()
+		default:
+			return nil, ""
+		}
+	}
+}

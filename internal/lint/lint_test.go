@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixtureDir loads one testdata package with the given loader.
+func loadFixtureDir(t *testing.T, l *Loader, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := l.LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: typecheck: %v", name, terr)
+	}
+	return pkg
+}
+
+// chainImporter serves already-type-checked fixture packages by import path
+// and defers everything else (stdlib) to the source importer.
+type chainImporter struct {
+	known    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p := c.known[path]; p != nil {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+func (c chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p := c.known[path]; p != nil {
+		return p, nil
+	}
+	if from, ok := c.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return c.fallback.Import(path)
+}
+
+// fixtureConfig guards the fixture's invariant-owning package instead of the
+// real simulator packages.
+func fixtureConfig() Config {
+	return Config{GuardedPackages: []string{"guarded"}}
+}
+
+// TestFixtures runs every analyzer over each annotated fixture and matches
+// the diagnostics against the // want comments — including the suppression
+// directives and the seeded-rand false-positive cases, which must stay
+// silent.
+func TestFixtures(t *testing.T) {
+	for _, name := range []string{"determ", "maporder", "floateq"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pkg := loadFixtureDir(t, NewLoader(), name)
+			checkFixture(t, pkg, fixtureConfig())
+		})
+	}
+}
+
+// TestGuardFixture type-checks the two-package guard fixture — the
+// invariant owner and a mutating importer — and verifies both that
+// cross-package writes are flagged and that the owner itself is exempt.
+func TestGuardFixture(t *testing.T) {
+	l := NewLoader()
+	owner := loadFixtureDir(t, l, "guarded")
+	l.Importer = chainImporter{
+		known:    map[string]*types.Package{"guarded": owner.Types},
+		fallback: l.Importer,
+	}
+	user := loadFixtureDir(t, l, "guarduse")
+	checkFixture(t, owner, fixtureConfig())
+	checkFixture(t, user, fixtureConfig())
+}
+
+func checkFixture(t *testing.T, pkg *Package, cfg Config) {
+	t.Helper()
+	diags := Run(pkg, All(), cfg)
+	wants, err := ParseWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, problem := range CheckWants(wants, diags) {
+		t.Error(problem)
+	}
+}
+
+// TestMalformedDirectives feeds in-memory sources with broken suppression
+// comments and checks each is reported (and does not suppress anything).
+func TestMalformedDirectives(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+		stillFlagged    bool
+	}{
+		{
+			name: "missing reason",
+			src: `package p
+import "time"
+func f() time.Time {
+	//dynaqlint:allow determinism
+	return time.Now()
+}`,
+			want:         "needs a reason",
+			stillFlagged: true,
+		},
+		{
+			name: "unknown analyzer",
+			src: `package p
+func f() int {
+	//dynaqlint:allow frobnicate because reasons
+	return 1
+}`,
+			want: "needs an analyzer name",
+		},
+		{
+			name: "unknown verb",
+			src: `package p
+func f() int {
+	//dynaqlint:forbid determinism nope
+	return 1
+}`,
+			want: `only "allow" is supported`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewLoader()
+			f, err := parser.ParseFile(l.Fset, "fix.go", tc.src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg := l.LoadFiles(".", "p", []*ast.File{f})
+			diags := Run(pkg, All(), fixtureConfig())
+			var directive, determinism bool
+			for _, d := range diags {
+				switch d.Analyzer {
+				case "directive":
+					directive = true
+					if !strings.Contains(d.Message, tc.want) {
+						t.Errorf("directive diagnostic %q does not mention %q", d.Message, tc.want)
+					}
+				case "determinism":
+					determinism = true
+				}
+			}
+			if !directive {
+				t.Errorf("malformed directive not reported; got %v", diags)
+			}
+			if determinism != tc.stillFlagged {
+				t.Errorf("determinism flagged = %v, want %v (malformed directives must not suppress); got %v", determinism, tc.stillFlagged, diags)
+			}
+		})
+	}
+}
+
+// TestInjectedWallClockCaught is the acceptance drill: plant a time.Now()
+// into internal/sim (in memory — the tree is untouched), type-check the
+// package, and require a correctly-positioned determinism diagnostic. This
+// is exactly the regression the CI gate would catch.
+func TestInjectedWallClockCaught(t *testing.T) {
+	moduleRoot, modulePath, err := ModuleInfo(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simDir := filepath.Join(moduleRoot, "internal", "sim")
+
+	l := NewLoader()
+	pkg, err := l.LoadDir(simDir, modulePath+"/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkg, All(), DefaultConfig()); len(diags) != 0 {
+		t.Fatalf("internal/sim should be clean before injection, got %v", diags)
+	}
+
+	injected := filepath.Join(simDir, "zz_injected_clock.go")
+	src := `package sim
+
+import "time"
+
+// injectedNow is the nondeterminism bug the linter must catch.
+func injectedNow() time.Time { return time.Now() }
+`
+	f, err := parser.ParseFile(l.Fset, injected, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg = l.LoadFiles(simDir, modulePath+"/internal/sim", append(pkg.Files, f))
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("injected package must still type-check: %v", terr)
+	}
+	diags := Run(pkg, All(), DefaultConfig())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic after injection, got %v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "determinism" || d.Pos.Filename != injected || d.Pos.Line != 6 {
+		t.Fatalf("want determinism diagnostic at %s:6, got %v", injected, d)
+	}
+}
+
+// TestCleanTree is the in-process version of the CI gate: every package in
+// the module must lint clean with the default configuration.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	moduleRoot, modulePath, err := ModuleInfo(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns([]string{moduleRoot + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 15 {
+		t.Fatalf("pattern expansion found only %d package dirs: %v", len(dirs), dirs)
+	}
+	l := NewLoader()
+	for _, dir := range dirs {
+		importPath, err := DirImportPath(moduleRoot, modulePath, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := l.LoadDir(dir, importPath)
+		if err != nil {
+			t.Fatalf("%s: %v", importPath, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: typecheck: %v", importPath, terr)
+		}
+		for _, d := range Run(pkg, All(), DefaultConfig()) {
+			t.Errorf("%s: unsuppressed diagnostic: %s", importPath, d)
+		}
+	}
+}
+
+// TestExpandPatternsSkipsTestdata ensures fixtures and hidden dirs never
+// leak into a ./... lint run.
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	moduleRoot, _, err := ModuleInfo(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns([]string{moduleRoot + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("testdata dir leaked into expansion: %s", d)
+		}
+	}
+}
+
+// TestOutputFormats pins the text and JSON renderings CI tooling parses.
+func TestOutputFormats(t *testing.T) {
+	diags := []Diagnostic{{
+		Analyzer: "determinism",
+		Message:  "wall-clock read",
+	}}
+	diags[0].Pos.Filename = "a/b.go"
+	diags[0].Pos.Line = 3
+	diags[0].Pos.Column = 7
+
+	var text strings.Builder
+	if err := WriteText(&text, diags); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := text.String(), "a/b.go:3:7: determinism: wall-clock read\n"; got != want {
+		t.Errorf("WriteText = %q, want %q", got, want)
+	}
+
+	var js strings.Builder
+	if err := WriteJSON(&js, diags); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"a/b.go","line":3,"col":7,"analyzer":"determinism","message":"wall-clock read"}` + "\n"
+	if js.String() != want {
+		t.Errorf("WriteJSON = %q, want %q", js.String(), want)
+	}
+}
+
+// TestDiagnosticString keeps the human format stable for editors that parse
+// file:line:col.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "float-eq", Message: "m"}
+	d.Pos.Filename = "x.go"
+	d.Pos.Line, d.Pos.Column = 1, 2
+	if got, want := fmt.Sprint(d), "x.go:1:2: float-eq: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` loops over maps whose body performs an
+// ordering-sensitive side effect. Go randomizes map iteration order on
+// purpose, so any such loop produces a different event interleaving on every
+// run — the exact bug class that breaks byte-identical replay.
+//
+// Side effects considered ordering-sensitive:
+//
+//   - appending to a slice declared outside the loop, unless that slice is
+//     passed to a sort function later in the same function (the canonical
+//     collect-keys-then-sort pattern);
+//   - sending on a channel;
+//   - compound accumulation (+=, -=, *=, /=) into a floating-point variable
+//     declared outside the loop (float addition is not associative, so the
+//     sum's low bits depend on visit order);
+//   - calling a function or method whose name implies ordered consumption:
+//     event scheduling (After, Schedule, ...), hooks and emitters (Emit,
+//     Notify, ...), or stream output (Fprintf, Write, ...).
+//
+// Order-insensitive bodies — integer accumulation, min/max folds, writes
+// keyed by the loop key — pass untouched.
+var MapOrder = &Analyzer{
+	Name: "map-order",
+	Doc:  "flag ordering-sensitive side effects inside map iteration",
+	Run:  runMapOrder,
+}
+
+// orderedSinkNames are method/function names whose invocation consumes
+// values in call order: schedulers, hooks, channels-in-disguise, writers.
+var orderedSinkNames = map[string]bool{
+	"After": true, "At": true, "Schedule": true, "ScheduleAt": true,
+	"Send": true, "Publish": true, "Emit": true, "Fire": true,
+	"Notify": true, "Enqueue": true, "Push": true, "Record": true,
+	"Observe": true, "Invoke": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// sortFuncs recognizes the stdlib sorters that launder a map-keyed slice
+// back into a deterministic order.
+var sortFuncs = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"SortFunc": true, "SortStableFunc": true, // slices package
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		for _, body := range functionBodies(f) {
+			checkFunctionBody(p, body)
+		}
+	}
+}
+
+// functionBodies returns every function body in the file: declarations and
+// literals. Each is analyzed independently so a sort in an enclosing
+// function cannot absolve a loop inside a closure and vice versa.
+func functionBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				bodies = append(bodies, x.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, x.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// checkFunctionBody analyzes the map-range loops directly inside one
+// function body (loops inside nested function literals are handled when the
+// literal's own body is visited).
+func checkFunctionBody(p *Pass, body *ast.BlockStmt) {
+	sorts := sortCalls(p, body)
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		t := p.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkMapRangeBody(p, rs, sorts)
+	})
+}
+
+// inspectSkippingFuncLits walks the tree under root but does not descend
+// into function literals.
+func inspectSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// sortCalls collects (object, position) for every stdlib sort invocation in
+// the body, keyed by the root identifier of the first argument.
+func sortCalls(p *Pass, body *ast.BlockStmt) map[types.Object][]token.Pos {
+	out := make(map[types.Object][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		name, ok := pkgFuncCall(p.TypesInfo, call, "sort", "slices")
+		if !ok || !sortFuncs[name] {
+			return true
+		}
+		if id := rootIdent(call.Args[0]); id != nil {
+			if obj := p.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = append(out[obj], call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, sorts map[types.Object][]token.Pos) {
+	inspectSkippingFuncLits(rs.Body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(x.Pos(), "channel send inside map iteration delivers values in randomized order; iterate sorted keys instead")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, rs, x, sorts)
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && orderedSinkNames[sel.Sel.Name] {
+				p.Reportf(x.Pos(), "call to %s inside map iteration fires in randomized order; iterate sorted keys instead", sel.Sel.Name)
+			}
+		}
+	})
+}
+
+func checkMapRangeAssign(p *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, sorts map[types.Object][]token.Pos) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, ...) builds a slice in map order. Allowed when the
+		// slice is sorted after the loop (collect-then-sort).
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			obj := outerObject(p, rs, as.Lhs[i])
+			if obj == nil {
+				continue
+			}
+			if sortedAfter(sorts, obj, rs.End()) {
+				continue
+			}
+			p.Reportf(rhs.Pos(), "append to %s inside map iteration records map order; sort %s afterwards or iterate sorted keys", obj.Name(), obj.Name())
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		obj := outerObject(p, rs, as.Lhs[0])
+		if obj == nil {
+			return
+		}
+		if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			p.Reportf(as.Pos(), "floating-point accumulation into %s inside map iteration is order-dependent (float addition is not associative); iterate sorted keys", obj.Name())
+		}
+	}
+}
+
+// outerObject resolves an assignment target to its object when that object
+// is declared outside the range statement (mutating loop-local state is
+// harmless, the damage is state that outlives the loop).
+func outerObject(p *Pass, rs *ast.RangeStmt, lhs ast.Expr) types.Object {
+	id := rootIdent(lhs)
+	if id == nil {
+		return nil
+	}
+	obj := p.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = p.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+		return nil // declared inside the loop
+	}
+	return obj
+}
+
+func sortedAfter(sorts map[types.Object][]token.Pos, obj types.Object, after token.Pos) bool {
+	for _, pos := range sorts[obj] {
+		if pos >= after {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+// Package floateq exercises the float-eq analyzer: exact identity tests on
+// floating-point operands versus exempt constant and integer comparisons.
+package floateq
+
+type rate float64
+
+func eq(a, b float64) bool {
+	return a == b // want `float-eq: floating-point == comparison`
+}
+
+func neq(a, b float32) bool {
+	return a != b // want `float-eq: floating-point != comparison`
+}
+
+// namedFloat catches defined types whose underlying type is a float.
+func namedFloat(a, b rate) bool {
+	return a == b // want `float-eq: floating-point == comparison`
+}
+
+func zeroCmp(x float64) bool {
+	return x == 0 // want `float-eq: floating-point == comparison`
+}
+
+// constOnly is folded exactly by the compiler; clean.
+func constOnly() bool {
+	const x = 1.5
+	return x == 1.5
+}
+
+// ints compare exactly; clean.
+func intCmp(a, b int) bool {
+	return a == b
+}
+
+// ordering comparisons are fine — only identity is flagged.
+func lessCmp(a, b float64) bool {
+	return a < b
+}
+
+// epsilon is the sanctioned pattern; clean.
+func epsilonCmp(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// suppressed documents a deliberate, justified exception.
+func suppressed(x float64) bool {
+	//dynaqlint:allow float-eq fixture: zero-value sentinel for an unset field
+	return x == 0
+}

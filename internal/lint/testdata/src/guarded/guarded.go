@@ -1,0 +1,23 @@
+// Package guarded mimics an invariant-owning package (internal/core,
+// internal/buffer, internal/netsim): its struct fields hold audited state
+// that only its own accessor methods may mutate. The fixture config lists
+// this package in GuardedPackages.
+package guarded
+
+// State mirrors per-port DynaQ bookkeeping: Σ Thresholds must stay equal to
+// Buffer, and Occupancy must track the queues exactly.
+type State struct {
+	Occupancy  int
+	Thresholds []int
+	Buffer     int
+}
+
+// SetOccupancy is the sanctioned mutation path; writes inside the declaring
+// package are never flagged.
+func (s *State) SetOccupancy(n int) { s.Occupancy = n }
+
+// Shift moves budget between two thresholds, preserving the sum.
+func (s *State) Shift(from, to, n int) {
+	s.Thresholds[from] -= n
+	s.Thresholds[to] += n
+}

@@ -1,0 +1,34 @@
+// Package guarduse exercises the guard-invariant analyzer: it imports the
+// fixture's invariant-owning package and mutates its fields directly.
+package guarduse
+
+import "guarded"
+
+func mutate(s *guarded.State) {
+	s.Occupancy = 5      // want `guard-invariant: direct mutation of guarded\.Occupancy`
+	s.Occupancy++        // want `guard-invariant: direct mutation of guarded\.Occupancy`
+	s.Occupancy += 3     // want `guard-invariant: direct mutation of guarded\.Occupancy`
+	s.Thresholds[0] = 1  // want `guard-invariant: direct mutation of guarded\.Thresholds`
+	s.Thresholds[1] -= 2 // want `guard-invariant: direct mutation of guarded\.Thresholds`
+}
+
+// viaAccessor is the sanctioned path; clean.
+func viaAccessor(s *guarded.State) {
+	s.SetOccupancy(5)
+	s.Shift(0, 1, 2)
+}
+
+// reads never mutate; clean.
+func reads(s *guarded.State) int {
+	return s.Occupancy + s.Thresholds[0] + s.Buffer
+}
+
+// localStruct fields live in this package; clean.
+type localStruct struct{ Occupancy int }
+
+func localWrite(l *localStruct) { l.Occupancy = 9 }
+
+// suppressed documents a deliberate, justified exception.
+func suppressed(s *guarded.State) {
+	s.Buffer = 10 //dynaqlint:allow guard-invariant fixture: test harness resizing the buffer before the run starts
+}

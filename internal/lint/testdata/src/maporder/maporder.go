@@ -1,0 +1,109 @@
+// Package maporder exercises the map-order analyzer: ordering-sensitive
+// side effects inside map iteration versus the sanctioned
+// collect-keys-then-sort pattern and order-insensitive folds.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// keysUnsorted records map order in a result slice and never sorts it.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map-order: append to out inside map iteration`
+	}
+	return out
+}
+
+// keysSorted is the canonical pattern and must NOT be flagged: the slice is
+// laundered through sort.Strings after the loop.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortSlice also launders via sort.Slice; clean.
+func sortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func sendEach(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `map-order: channel send inside map iteration`
+	}
+}
+
+// sumFloat is bitwise order-dependent: float addition is not associative.
+func sumFloat(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `map-order: floating-point accumulation into s`
+	}
+	return s
+}
+
+// sumInt folds are exact and commutative; clean.
+func sumInt(m map[string]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// localState mutated inside the loop does not outlive it; clean.
+func localFloat(m map[string]float64) int {
+	n := 0
+	for _, v := range m {
+		x := 0.0
+		x += v
+		if x > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+type engine struct{}
+
+func (engine) After(d int, f func()) {}
+
+// scheduleEach fires simulator events in map order — the exact bug class
+// that breaks byte-identical replay.
+func scheduleEach(m map[string]int, e engine) {
+	for _, v := range m {
+		e.After(v, func() {}) // want `map-order: call to After inside map iteration`
+	}
+}
+
+func printEach(m map[string]int, w io.Writer) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want `map-order: call to Fprintf inside map iteration`
+	}
+}
+
+// rangeSlice shows the analyzer leaves non-map ranges alone.
+func rangeSlice(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+// suppressed documents a deliberate, justified exception.
+func suppressed(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v //dynaqlint:allow map-order fixture: consumer folds commutatively, order provably irrelevant
+	}
+}

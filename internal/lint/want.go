@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Want is one fixture expectation: the diagnostic(s) a line must produce.
+// Fixture files under testdata declare expectations with trailing comments:
+//
+//	return time.Now() // want `determinism: wall-clock read`
+//
+// Each backquoted or double-quoted string is a regexp matched against the
+// rendered "analyzer: message" of a diagnostic on that line. A line may
+// carry several patterns when several analyzers fire on it.
+type Want struct {
+	File     string
+	Line     int
+	Patterns []*regexp.Regexp
+}
+
+var wantArg = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// ParseWants extracts the // want expectations from parsed files.
+func ParseWants(fset *token.FileSet, files []*ast.File) ([]Want, error) {
+	var wants []Want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may open the comment (`// want "..."`) or
+				// trail other content, e.g. a suppression directive under
+				// test (`//dynaqlint:allow ... // want "..."`).
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				w := Want{File: pos.Filename, Line: pos.Line}
+				args := wantArg.FindAllString(rest, -1)
+				if len(args) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, a := range args {
+					var pat string
+					if strings.HasPrefix(a, "`") {
+						pat = strings.Trim(a, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(a)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, a, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					w.Patterns = append(w.Patterns, re)
+				}
+				wants = append(wants, w)
+			}
+		}
+	}
+	return wants, nil
+}
+
+// CheckWants matches diagnostics against expectations, pairing each pattern
+// with one diagnostic on its line (and vice versa). It returns a list of
+// human-readable problems: unmatched expectations and unexpected
+// diagnostics. An empty return means the fixture behaved exactly as
+// annotated.
+func CheckWants(wants []Want, diags []Diagnostic) []string {
+	used := make([]bool, len(diags))
+	var problems []string
+	for _, w := range wants {
+		for _, re := range w.Patterns {
+			found := false
+			for i, d := range diags {
+				if used[i] || d.Pos.Filename != w.File || d.Pos.Line != w.Line {
+					continue
+				}
+				if re.MatchString(d.Analyzer + ": " + d.Message) {
+					used[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.File, w.Line, re))
+			}
+		}
+	}
+	for i, d := range diags {
+		if !used[i] {
+			problems = append(problems, fmt.Sprintf("%s: unexpected diagnostic: %s: %s", formatPos(d), d.Analyzer, d.Message))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+func formatPos(d Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column)
+}

@@ -142,6 +142,7 @@ func Jain(xs []float64) float64 {
 		sum += x
 		sumSq += x * x
 	}
+	//dynaqlint:allow float-eq exact-zero divide guard: only a true zero denominator would make the Jain index NaN
 	if sumSq == 0 {
 		return 0
 	}

@@ -47,6 +47,7 @@ func NewCDF(name string, points []Point) (*CDF, error) {
 		}
 		prevSize, prevProb = p.Size, p.Prob
 	}
+	//dynaqlint:allow float-eq construction-time validation of literal CDF knots, which must end at exactly 1
 	if points[len(points)-1].Prob != 1 {
 		return nil, fmt.Errorf("workload: CDF %q must end at probability 1", name)
 	}
@@ -78,6 +79,7 @@ func (c *CDF) Sample(rng *rand.Rand) units.ByteSize {
 		lowSize, lowProb = c.points[i-1].Size, c.points[i-1].Prob
 	}
 	hi := c.points[i]
+	//dynaqlint:allow float-eq exact-zero divide guard for a degenerate (vertical) CDF segment
 	if hi.Prob == lowProb {
 		return max(hi.Size, 1)
 	}
