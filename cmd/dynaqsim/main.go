@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -22,6 +23,8 @@ import (
 	"dynaq/internal/faults"
 	"dynaq/internal/metrics"
 	"dynaq/internal/scenario"
+	"dynaq/internal/telemetry"
+	"dynaq/internal/trace"
 	"dynaq/internal/units"
 )
 
@@ -43,11 +46,21 @@ func main() {
 		faultsF  = flag.String("faults", "", "JSON file with a fault schedule (array of fault specs; targets tor:<i>, host<i>:nic, group tor)")
 		guard    = flag.Bool("guard", false, "arm the invariant guardrail on every switch port")
 		config   = flag.String("config", "", "run a JSON scenario file instead of flags (see internal/scenario)")
+		teleDir  = flag.String("telemetry", "", "write run artifacts (manifest, metrics, events) into this directory")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		progress = flag.Bool("progress", false, "print wall-clock progress heartbeats to stderr")
 	)
 	flag.Parse()
 
+	stopProf, err := telemetry.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
+
 	if *config != "" {
-		runConfig(*config)
+		runConfig(*config, *teleDir, *progress)
 		return
 	}
 
@@ -111,6 +124,30 @@ func main() {
 			fatalf("-faults %s: %v", *faultsF, err)
 		}
 	}
+	var run *telemetry.Run
+	if *teleDir != "" {
+		// Flag mode has no scenario file to hash, so the manifest hashes a
+		// canonical rendering of every behavior-affecting flag instead.
+		canonical := fmt.Sprintf(
+			"scheme=%s sched=%s rate=%v buffer=%d queues=%d weights=%s spec=%s duration=%v rtt=%v mtu=%d sample=%v seed=%d trace=%d faults=%s guard=%v",
+			*scheme, *schedK, *rateG, *bufB, *queues, *weights, *spec,
+			*duration, *rttUS, *mtu, *sample, *seed, *traceN, *faultsF, *guard)
+		var err error
+		run, err = telemetry.NewRun(*teleDir, telemetry.Manifest{
+			Tool:         "dynaqsim",
+			ScenarioHash: telemetry.Hash([]byte(canonical)),
+			Seed:         *seed,
+			Scheme:       *scheme,
+			Args:         os.Args[1:],
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Telemetry = run
+	}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
 	res, err := experiment.RunStatic(cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -155,6 +192,33 @@ func main() {
 	if *guard {
 		printViolations(res.ViolationTotal, res.Violations)
 	}
+	if run != nil {
+		run.Summarize("drops", strconv.FormatInt(res.Drops, 10))
+		run.Summarize("samples", strconv.Itoa(len(res.Samples)))
+		run.Summarize("aggregate_mbps", fmt.Sprintf("%.1f", float64(res.AvgAggregate(warm, end))/1e6))
+		if res.Trace != nil {
+			if err := writeTrace(run.Dir(), res.Trace); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		if err := run.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// writeTrace dumps the recorder's retained events as trace.jsonl inside the
+// run's artifact directory.
+func writeTrace(dir string, rec *trace.Recorder) error {
+	f, err := os.Create(filepath.Join(dir, telemetry.TraceFile))
+	if err != nil {
+		return err
+	}
+	if err := rec.DumpJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printViolations reports the guardrail outcome: silence is not a pass, so
@@ -170,8 +234,9 @@ func printViolations(total int64, recorded []faults.Violation) {
 	}
 }
 
-// runConfig executes a JSON scenario document.
-func runConfig(path string) {
+// runConfig executes a JSON scenario document, optionally writing run
+// artifacts (manifest hashed over the scenario file bytes) and progress.
+func runConfig(path, teleDir string, progress bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -179,6 +244,23 @@ func runConfig(path string) {
 	r, err := scenario.Load(data)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	var run *telemetry.Run
+	if teleDir != "" {
+		run, err = telemetry.NewRun(teleDir, telemetry.Manifest{
+			Tool:         "dynaqsim",
+			ScenarioHash: telemetry.Hash(data),
+			Seed:         r.Seed(),
+			Scheme:       r.Scheme(),
+			Args:         os.Args[1:],
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		r.SetTelemetry(run)
+	}
+	if progress {
+		r.SetProgress(os.Stderr)
 	}
 	res, err := r.Run()
 	if err != nil {
@@ -209,6 +291,26 @@ func runConfig(path string) {
 			d.FCT.Avg(metrics.LargeFlows).Seconds()*1e3,
 			d.FCT.Percentile(metrics.SmallFlows, 0.99).Seconds()*1e3)
 		reportFaults(r.Guarded(), len(d.FaultTimeline), d.LinkLost, d.LinkCorrupted, d.ViolationTotal, d.Violations)
+	}
+	if run != nil {
+		switch {
+		case res.Static != nil:
+			run.Summarize("drops", strconv.FormatInt(res.Static.Drops, 10))
+			run.Summarize("samples", strconv.Itoa(len(res.Static.Samples)))
+			if res.Static.Trace != nil {
+				if err := writeTrace(run.Dir(), res.Static.Trace); err != nil {
+					fatalf("%v", err)
+				}
+			}
+		case res.Dynamic != nil:
+			run.Summarize("flows_generated", strconv.Itoa(res.Dynamic.Generated))
+			run.Summarize("flows_completed", strconv.Itoa(res.Dynamic.Completed))
+			run.Summarize("avg_fct_us_overall",
+				strconv.FormatInt(int64(res.Dynamic.FCT.Avg(metrics.AllFlows)/units.Microsecond), 10))
+		}
+		if err := run.Close(); err != nil {
+			fatalf("%v", err)
+		}
 	}
 }
 

@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"dynaq/internal/experiment"
+	"dynaq/internal/telemetry"
 )
 
 type renderer interface{ Table() string }
@@ -66,7 +68,18 @@ func main() {
 	list := flag.Bool("list", false, "list available figures")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	csvDir := flag.String("csv", "", "also write plottable CSV series into this directory")
+	teleDir := flag.String("telemetry", "", "write per-figure run artifacts (manifest + result JSON) into this directory")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	progress := flag.Bool("progress", false, "print wall-clock progress heartbeats to stderr while figures run")
 	flag.Parse()
+
+	stopProf, err := telemetry.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, f := range figures {
@@ -105,10 +118,18 @@ func main() {
 		if !*asJSON {
 			fmt.Printf("=== Figure %s: %s (scale=%s) ===\n", f.name, f.desc, lvl)
 		}
+		stopTick := startTicker(*progress, f.name, start)
 		res, err := f.run(opts)
+		stopTick()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.name, err)
 			os.Exit(1)
+		}
+		if *teleDir != "" {
+			if err := writeFigureArtifacts(*teleDir, f.name, lvl.String(), *seed, res); err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s: telemetry: %v\n", f.name, err)
+				os.Exit(1)
+			}
 		}
 		if *asJSON {
 			out := map[string]any{
@@ -146,4 +167,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no figure matched %q (use -list)\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// startTicker, when enabled, prints a wall-clock heartbeat to stderr every
+// few seconds while a figure runs; the returned stop function silences it.
+// The ticker only reports to the operator — nothing it touches feeds results.
+func startTicker(enabled bool, name string, start time.Time) func() {
+	if !enabled {
+		return func() {}
+	}
+	t := time.NewTicker(5 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-t.C:
+				//dynaqlint:allow determinism wall-clock heartbeat for the operator; never feeds simulation state
+				fmt.Fprintf(os.Stderr, "experiments: figure %s running (%.0fs)\n", name, time.Since(start).Seconds())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		t.Stop()
+		close(done)
+	}
+}
+
+// writeFigureArtifacts records one figure run under <dir>/<figure>: a
+// manifest (hashing the figure/scale/seed tuple that fully determines the
+// run) and the figure's result rendered as JSON. Struct field order keeps
+// result.json byte-stable across identical runs.
+func writeFigureArtifacts(dir, figure, scale string, seed int64, res renderer) error {
+	sub := filepath.Join(dir, figure)
+	canonical := fmt.Sprintf("fig=%s scale=%s seed=%d", figure, scale, seed)
+	man := telemetry.Manifest{
+		Tool:         "experiments",
+		ScenarioHash: telemetry.Hash([]byte(canonical)),
+		Seed:         seed,
+		Scheme:       figure,
+		Args:         os.Args[1:],
+	}
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return err
+	}
+	if err := telemetry.WriteManifest(sub, man, []telemetry.SummaryEntry{{Key: "scale", Value: scale}}); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(sub, "result.json"), append(data, '\n'), 0o644)
 }

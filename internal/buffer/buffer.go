@@ -174,6 +174,13 @@ type DynaQ struct {
 	// interface allocation (hot path: every arrival).
 	lens viewLens
 	li   core.QueueLens
+
+	// Telemetry counters (plain int64s so the hot path never touches the
+	// registry; internal/netsim exposes them as counter funcs).
+	adjustments int64
+	algDrops    int64
+	satTrans    []int64
+	satisfied   []bool
 }
 
 // NewDynaQ builds the DynaQ scheme for a port with buffer b and scheduler
@@ -184,6 +191,7 @@ func NewDynaQ(b units.ByteSize, weights []int64) (*DynaQ, error) {
 		return nil, err
 	}
 	d := &DynaQ{state: st, name: "DynaQ"}
+	d.initTelemetry()
 	d.li = &d.lens
 	return d, nil
 }
@@ -199,9 +207,46 @@ func NewDynaQWithOptions(name string, b units.ByteSize, weights []int64, opts ..
 		name = "DynaQ"
 	}
 	d := &DynaQ{state: st, name: name}
+	d.initTelemetry()
 	d.li = &d.lens
 	return d, nil
 }
+
+// initTelemetry sizes the satisfied-state trackers. Every queue starts
+// satisfied: initialization sets T_i = S_i (Eq. 1 and Eq. 3 coincide),
+// except under the WBDP ablation where S_i may exceed the initial T_i.
+func (d *DynaQ) initTelemetry() {
+	n := d.state.NumQueues()
+	d.satTrans = make([]int64, n)
+	d.satisfied = make([]bool, n)
+	for i := 0; i < n; i++ {
+		d.satisfied[i] = d.state.Satisfied(i)
+	}
+}
+
+// noteSatisfaction counts a satisfied↔unsatisfied edge of queue i — the
+// paper's per-instant "satisfied" state (footnote 1), surfaced so telemetry
+// can report how often protection engages.
+func (d *DynaQ) noteSatisfaction(i int) {
+	if i < 0 {
+		return
+	}
+	if now := d.state.Satisfied(i); now != d.satisfied[i] {
+		d.satisfied[i] = now
+		d.satTrans[i]++
+	}
+}
+
+// Adjustments counts Algorithm 1 threshold recomputations (Adjusted
+// verdicts: one victim decrement plus one growth per adjustment).
+func (d *DynaQ) Adjustments() int64 { return d.adjustments }
+
+// AlgorithmDrops counts packets Algorithm 1 itself refused (victim
+// protection), as opposed to the port-level post-adjustment check.
+func (d *DynaQ) AlgorithmDrops() int64 { return d.algDrops }
+
+// SatisfiedTransitions counts queue i's satisfied↔unsatisfied edges.
+func (d *DynaQ) SatisfiedTransitions(i int) int64 { return d.satTrans[i] }
 
 // Name implements Admission.
 func (d *DynaQ) Name() string { return d.name }
@@ -213,6 +258,14 @@ func (d *DynaQ) State() *core.State { return d.state }
 func (d *DynaQ) Admit(v View, cls int, size units.ByteSize) bool {
 	d.lens.v = v
 	res := d.state.Process(cls, size, d.li)
+	switch res.Verdict {
+	case core.Adjusted:
+		d.adjustments++
+		d.noteSatisfaction(cls)
+		d.noteSatisfaction(res.Victim)
+	case core.Drop:
+		d.algDrops++
+	}
 	if res.Verdict == core.Drop {
 		return false
 	}

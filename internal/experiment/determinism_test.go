@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"dynaq/internal/telemetry"
+	"dynaq/internal/units"
+	"dynaq/internal/workload"
+)
+
+// telemetryFiles are the artifacts that must be byte-identical across two
+// runs of the same (scenario, seed) — the acceptance bar for the whole
+// telemetry layer. trace.jsonl is covered separately in internal/trace.
+var telemetryFiles = []string{
+	telemetry.EventsFile,
+	telemetry.MetricsFile,
+	telemetry.ManifestFile,
+}
+
+// runStaticWithTelemetry executes one instrumented static run into dir and
+// returns the artifact bytes keyed by file name.
+func runStaticWithTelemetry(t *testing.T, dir string, scheme Scheme) map[string][]byte {
+	t.Helper()
+	run, err := telemetry.NewRun(dir, telemetry.Manifest{
+		Tool:         "determinism_test",
+		ScenarioHash: telemetry.Hash([]byte("determinism " + string(scheme))),
+		Seed:         7,
+		Scheme:       string(scheme),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StaticConfig{
+		Scheme:      scheme,
+		Sched:       SchedDRR,
+		Params:      SchemeParams{Weights: []int64{1, 1}},
+		Rate:        units.Gbps,
+		Delay:       20 * units.Microsecond,
+		Buffer:      200 * units.KB,
+		Queues:      2,
+		MTU:         1500,
+		Specs:       []QueueSpec{{Class: 0, Flows: 2}, {Class: 1, Flows: 4}},
+		Duration:    100 * units.Millisecond,
+		SampleEvery: 10 * units.Millisecond,
+		Seed:        7,
+		Telemetry:   run,
+	}
+	res, err := RunStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Summarize("drops", strconv.FormatInt(res.Drops, 10))
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return readArtifacts(t, dir)
+}
+
+func readArtifacts(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(telemetryFiles))
+	for _, name := range telemetryFiles {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 && name != telemetry.EventsFile {
+			t.Fatalf("%s: empty artifact", name)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+// TestTelemetryDeterministicStatic runs the same instrumented static
+// scenario twice per scheme and demands byte-identical artifacts — the
+// telemetry layer may observe the simulation but must never perturb it,
+// and its encoding must be a pure function of simulation state.
+func TestTelemetryDeterministicStatic(t *testing.T) {
+	for _, scheme := range []Scheme{DynaQ, PQL, BestEffort} {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			t.Parallel()
+			base := t.TempDir()
+			a := runStaticWithTelemetry(t, filepath.Join(base, "a"), scheme)
+			b := runStaticWithTelemetry(t, filepath.Join(base, "b"), scheme)
+			for _, name := range telemetryFiles {
+				if string(a[name]) != string(b[name]) {
+					t.Errorf("%s: artifacts differ between identical runs", name)
+				}
+			}
+			if len(a[telemetry.EventsFile]) == 0 {
+				t.Error("events.jsonl is empty; heartbeat/sampler events missing")
+			}
+		})
+	}
+}
+
+// TestTelemetryDeterministicDynamic does the same for an FCT run on the
+// star topology, exercising the flow-accounting and histogram paths.
+func TestTelemetryDeterministicDynamic(t *testing.T) {
+	runOnce := func(dir string) map[string][]byte {
+		run, err := telemetry.NewRun(dir, telemetry.Manifest{
+			Tool:         "determinism_test",
+			ScenarioHash: telemetry.Hash([]byte("determinism fct")),
+			Seed:         3,
+			Scheme:       string(DynaQ),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DynamicConfig{
+			Scheme:    DynaQ,
+			Params:    SchemeParams{Weights: []int64{1, 1, 1, 1}},
+			Topo:      TopoStar,
+			Servers:   4,
+			Rate:      units.Gbps,
+			Delay:     20 * units.Microsecond,
+			Buffer:    200 * units.KB,
+			Queues:    4,
+			Load:      0.4,
+			Flows:     40,
+			Workloads: []*workload.CDF{workload.WebSearch()},
+			Seed:      3,
+			Telemetry: run,
+		}
+		if _, err := RunDynamic(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return readArtifacts(t, dir)
+	}
+	base := t.TempDir()
+	a := runOnce(filepath.Join(base, "a"))
+	b := runOnce(filepath.Join(base, "b"))
+	for _, name := range telemetryFiles {
+		if string(a[name]) != string(b[name]) {
+			t.Errorf("%s: artifacts differ between identical runs", name)
+		}
+	}
+}

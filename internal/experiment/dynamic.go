@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"dynaq/internal/faults"
@@ -10,6 +11,7 @@ import (
 	"dynaq/internal/packet"
 	"dynaq/internal/pias"
 	"dynaq/internal/sim"
+	"dynaq/internal/telemetry"
 	"dynaq/internal/topology"
 	"dynaq/internal/transport"
 	"dynaq/internal/units"
@@ -79,6 +81,14 @@ type DynamicConfig struct {
 	// DetectionDelay is the failure-aware routing convergence time
 	// (default 1ms when FailureAware is set).
 	DetectionDelay units.Duration
+
+	// Telemetry, when non-nil, streams the run's metric registry and
+	// sim-time event log into the run's artifact directory; the caller
+	// owns (and closes) the Run.
+	Telemetry *telemetry.Run
+	// Progress, when non-nil, receives human-readable wall-clock progress
+	// lines (typically os.Stderr); it never feeds the artifacts.
+	Progress io.Writer
 }
 
 // DynamicResult is the outcome of an FCT run.
@@ -129,8 +139,11 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 	var endpoints []*transport.Endpoint
 	var hosts int
 	var reg *faults.Registry
-	var guardPorts []*netsim.Port
-	var guardLabels []string
+	// obsPorts are the switch ports the guardrail watches and the telemetry
+	// layer instruments, with their registry labels.
+	var obsPorts []*netsim.Port
+	var obsLabels []string
+	needPorts := cfg.Guard || cfg.Telemetry != nil
 	switch cfg.Topo {
 	case TopoStar:
 		if cfg.Servers <= 0 {
@@ -155,10 +168,10 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 		if len(cfg.Faults) > 0 {
 			reg = star.FaultRegistry()
 		}
-		if cfg.Guard {
+		if needPorts {
 			for i := 0; i < hosts; i++ {
-				guardPorts = append(guardPorts, star.Port(i))
-				guardLabels = append(guardLabels, fmt.Sprintf("tor:%d", i))
+				obsPorts = append(obsPorts, star.Port(i))
+				obsLabels = append(obsLabels, fmt.Sprintf("tor:%d", i))
 			}
 		}
 	case TopoLeafSpine:
@@ -188,17 +201,17 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 		if len(cfg.Faults) > 0 {
 			reg = ls.FaultRegistry()
 		}
-		if cfg.Guard {
+		if needPorts {
 			for l, leaf := range ls.Leaves {
 				for i := 0; i < leaf.NumPorts(); i++ {
-					guardPorts = append(guardPorts, leaf.Port(i))
-					guardLabels = append(guardLabels, fmt.Sprintf("leaf%d:%d", l, i))
+					obsPorts = append(obsPorts, leaf.Port(i))
+					obsLabels = append(obsLabels, fmt.Sprintf("leaf%d:%d", l, i))
 				}
 			}
 			for sp, spine := range ls.Spines {
 				for i := 0; i < spine.NumPorts(); i++ {
-					guardPorts = append(guardPorts, spine.Port(i))
-					guardLabels = append(guardLabels, fmt.Sprintf("spine%d:%d", sp, i))
+					obsPorts = append(obsPorts, spine.Port(i))
+					obsLabels = append(obsLabels, fmt.Sprintf("spine%d:%d", sp, i))
 				}
 			}
 		}
@@ -216,8 +229,8 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 	var guard *faults.Guardrail
 	if cfg.Guard {
 		guard = faults.NewGuardrail(32)
-		for i, p := range guardPorts {
-			guard.Watch(guardLabels[i], p)
+		for i, p := range obsPorts {
+			guard.Watch(obsLabels[i], p)
 		}
 	}
 
@@ -246,6 +259,24 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
 	serviceQueues := cfg.Queues - 1
 	var flowID packet.FlowID
+
+	// Telemetry wiring. Flow accounting reads the same two sources the
+	// result does — the flow-id counter and the FCT collector — so there is
+	// no second set of books to fall out of sync.
+	var fctHist *telemetry.Histogram
+	if cfg.Telemetry != nil {
+		treg := cfg.Telemetry.Registry()
+		instrumentSim(treg, s)
+		for i, p := range obsPorts {
+			p.Instrument(treg, obsLabels[i])
+		}
+		instrumentTransport(treg, endpoints)
+		instrumentFaults(treg, cfg.Telemetry, eng, guard)
+		instrumentLinks(treg, reg)
+		treg.CounterFunc("flows_generated_total", func() int64 { return int64(flowID) })
+		treg.CounterFunc("flows_completed_total", func() int64 { return int64(res.FCT.Len()) })
+		fctHist = treg.Histogram("fct_us", fctBounds)
+	}
 
 	// One arrival process per workload; workload w maps to the DRR queues
 	// w, w+len, w+2len, ... so that "different services use different
@@ -298,12 +329,13 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 			MinRTO:  cfg.MinRTO,
 			OnComplete: func(fct units.Duration) {
 				res.FCT.Add(size, fct)
-				res.Completed++
+				if fctHist != nil {
+					fctHist.Observe(int64(fct / units.Microsecond))
+				}
 			},
 		}); err != nil {
 			panic(err)
 		}
-		res.Generated++
 	}
 	perGen := cfg.Flows / len(gens)
 	var left []int
@@ -325,11 +357,27 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 		schedule(gi, units.Time(g.NextInterarrival()))
 	}
 
-	// Run until all flows complete or the drain budget expires.
+	var stopHB func()
+	if cfg.Telemetry != nil || cfg.Progress != nil {
+		var ew telemetry.EventWriter
+		if cfg.Telemetry != nil {
+			ew = cfg.Telemetry
+		}
+		stopHB = startHeartbeat(s, cfg.MaxRuntime, ew, cfg.Progress)
+	}
+
+	// Run until all flows complete or the drain budget expires. The FCT
+	// collector is the single completion ledger (each OnComplete adds one
+	// record), so the loop polls it directly.
 	deadline := units.Time(cfg.MaxRuntime)
-	for res.Completed < cfg.Flows && s.Pending() > 0 && s.Now() < deadline {
+	for res.FCT.Len() < cfg.Flows && s.Pending() > 0 && s.Now() < deadline {
 		s.Step()
 	}
+	if stopHB != nil {
+		stopHB()
+	}
+	res.Generated = int(flowID)
+	res.Completed = res.FCT.Len()
 	if eng != nil {
 		res.FaultTimeline = eng.Timeline()
 		res.LinkLost, res.LinkCorrupted = reg.Totals()

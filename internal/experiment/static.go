@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"dynaq/internal/faults"
@@ -9,6 +10,7 @@ import (
 	"dynaq/internal/netsim"
 	"dynaq/internal/packet"
 	"dynaq/internal/sim"
+	"dynaq/internal/telemetry"
 	"dynaq/internal/topology"
 	"dynaq/internal/trace"
 	"dynaq/internal/transport"
@@ -80,6 +82,14 @@ type StaticConfig struct {
 
 	MinRTO units.Duration
 	Seed   int64
+
+	// Telemetry, when non-nil, streams the run's metric registry and
+	// sim-time event log into the run's artifact directory; the caller
+	// owns (and closes) the Run.
+	Telemetry *telemetry.Run
+	// Progress, when non-nil, receives human-readable wall-clock progress
+	// lines (typically os.Stderr); it never feeds the artifacts.
+	Progress io.Writer
 }
 
 // StaticResult is the outcome of a static-flow run.
@@ -235,8 +245,35 @@ func RunStatic(cfg StaticConfig) (*StaticResult, error) {
 		}
 		qt = metrics.NewQueueTrace(port, stride)
 	}
+	var stopHB func()
+	if cfg.Telemetry != nil || cfg.Progress != nil {
+		var ew telemetry.EventWriter
+		if cfg.Telemetry != nil {
+			ew = cfg.Telemetry
+			treg := cfg.Telemetry.Registry()
+			instrumentSim(treg, s)
+			for i := 0; i <= nSenders; i++ {
+				star.Port(i).Instrument(treg, fmt.Sprintf("tor:%d", i))
+			}
+			instrumentTransport(treg, star.Endpoints)
+			instrumentFaults(treg, ew, eng, guard)
+			instrumentLinks(treg, reg)
+			bottleneck := fmt.Sprintf("tor:%d", receiver)
+			ts.Publish(treg, ew, bottleneck)
+			if qt != nil {
+				qt.Publish(treg, ew, bottleneck)
+			}
+			if rec != nil {
+				rec.Publish(treg)
+			}
+		}
+		stopHB = startHeartbeat(s, cfg.Duration, ew, cfg.Progress)
+	}
 	s.RunUntil(units.Time(cfg.Duration))
 	ts.Stop()
+	if stopHB != nil {
+		stopHB()
+	}
 
 	res := &StaticResult{
 		Scheme:  cfg.Scheme,

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dynaq/internal/faults"
+	"dynaq/internal/sim"
+	"dynaq/internal/telemetry"
+	"dynaq/internal/transport"
+	"dynaq/internal/units"
+)
+
+// heartbeatTicks is how many heartbeat events a run emits over its horizon.
+const heartbeatTicks = 20
+
+// fctBounds are the fct_us histogram bucket upper bounds in microseconds:
+// 100µs to 10s in decades, spanning the paper's small-flow and large-flow
+// completion-time ranges.
+var fctBounds = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+
+// instrumentSim registers engine-level series: events processed, pending
+// events, the heap's high-water mark, and the virtual clock itself.
+func instrumentSim(reg *telemetry.Registry, s *sim.Simulator) {
+	reg.CounterFunc("sim_events_processed_total", func() int64 { return int64(s.Processed()) })
+	reg.GaugeFunc("sim_events_pending", func() int64 { return int64(s.Pending()) })
+	reg.GaugeFunc("sim_heap_max_depth", func() int64 { return int64(s.MaxPending()) })
+	reg.GaugeFunc("sim_now_ps", func() int64 { return int64(s.Now()) })
+}
+
+// instrumentTransport registers transport series aggregated across every
+// endpoint, keeping series cardinality independent of host count.
+func instrumentTransport(reg *telemetry.Registry, eps []*transport.Endpoint) {
+	sum := func(f func(transport.SenderStats) int64) func() int64 {
+		return func() int64 {
+			var t int64
+			for _, ep := range eps {
+				t += f(ep.TotalStats())
+			}
+			return t
+		}
+	}
+	reg.CounterFunc("transport_sent_packets_total",
+		sum(func(s transport.SenderStats) int64 { return s.SentPackets }))
+	reg.CounterFunc("transport_sent_bytes_total",
+		sum(func(s transport.SenderStats) int64 { return int64(s.SentBytes) }))
+	reg.CounterFunc("transport_retransmits_total",
+		sum(func(s transport.SenderStats) int64 { return s.Retransmits }))
+	reg.CounterFunc("transport_timeouts_total",
+		sum(func(s transport.SenderStats) int64 { return s.Timeouts }))
+	reg.CounterFunc("transport_fast_recoveries_total",
+		sum(func(s transport.SenderStats) int64 { return s.FastRecovers }))
+	reg.CounterFunc("transport_echoed_acks_total",
+		sum(func(s transport.SenderStats) int64 { return s.EchoedAcks }))
+	reg.CounterFunc("transport_acks_total", func() int64 {
+		var t int64
+		for _, ep := range eps {
+			t += ep.AcksSent()
+		}
+		return t
+	})
+	reg.GaugeFunc("transport_cwnd_bytes", func() int64 {
+		var t int64
+		for _, ep := range eps {
+			t += ep.CwndTotal()
+		}
+		return t
+	})
+	reg.GaugeFunc("transport_flows_active", func() int64 {
+		var t int64
+		for _, ep := range eps {
+			t += int64(ep.ActiveFlows())
+		}
+		return t
+	})
+}
+
+// instrumentFaults exposes the fault engine's applied-transition counter,
+// streams each transition into the event log as it fires, and exposes the
+// guardrail violation total. Both arguments may be nil.
+func instrumentFaults(reg *telemetry.Registry, ew telemetry.EventWriter, eng *faults.Engine, guard *faults.Guardrail) {
+	if eng != nil {
+		reg.CounterFunc("faults_transitions_total", func() int64 { return int64(eng.Applied()) })
+		if ew != nil {
+			eng.SetObserver(func(tr faults.Transition) {
+				ew.Event(tr.At, "fault",
+					telemetry.F("target", tr.Target),
+					telemetry.F("action", tr.Action))
+			})
+		}
+	}
+	if guard != nil {
+		reg.CounterFunc("guard_violations_total", guard.Total)
+	}
+}
+
+// instrumentLinks exposes the fault registry's whole-topology link loss and
+// corruption totals.
+func instrumentLinks(teleReg *telemetry.Registry, reg *faults.Registry) {
+	if reg == nil {
+		return
+	}
+	teleReg.CounterFunc("faults_link_lost_total", func() int64 {
+		lost, _ := reg.Totals()
+		return lost
+	})
+	teleReg.CounterFunc("faults_link_corrupted_total", func() int64 {
+		_, corrupted := reg.Totals()
+		return corrupted
+	})
+}
+
+// startHeartbeat arms a periodic sim-time heartbeat over the run horizon:
+// each tick appends a "heartbeat" event to the artifact stream (ew non-nil)
+// and writes a wall-clock progress line to w (w non-nil). The events carry
+// sim-derived values only, so they never break byte-identical replay; the
+// wall clock is confined to the progress stream. Returns a stop function.
+func startHeartbeat(s *sim.Simulator, horizon units.Duration, ew telemetry.EventWriter, w io.Writer) func() {
+	every := horizon / heartbeatTicks
+	if every <= 0 {
+		every = units.Millisecond
+	}
+	start := time.Now() //dynaqlint:allow determinism wall-clock feeds the stderr progress stream only, never the artifacts
+	return s.Every(every, func() {
+		if ew != nil {
+			ew.Event(s.Now(), "heartbeat",
+				telemetry.F("events", int64(s.Processed())),
+				telemetry.F("pending", s.Pending()))
+		}
+		if w != nil {
+			wall := time.Since(start).Round(time.Millisecond) //dynaqlint:allow determinism wall-clock feeds the stderr progress stream only, never the artifacts
+			fmt.Fprintf(w, "dynaq: t=%v events=%d pending=%d wall=%v\n",
+				s.Now(), s.Processed(), s.Pending(), wall)
+		}
+	})
+}

@@ -27,7 +27,16 @@ type Engine struct {
 
 	timeline []Transition
 	seeded   map[string]bool // links already given a per-link rand source
+	observer func(Transition)
 }
+
+// SetObserver installs a callback invoked at fire time for every transition,
+// after it has been applied. The telemetry layer uses it to stream fault
+// events into the run artifact in simulation order.
+func (e *Engine) SetObserver(fn func(Transition)) { e.observer = fn }
+
+// Applied reports how many transitions have fired so far.
+func (e *Engine) Applied() int { return len(e.timeline) }
 
 // NewEngine binds a registry to a simulator. The seed fixes the flap jitter
 // and all per-link loss/corruption variate streams.
@@ -94,7 +103,11 @@ func (e *Engine) Schedule(specs []Spec) error {
 		pl := pl
 		e.sim.At(pl.at, func() {
 			pl.apply()
-			e.timeline = append(e.timeline, Transition{At: pl.at, Target: pl.target, Action: pl.action})
+			tr := Transition{At: pl.at, Target: pl.target, Action: pl.action}
+			e.timeline = append(e.timeline, tr)
+			if e.observer != nil {
+				e.observer(tr)
+			}
 		})
 	}
 	return nil

@@ -102,8 +102,11 @@ func (c *FCTCollector) Avg(b Bucket) units.Duration {
 	return units.Duration(sum / n)
 }
 
-// Percentile returns the p-quantile (0 < p ≤ 1) of the bucket's FCTs using
-// the nearest-rank method (0 when empty).
+// Percentile returns the p-quantile of the bucket's FCTs using the
+// nearest-rank method. The edges are pinned explicitly rather than left to
+// rank arithmetic: p ≤ 0 returns the minimum, p ≥ 1 the maximum, and a
+// single-sample bucket returns that sample for every p. An empty bucket
+// returns 0.
 func (c *FCTCollector) Percentile(b Bucket, p float64) units.Duration {
 	var xs []units.Duration
 	for _, r := range c.records {
@@ -115,6 +118,12 @@ func (c *FCTCollector) Percentile(b Bucket, p float64) units.Duration {
 		return 0
 	}
 	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	if p <= 0 {
+		return xs[0]
+	}
+	if p >= 1 {
+		return xs[len(xs)-1]
+	}
 	rank := int(math.Ceil(p*float64(len(xs)))) - 1
 	if rank < 0 {
 		rank = 0
@@ -124,6 +133,10 @@ func (c *FCTCollector) Percentile(b Bucket, p float64) units.Duration {
 	}
 	return xs[rank]
 }
+
+// Len returns the total number of completions recorded, across all buckets.
+// Unlike Count(AllFlows) it does not scan, so run loops can poll it.
+func (c *FCTCollector) Len() int { return len(c.records) }
 
 // Records returns a copy of all completions.
 func (c *FCTCollector) Records() []FCTRecord {

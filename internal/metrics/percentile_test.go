@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+func TestPercentileEdges(t *testing.T) {
+	c := NewFCTCollector()
+	for _, fct := range []units.Duration{30, 10, 20} {
+		c.Add(1*units.KB, fct)
+	}
+	cases := []struct {
+		p    float64
+		want units.Duration
+	}{
+		{-0.5, 10}, // below range → minimum
+		{0, 10},    // exactly zero → minimum
+		{0.5, 20},  // median by nearest rank
+		{1, 30},    // exactly one → maximum
+		{1.5, 30},  // above range → maximum
+	}
+	for _, tc := range cases {
+		if got := c.Percentile(AllFlows, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	c := NewFCTCollector()
+	c.Add(1*units.KB, 42)
+	for _, p := range []float64{-1, 0, 0.01, 0.5, 0.99, 1, 2} {
+		if got := c.Percentile(AllFlows, p); got != 42 {
+			t.Errorf("single-sample Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	c := NewFCTCollector()
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := c.Percentile(AllFlows, p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	c := NewFCTCollector()
+	if c.Len() != 0 {
+		t.Fatalf("empty Len = %d", c.Len())
+	}
+	c.Add(10*units.KB, 1)
+	c.Add(20*units.MB, 2)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.Len() != c.Count(AllFlows) {
+		t.Fatalf("Len %d != Count(AllFlows) %d", c.Len(), c.Count(AllFlows))
+	}
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"strconv"
+
+	"dynaq/internal/telemetry"
+	"dynaq/internal/units"
+)
+
+// Publish makes the sampler a front-end over a telemetry registry: every
+// sample updates per-queue and aggregate throughput gauges, and — when ew is
+// non-nil — appends a "throughput" event carrying the full per-queue vector
+// to the run's event stream. The in-memory sample series keeps accumulating
+// either way, so figure code is unaffected.
+func (ts *ThroughputSampler) Publish(reg *telemetry.Registry, ew telemetry.EventWriter, port string) {
+	pl := telemetry.L("port", port)
+	per := make([]*telemetry.Gauge, ts.port.NumQueues())
+	for i := range per {
+		per[i] = reg.Gauge("throughput_bps", pl, telemetry.L("queue", strconv.Itoa(i)))
+	}
+	agg := reg.Gauge("throughput_aggregate_bps", pl)
+	samples := reg.Counter("throughput_samples_total", pl)
+	ts.publish = func(now units.Time, rates []units.Rate, sum units.Rate) {
+		for i, r := range rates {
+			per[i].Set(int64(r))
+		}
+		agg.Set(int64(sum))
+		samples.Inc()
+		if ew != nil {
+			bps := make([]int64, len(rates))
+			for i, r := range rates {
+				bps[i] = int64(r)
+			}
+			ew.Event(now, "throughput",
+				telemetry.F("port", port),
+				telemetry.F("agg_bps", int64(sum)),
+				telemetry.F("bps", bps))
+		}
+	}
+}
+
+// Publish makes the trace a front-end over a telemetry registry: every kept
+// sample bumps a per-port sample counter and — when ew is non-nil — appends
+// a "qlen" event with the per-queue occupancy vector to the run's event
+// stream. Stride decimation applies to the published stream exactly as it
+// does to the in-memory one.
+func (qt *QueueTrace) Publish(reg *telemetry.Registry, ew telemetry.EventWriter, port string) {
+	samples := reg.Counter("queue_trace_samples_total", telemetry.L("port", port))
+	qt.publish = func(now units.Time, per []units.ByteSize) {
+		samples.Inc()
+		if ew != nil {
+			bytes := make([]int64, len(per))
+			for i, b := range per {
+				bytes[i] = int64(b)
+			}
+			ew.Event(now, "qlen",
+				telemetry.F("port", port),
+				telemetry.F("bytes", bytes))
+		}
+	}
+}

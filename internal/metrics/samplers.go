@@ -22,6 +22,7 @@ type ThroughputSampler struct {
 	prev     []units.ByteSize
 	samples  []ThroughputSample
 	stop     func()
+	publish  func(now units.Time, per []units.Rate, agg units.Rate) // set by Publish
 }
 
 // NewThroughputSampler attaches a sampler to port with the given interval
@@ -47,6 +48,9 @@ func (ts *ThroughputSampler) sample(now units.Time) {
 		agg += per[i]
 	}
 	ts.samples = append(ts.samples, ThroughputSample{At: now, PerQueue: per, Aggregate: agg})
+	if ts.publish != nil {
+		ts.publish(now, per, agg)
+	}
 }
 
 // Stop halts sampling.
@@ -70,6 +74,7 @@ type QueueTrace struct {
 	stride  int
 	count   int
 	samples []QueueSample
+	publish func(now units.Time, per []units.ByteSize) // set by Publish
 }
 
 // NewQueueTrace attaches a trace to port, keeping every stride-th sample
@@ -94,6 +99,9 @@ func (qt *QueueTrace) ObservePort(now units.Time, p *netsim.Port) {
 		per[i] = p.QueueLen(i)
 	}
 	qt.samples = append(qt.samples, QueueSample{At: now, PerQueue: per})
+	if qt.publish != nil {
+		qt.publish(now, per)
+	}
 }
 
 // Samples returns all kept samples.

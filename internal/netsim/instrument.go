@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"strconv"
+
+	"dynaq/internal/buffer"
+	"dynaq/internal/core"
+	"dynaq/internal/telemetry"
+)
+
+// thresholdState is satisfied by the DynaQ-family admission schemes, which
+// expose their Algorithm-1 threshold state (see also internal/faults).
+type thresholdState interface {
+	State() *core.State
+}
+
+// Instrument registers the port's counters and live queue state with a
+// telemetry registry under the given port label. Everything is exposed
+// through snapshot functions over the counters the hot path already
+// maintains, so instrumentation adds zero per-packet cost.
+//
+// Series (all labeled port=<label>, per-queue ones also queue=<i>):
+//
+//	port_enqueued_total, port_tx_packets_total, port_tx_bytes_total,
+//	port_marked_total, port_misclassified_total,
+//	port_drops_total{cause=admission|pool|dequeue|evict|link|corrupt},
+//	port_occupancy_bytes, port_buffer_bytes,
+//	queue_occupancy_bytes, queue_tx_bytes_total, queue_drops_total
+//
+// DynaQ-family ports additionally expose the paper's §V per-instant state:
+//
+//	dynaq_threshold_bytes (T_i), dynaq_satisfaction_bytes (S_i),
+//	dynaq_satisfied (0/1), dynaq_adjustments_total,
+//	dynaq_algorithm_drops_total, dynaq_satisfied_transitions_total
+//
+// Shared-memory ports expose pool_used_bytes / pool_total_bytes.
+func (p *Port) Instrument(reg *telemetry.Registry, label string) {
+	pl := telemetry.L("port", label)
+	reg.CounterFunc("port_enqueued_total", func() int64 { return p.stats.Enqueued }, pl)
+	reg.CounterFunc("port_tx_packets_total", func() int64 { return p.stats.TxPackets }, pl)
+	reg.CounterFunc("port_tx_bytes_total", func() int64 { return int64(p.stats.TxBytes) }, pl)
+	reg.CounterFunc("port_marked_total", func() int64 { return p.stats.Marked }, pl)
+	reg.CounterFunc("port_misclassified_total", func() int64 { return p.stats.Misclassified }, pl)
+	reg.GaugeFunc("port_occupancy_bytes", func() int64 { return int64(p.total) }, pl)
+	reg.GaugeFunc("port_buffer_bytes", func() int64 { return int64(p.bufSz) }, pl)
+
+	// Drops split by cause; the causes are disjoint and sum to everything
+	// the port or its wire discarded.
+	reg.CounterFunc("port_drops_total",
+		func() int64 { return p.stats.Dropped - p.stats.PoolDrops },
+		pl, telemetry.L("cause", "admission"))
+	reg.CounterFunc("port_drops_total",
+		func() int64 { return p.stats.PoolDrops },
+		pl, telemetry.L("cause", "pool"))
+	reg.CounterFunc("port_drops_total",
+		func() int64 { return p.stats.DequeueDrops },
+		pl, telemetry.L("cause", "dequeue"))
+	reg.CounterFunc("port_drops_total",
+		func() int64 { return p.stats.Evicted },
+		pl, telemetry.L("cause", "evict"))
+	reg.CounterFunc("port_drops_total",
+		func() int64 { return p.link.Lost() },
+		pl, telemetry.L("cause", "link"))
+	reg.CounterFunc("port_drops_total",
+		func() int64 { return p.link.Corrupted() },
+		pl, telemetry.L("cause", "corrupt"))
+
+	for i := range p.queues {
+		i := i
+		ql := telemetry.L("queue", strconv.Itoa(i))
+		reg.GaugeFunc("queue_occupancy_bytes",
+			func() int64 { return int64(p.queues[i].bytes) }, pl, ql)
+		reg.CounterFunc("queue_tx_bytes_total",
+			func() int64 { return int64(p.queueTx[i]) }, pl, ql)
+		reg.CounterFunc("queue_drops_total",
+			func() int64 { return p.queueDrops[i] }, pl, ql)
+	}
+
+	if ts, ok := p.admit.(thresholdState); ok {
+		st := ts.State()
+		for i := 0; i < st.NumQueues(); i++ {
+			i := i
+			ql := telemetry.L("queue", strconv.Itoa(i))
+			reg.GaugeFunc("dynaq_threshold_bytes",
+				func() int64 { return int64(st.Threshold(i)) }, pl, ql)
+			reg.GaugeFunc("dynaq_satisfaction_bytes",
+				func() int64 { return int64(st.Satisfaction(i)) }, pl, ql)
+			reg.GaugeFunc("dynaq_satisfied", func() int64 {
+				if st.Satisfied(i) {
+					return 1
+				}
+				return 0
+			}, pl, ql)
+		}
+	}
+	if d, ok := p.admit.(*buffer.DynaQ); ok {
+		reg.CounterFunc("dynaq_adjustments_total", d.Adjustments, pl)
+		reg.CounterFunc("dynaq_algorithm_drops_total", d.AlgorithmDrops, pl)
+		for i := 0; i < d.State().NumQueues(); i++ {
+			i := i
+			reg.CounterFunc("dynaq_satisfied_transitions_total",
+				func() int64 { return d.SatisfiedTransitions(i) },
+				pl, telemetry.L("queue", strconv.Itoa(i)))
+		}
+	}
+	if p.pool != nil {
+		reg.GaugeFunc("pool_used_bytes", func() int64 { return int64(p.pool.Used()) }, pl)
+		reg.GaugeFunc("pool_total_bytes", func() int64 { return int64(p.pool.Total()) }, pl)
+	}
+}

@@ -152,7 +152,8 @@ func (l *Link) Corrupted() int64 { return l.corrupted }
 // PortStats aggregates per-port counters.
 type PortStats struct {
 	Enqueued      int64 // packets admitted to the buffer
-	Dropped       int64 // packets rejected at enqueue (admission)
+	Dropped       int64 // packets rejected at enqueue (admission + pool)
+	PoolDrops     int64 // subset of Dropped: shared switch memory exhausted
 	DequeueDrops  int64 // packets discarded at dequeue (TCN-drop ablation)
 	Evicted       int64 // buffered packets pushed out (BarberQ)
 	Marked        int64 // packets CE-marked
@@ -475,6 +476,7 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 	if p.pool != nil && !p.pool.Reserve(pkt.Size) {
 		// The shared memory itself is exhausted (another port holds it).
 		p.stats.Dropped++
+		p.stats.PoolDrops++
 		p.queueDrops[cls]++
 		p.emit(EvDrop, cls, pkt)
 		p.notify()

@@ -13,10 +13,12 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"dynaq/internal/experiment"
 	"dynaq/internal/faults"
+	"dynaq/internal/telemetry"
 	"dynaq/internal/transport"
 	"dynaq/internal/units"
 	"dynaq/internal/workload"
@@ -100,6 +102,33 @@ func (r *Runner) Kind() string { return r.doc.Kind }
 
 // Guarded reports whether the scenario armed the invariant guardrail.
 func (r *Runner) Guarded() bool { return r.doc.Guard }
+
+// Scheme returns the scenario's scheme name (for run manifests).
+func (r *Runner) Scheme() string { return r.doc.Scheme }
+
+// Seed returns the scenario's seed.
+func (r *Runner) Seed() int64 { return r.doc.Seed }
+
+// SetTelemetry attaches a telemetry run to the underlying experiment
+// configuration; the caller owns (and closes) the Run.
+func (r *Runner) SetTelemetry(run *telemetry.Run) {
+	if r.static != nil {
+		r.static.Telemetry = run
+	}
+	if r.dynamic != nil {
+		r.dynamic.Telemetry = run
+	}
+}
+
+// SetProgress attaches a wall-clock progress writer (typically os.Stderr).
+func (r *Runner) SetProgress(w io.Writer) {
+	if r.static != nil {
+		r.static.Progress = w
+	}
+	if r.dynamic != nil {
+		r.dynamic.Progress = w
+	}
+}
 
 // Load parses and validates a JSON scenario.
 func Load(data []byte) (*Runner, error) {

@@ -62,10 +62,11 @@ func (h *eventHeap) Pop() any {
 // Simulator owns the virtual clock and the pending event set.
 // The zero value is not usable; call New.
 type Simulator struct {
-	now    units.Time
-	seq    uint64
-	events eventHeap
-	nrun   uint64
+	now     units.Time
+	seq     uint64
+	events  eventHeap
+	nrun    uint64
+	maxHeap int
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -82,6 +83,10 @@ func (s *Simulator) Processed() uint64 { return s.nrun }
 // Pending reports how many events are scheduled but not yet run.
 func (s *Simulator) Pending() int { return len(s.events) }
 
+// MaxPending reports the event heap's high-water mark — the telemetry
+// layer's sizing signal for how much simultaneity a scenario creates.
+func (s *Simulator) MaxPending() int { return s.maxHeap }
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a model bug, and silently reordering time would
 // corrupt every queue measurement downstream.
@@ -92,6 +97,9 @@ func (s *Simulator) At(t units.Time, fn func()) *Event {
 	e := &Event{when: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.events, e)
+	if len(s.events) > s.maxHeap {
+		s.maxHeap = len(s.events)
+	}
 	return e
 }
 

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+func BenchmarkEventEncode(b *testing.B) {
+	run := newDiscardRun(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run.Event(units.Time(i), "heartbeat",
+			F("events", int64(i)), F("pending", 42))
+	}
+}
+
+func BenchmarkRegistryDump(b *testing.B) {
+	reg := NewRegistry()
+	for _, port := range []string{"tor:0", "tor:1", "tor:2"} {
+		for _, name := range []string{"port_enqueued_total", "port_tx_bytes_total", "port_drops_total"} {
+			reg.Counter(name, L("port", port)).Add(7)
+		}
+		reg.Gauge("port_occupancy_bytes", L("port", port)).Set(1 << 20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WriteJSONL(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newDiscardRun builds a Run whose event stream goes to the bench temp dir.
+func newDiscardRun(b *testing.B) *Run {
+	b.Helper()
+	run, err := NewRun(b.TempDir(), Manifest{Tool: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles arms the requested pprof outputs; either path may be empty.
+// The returned stop function finishes the CPU profile and writes the heap
+// profile — call it exactly once, at process exit. Heap-profile write
+// failures are reported on stderr rather than returned, since by then the
+// run's real work is already done.
+func StartProfiles(cpu, mem string) (func(), error) {
+	stop := func() {}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("telemetry: cpuprofile: %w", err)
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if mem == "" {
+		return stop, nil
+	}
+	cpuStop := stop
+	return func() {
+		cpuStop()
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+func TestSeriesIDSortsLabels(t *testing.T) {
+	id := SeriesID("queue_occupancy_bytes", []Label{L("queue", "3"), L("port", "tor:0")})
+	want := `queue_occupancy_bytes{port="tor:0",queue="3"}`
+	if id != want {
+		t.Fatalf("SeriesID = %s, want %s", id, want)
+	}
+	if got := SeriesID("x", nil); got != "x" {
+		t.Fatalf("unlabeled SeriesID = %s, want x", got)
+	}
+}
+
+func TestSeriesIDRejectsReservedCharacters(t *testing.T) {
+	for _, f := range []func(){
+		func() { SeriesID("", nil) },
+		func() { SeriesID("a{b}", nil) },
+		func() { SeriesID("ok", []Label{L("k=v", "x")}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("drops_total", L("port", "tor:1"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same id → same instance.
+	if r.Counter("drops_total", L("port", "tor:1")) != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	g := r.Gauge("occupancy")
+	g.Set(42)
+	g.Add(-2)
+	if g.Value() != 40 {
+		t.Fatalf("gauge = %d, want 40", g.Value())
+	}
+	h := r.Histogram("fct_us", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 562 {
+		t.Fatalf("hist count/sum = %d/%d, want 4/562", h.Count(), h.Sum())
+	}
+	if h.Bucket(0) != 2 || h.Bucket(1) != 1 || h.Bucket(2) != 1 {
+		t.Fatalf("hist buckets = %d,%d,%d", h.Bucket(0), h.Bucket(1), h.Bucket(2))
+	}
+	if v, ok := r.Value(`drops_total{port="tor:1"}`); !ok || v != 5 {
+		t.Fatalf("Value(counter) = %d,%v", v, ok)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic registering x as gauge")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestWriteJSONLSortedAndStable(t *testing.T) {
+	dump := func() string {
+		r := NewRegistry()
+		// Register in one order...
+		r.Counter("z_total").Add(3)
+		r.GaugeFunc("a_gauge", func() int64 { return 7 })
+		r.Histogram("m_hist", []int64{1000}).Observe(5)
+		var buf bytes.Buffer
+		if err := r.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	got := dump()
+	want := `{"series":"a_gauge","type":"gauge","value":7}
+{"series":"m_hist","type":"histogram","count":1,"sum":5,"buckets":[{"le":1000,"n":1},{"le":"+Inf","n":0}]}
+{"series":"z_total","type":"counter","value":3}
+`
+	if got != want {
+		t.Fatalf("dump:\n%s\nwant:\n%s", got, want)
+	}
+	if again := dump(); again != got {
+		t.Fatalf("dump not byte-stable across runs")
+	}
+}
+
+func TestRunArtifacts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	man := Manifest{
+		Tool:         "test",
+		ScenarioHash: Hash([]byte("scenario")),
+		Seed:         7,
+		Scheme:       "DynaQ",
+		Args:         []string{"-seed", "7"},
+	}
+	run, err := NewRun(dir, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Registry().Counter("events_total").Add(2)
+	run.Event(1000, "heartbeat", F("events", int64(2)), F("pending", 3))
+	run.Event(2000, "fault", F("target", "tor:1"), F("down", true), F("qs", []int64{1, 2}))
+	run.Summarize("drops", "12")
+	run.Summarize("aggregate_mbps", "941")
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := os.ReadFile(filepath.Join(dir, EventsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvents := `{"t_ps":1000,"kind":"heartbeat","events":2,"pending":3}
+{"t_ps":2000,"kind":"fault","target":"tor:1","down":true,"qs":[1,2]}
+`
+	if string(events) != wantEvents {
+		t.Fatalf("events:\n%s\nwant:\n%s", events, wantEvents)
+	}
+
+	metrics, err := os.ReadFile(filepath.Join(dir, MetricsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "{\"series\":\"events_total\",\"type\":\"counter\",\"value\":2}\n"; string(metrics) != want {
+		t.Fatalf("metrics:\n%s\nwant:\n%s", metrics, want)
+	}
+
+	manifest, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"tool": "test"`,
+		`"seed": 7`,
+		`"scheme": "DynaQ"`,
+		`"args": ["-seed", "7"]`,
+		"\"aggregate_mbps\": \"941\",\n    \"drops\": \"12\"", // sorted by key
+		`"scenario_hash": "` + man.ScenarioHash + `"`,
+	} {
+		if !strings.Contains(string(manifest), want) {
+			t.Errorf("manifest missing %q:\n%s", want, manifest)
+		}
+	}
+}
+
+func TestEventRejectsUnsupportedType(t *testing.T) {
+	run, err := NewRun(t.TempDir(), Manifest{Tool: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on float field")
+		}
+	}()
+	run.Event(units.Time(0), "bad", F("x", 1.5))
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"dynaq/internal/netsim"
+	"dynaq/internal/packet"
+	"dynaq/internal/telemetry"
+	"dynaq/internal/units"
+)
+
+func TestDumpJSONStable(t *testing.T) {
+	r, err := NewRecorder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &packet.Packet{
+		Flow: 7, Kind: packet.Data, Src: 1, Dst: 2,
+		Size: 1500, Seq: 4380, Class: 3,
+	}
+	hook := r.Hook()
+	hook(netsim.PortEvent{At: units.Time(1000), Kind: netsim.EvEnqueue, Queue: 3, Pkt: pkt})
+	hook(netsim.PortEvent{At: units.Time(2000), Kind: netsim.EvDrop, Queue: 0, Pkt: nil})
+
+	var buf bytes.Buffer
+	if err := r.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t_ps":1000,"kind":"enqueue","queue":3,"flow":7,"src":1,"dst":2,"seq":4380,"size":1500,"class":3}
+{"t_ps":2000,"kind":"drop","queue":0}
+`
+	if buf.String() != want {
+		t.Fatalf("DumpJSON:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	var again bytes.Buffer
+	if err := r.DumpJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Fatalf("DumpJSON not byte-stable")
+	}
+}
+
+func TestPublishCounters(t *testing.T) {
+	r, err := NewRecorder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	r.Publish(reg)
+	hook := r.Hook()
+	hook(netsim.PortEvent{Kind: netsim.EvEnqueue})
+	hook(netsim.PortEvent{Kind: netsim.EvEnqueue})
+	hook(netsim.PortEvent{Kind: netsim.EvDrop})
+	if v, ok := reg.Value(`trace_events_total{kind="enqueue"}`); !ok || v != 2 {
+		t.Fatalf("enqueue counter = %d,%v, want 2", v, ok)
+	}
+	if v, ok := reg.Value(`trace_events_total{kind="drop"}`); !ok || v != 1 {
+		t.Fatalf("drop counter = %d,%v, want 1", v, ok)
+	}
+}

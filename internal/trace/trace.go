@@ -7,8 +7,10 @@ package trace
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"dynaq/internal/netsim"
+	"dynaq/internal/telemetry"
 )
 
 // Recorder collects port events into a bounded ring buffer.
@@ -91,6 +93,61 @@ func (r *Recorder) Dump(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// DumpJSON writes the retained events to w as JSONL, one event per line,
+// with a fixed field order so two identical runs produce byte-identical
+// output. Events whose packet was synthesized away (nil Pkt) omit the
+// packet fields.
+func (r *Recorder) DumpJSON(w io.Writer) error {
+	buf := make([]byte, 0, 160)
+	for _, ev := range r.Events() {
+		buf = buf[:0]
+		buf = append(buf, `{"t_ps":`...)
+		buf = strconv.AppendInt(buf, int64(ev.At), 10)
+		buf = append(buf, `,"kind":`...)
+		buf = strconv.AppendQuote(buf, ev.Kind.String())
+		buf = append(buf, `,"queue":`...)
+		buf = strconv.AppendInt(buf, int64(ev.Queue), 10)
+		if p := ev.Pkt; p != nil {
+			buf = append(buf, `,"flow":`...)
+			buf = strconv.AppendInt(buf, int64(p.Flow), 10)
+			buf = append(buf, `,"src":`...)
+			buf = strconv.AppendInt(buf, int64(p.Src), 10)
+			buf = append(buf, `,"dst":`...)
+			buf = strconv.AppendInt(buf, int64(p.Dst), 10)
+			buf = append(buf, `,"seq":`...)
+			buf = strconv.AppendInt(buf, p.Seq, 10)
+			buf = append(buf, `,"size":`...)
+			buf = strconv.AppendInt(buf, int64(p.Size), 10)
+			buf = append(buf, `,"class":`...)
+			buf = strconv.AppendInt(buf, int64(p.Class), 10)
+		}
+		buf = append(buf, '}', '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Publish exposes the recorder's per-kind counters through a telemetry
+// registry as trace_events_total{kind=...} counter funcs, one per event
+// kind, evaluated at dump time.
+func (r *Recorder) Publish(reg *telemetry.Registry) {
+	for _, k := range allKinds {
+		k := k
+		reg.CounterFunc("trace_events_total",
+			func() int64 { return r.counts[k] },
+			telemetry.L("kind", k.String()))
+	}
+}
+
+// allKinds lists every port event kind in declaration order.
+var allKinds = []netsim.PortEventKind{
+	netsim.EvEnqueue, netsim.EvDrop, netsim.EvMark, netsim.EvEvict,
+	netsim.EvDequeueDrop, netsim.EvTransmit, netsim.EvMisclass,
+	netsim.EvLinkDrop, netsim.EvLinkCorrupt,
 }
 
 // Summary renders the per-kind counters.

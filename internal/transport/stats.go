@@ -1,0 +1,53 @@
+package transport
+
+// Aggregate accessors for the telemetry layer. Each sums integer counters
+// over the endpoint's flow maps: integer addition is associative, so the
+// totals are order-independent despite Go's randomized map iteration.
+
+// TotalStats sums the per-flow sender counters of this endpoint.
+func (ep *Endpoint) TotalStats() SenderStats {
+	var t SenderStats
+	for _, snd := range ep.senders {
+		st := snd.Stats()
+		t.SentPackets += st.SentPackets
+		t.SentBytes += st.SentBytes
+		t.Retransmits += st.Retransmits
+		t.Timeouts += st.Timeouts
+		t.FastRecovers += st.FastRecovers
+		t.EchoedAcks += st.EchoedAcks
+	}
+	return t
+}
+
+// ActiveFlows counts senders that have not yet completed.
+func (ep *Endpoint) ActiveFlows() int {
+	n := 0
+	for _, snd := range ep.senders {
+		if !snd.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// CwndTotal sums the congestion windows of the endpoint's active senders,
+// truncating each window to whole bytes first so the sum stays
+// order-independent.
+func (ep *Endpoint) CwndTotal() int64 {
+	var total int64
+	for _, snd := range ep.senders {
+		if !snd.Done() {
+			total += int64(snd.cwnd)
+		}
+	}
+	return total
+}
+
+// AcksSent sums the pure ACKs this endpoint's receivers have emitted.
+func (ep *Endpoint) AcksSent() int64 {
+	var n int64
+	for _, r := range ep.receivers {
+		n += r.acksSent
+	}
+	return n
+}
