@@ -42,6 +42,8 @@ func main() {
 		mtu      = flag.Int64("mtu", 1500, "frame size in bytes")
 		sample   = flag.Float64("sample", 0.5, "throughput sampling interval in seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
+		seedsN   = flag.Int("seeds", 1, "repeat the scenario across N derived seeds and report mean ± std of the aggregate throughput")
+		parallel = flag.Int("parallel", 0, "worker goroutines for -seeds > 1 (0 = GOMAXPROCS, 1 = sequential); the stats are identical at any setting")
 		traceN   = flag.Int("trace", 0, "dump the last N drop/mark/evict events at the bottleneck")
 		faultsF  = flag.String("faults", "", "JSON file with a fault schedule (array of fault specs; targets tor:<i>, host<i>:nic, group tor)")
 		guard    = flag.Bool("guard", false, "arm the invariant guardrail on every switch port")
@@ -124,6 +126,18 @@ func main() {
 			fatalf("-faults %s: %v", *faultsF, err)
 		}
 	}
+	if *seedsN > 1 {
+		// Multi-seed mode aggregates across runs; single-stream sinks make
+		// no sense there.
+		if *teleDir != "" {
+			fatalf("-seeds > 1 runs many simulations; -telemetry writes a single run's artifacts (drop one of them)")
+		}
+		if *progress {
+			fatalf("-seeds > 1 interleaves runs; drop -progress")
+		}
+		runMultiSeed(*seedsN, *parallel, cfg)
+		return
+	}
 	var run *telemetry.Run
 	if *teleDir != "" {
 		// Flag mode has no scenario file to hash, so the manifest hashes a
@@ -205,6 +219,30 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+}
+
+// runMultiSeed repeats the flag-built scenario across n derived seeds on a
+// worker pool and prints the aggregate-throughput statistics. Each seed runs
+// a fully independent simulation, so the reported stats are identical at any
+// -parallel setting.
+func runMultiSeed(n, parallel int, cfg experiment.StaticConfig) {
+	end := units.Time(cfg.Duration)
+	warm := end / 5
+	st, err := experiment.RunSeeds(n, experiment.Options{Seed: cfg.Seed, Parallel: parallel},
+		func(o experiment.Options) (float64, error) {
+			c := cfg
+			c.Seed = o.Seed
+			res, err := experiment.RunStatic(c)
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.AvgAggregate(warm, end)) / 1e6, nil
+		})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("scheme=%s aggregate Mbps after warmup, %d seeds on %d workers:\n  %s\n",
+		cfg.Scheme, n, experiment.Workers(parallel, n), st)
 }
 
 // writeTrace dumps the recorder's retained events as trace.jsonl inside the

@@ -65,6 +65,7 @@ func main() {
 	fig := flag.String("fig", "all", "comma-separated figure ids, or 'all'")
 	scale := flag.String("scale", "standard", "quick | standard | full")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines for independent simulation cells (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	list := flag.Bool("list", false, "list available figures")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	csvDir := flag.String("csv", "", "also write plottable CSV series into this directory")
@@ -99,7 +100,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	opts := experiment.Options{Scale: lvl, Seed: *seed}
+	opts := experiment.Options{Scale: lvl, Seed: *seed, Parallel: *parallel}
 
 	want := map[string]bool{}
 	if *fig != "all" {

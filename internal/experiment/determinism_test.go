@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 
 	"dynaq/internal/telemetry"
@@ -96,6 +98,49 @@ func TestTelemetryDeterministicStatic(t *testing.T) {
 				t.Error("events.jsonl is empty; heartbeat/sampler events missing")
 			}
 		})
+	}
+}
+
+// TestEngineCountersInMetrics asserts the engine series land in
+// metrics.jsonl: events processed, heap high-water mark, and the free-list
+// reuse counter — and that reuse is actually happening (a long static run
+// recycles nearly every event object).
+func TestEngineCountersInMetrics(t *testing.T) {
+	arts := runStaticWithTelemetry(t, t.TempDir(), DynaQ)
+	metrics := string(arts[telemetry.MetricsFile])
+	for _, series := range []string{
+		"sim_events_processed_total",
+		"sim_heap_max_depth",
+		"sim_event_pool_reuse_total",
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Errorf("metrics.jsonl is missing %s", series)
+		}
+	}
+	// The reuse counter must be a large share of processed events, not a
+	// token non-zero value: every packet/timer event past warmup re-arms a
+	// pooled object.
+	var processed, reused int64
+	for _, line := range strings.Split(metrics, "\n") {
+		var rec struct {
+			Series string `json:"series"`
+			Value  int64  `json:"value"`
+		}
+		if json.Unmarshal([]byte(line), &rec) != nil {
+			continue
+		}
+		switch rec.Series {
+		case "sim_events_processed_total":
+			processed = rec.Value
+		case "sim_event_pool_reuse_total":
+			reused = rec.Value
+		}
+	}
+	if processed == 0 {
+		t.Fatal("sim_events_processed_total = 0; metrics not parsed")
+	}
+	if reused < processed/2 {
+		t.Errorf("pool reuse %d out of %d events; free list is not recycling", reused, processed)
 	}
 }
 

@@ -336,62 +336,73 @@ func ExtTransportZoo(o Options) (*AblationResult, error) {
 // web-search sizes. Latency is user-perceived (request issue → response
 // completion).
 func ExtClosedLoop(o Options) (*FCTResult, error) {
-	out := &FCTResult{Figure: "ext-closedloop"}
 	requests := pick(o, 150, 1000, 10000)
 	loads := pick(o, []float64{0.6}, []float64{0.5, 0.8}, []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8})
 	horizon := pick(o, 60*units.Second, 120*units.Second, 600*units.Second)
+	schemes := NonECNSchemes()
+	cells := make([]fctCell, 0, len(loads)*len(schemes))
 	for _, load := range loads {
-		for _, scheme := range NonECNSchemes() {
-			s := sim.New()
-			star, err := topology.NewStar(s, topology.StarConfig{
-				Hosts:  5,
-				Rate:   testbedRate,
-				Delay:  testbedDelay,
-				Buffer: testbedBuffer,
-				Queues: 5,
-				Factories: Factories(scheme, SchedSPQDRR,
-					SchemeParams{Rate: testbedRate, BaseRTT: 4 * testbedDelay,
-						Weights: equalWeights(5)}, testbedMTU),
-			})
-			if err != nil {
-				return nil, err
-			}
-			classifier, err := pias.NewClassifier(pias.DefaultDemotionThreshold, 0)
-			if err != nil {
-				return nil, err
-			}
-			client, err := app.NewClient(s, app.Config{
-				Client:        star.Endpoints[4],
-				Servers:       star.Endpoints[:4],
-				CDF:           workload.WebSearch(),
-				Load:          load,
-				Capacity:      testbedRate,
-				Requests:      requests,
-				ServiceQueues: 4,
-				ClassOf:       classifier.ClassOf,
-				MinRTO:        testbedMinRTO,
-				Seed:          o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			client.Start()
-			for client.Done() < requests && s.Pending() > 0 && s.Now() < units.Time(horizon) {
-				s.Step()
-			}
-			out.Cells = append(out.Cells, FCTStats{
-				Scheme:     scheme,
-				Load:       load,
-				AvgOverall: client.FCT.Avg(metrics.AllFlows),
-				AvgSmall:   client.FCT.Avg(metrics.SmallFlows),
-				AvgLarge:   client.FCT.Avg(metrics.LargeFlows),
-				P99Small:   client.FCT.Percentile(metrics.SmallFlows, 0.99),
-				Completed:  client.Done(),
-				Generated:  client.Issued(),
-			})
+		for _, scheme := range schemes {
+			cells = append(cells, fctCell{load: load, scheme: scheme})
 		}
 	}
-	return out, nil
+	// Each cell builds its whole world — simulator, star, classifier,
+	// client — inside the trial, so cells parallelize like the open-loop
+	// FCT figures.
+	stats, err := RunTrials(len(cells), o.Parallel, func(i int) (FCTStats, error) {
+		load, scheme := cells[i].load, cells[i].scheme
+		s := sim.New()
+		star, err := topology.NewStar(s, topology.StarConfig{
+			Hosts:  5,
+			Rate:   testbedRate,
+			Delay:  testbedDelay,
+			Buffer: testbedBuffer,
+			Queues: 5,
+			Factories: Factories(scheme, SchedSPQDRR,
+				SchemeParams{Rate: testbedRate, BaseRTT: 4 * testbedDelay,
+					Weights: equalWeights(5)}, testbedMTU),
+		})
+		if err != nil {
+			return FCTStats{}, err
+		}
+		classifier, err := pias.NewClassifier(pias.DefaultDemotionThreshold, 0)
+		if err != nil {
+			return FCTStats{}, err
+		}
+		client, err := app.NewClient(s, app.Config{
+			Client:        star.Endpoints[4],
+			Servers:       star.Endpoints[:4],
+			CDF:           workload.WebSearch(),
+			Load:          load,
+			Capacity:      testbedRate,
+			Requests:      requests,
+			ServiceQueues: 4,
+			ClassOf:       classifier.ClassOf,
+			MinRTO:        testbedMinRTO,
+			Seed:          o.Seed,
+		})
+		if err != nil {
+			return FCTStats{}, err
+		}
+		client.Start()
+		for client.Done() < requests && s.Pending() > 0 && s.Now() < units.Time(horizon) {
+			s.Step()
+		}
+		return FCTStats{
+			Scheme:     scheme,
+			Load:       load,
+			AvgOverall: client.FCT.Avg(metrics.AllFlows),
+			AvgSmall:   client.FCT.Avg(metrics.SmallFlows),
+			AvgLarge:   client.FCT.Avg(metrics.LargeFlows),
+			P99Small:   client.FCT.Percentile(metrics.SmallFlows, 0.99),
+			Completed:  client.Done(),
+			Generated:  client.Issued(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FCTResult{Figure: "ext-closedloop", Cells: stats}, nil
 }
 
 // ExtDynaQECNMode compares DynaQ's two faces (§III-B3): drop mode with

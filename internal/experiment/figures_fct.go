@@ -29,33 +29,52 @@ type FCTResult struct {
 	Cells  []FCTStats
 }
 
+// fctCell identifies one independent simulation of an FCT figure grid.
+type fctCell struct {
+	load   float64
+	scheme Scheme
+}
+
 // fctRun executes one FCT figure: the given schemes across the given loads
-// on a shared base configuration.
-func fctRun(figure string, schemes []Scheme, loads []float64, base DynamicConfig) (*FCTResult, error) {
-	out := &FCTResult{Figure: figure}
+// on a shared base configuration. The (load, scheme) cells are independent
+// simulations, so they run on `workers` goroutines (0 = GOMAXPROCS) and are
+// merged in grid order — the Cells slice is identical at any worker count.
+func fctRun(figure string, schemes []Scheme, loads []float64, base DynamicConfig, workers int) (*FCTResult, error) {
+	cells := make([]fctCell, 0, len(loads)*len(schemes))
 	for _, load := range loads {
 		for _, scheme := range schemes {
-			cfg := base
-			cfg.Scheme = scheme
-			cfg.Load = load
-			cfg.DCTCP = scheme.IsECNBased()
-			res, err := RunDynamic(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out.Cells = append(out.Cells, FCTStats{
-				Scheme:     scheme,
-				Load:       load,
-				AvgOverall: res.FCT.Avg(metrics.AllFlows),
-				AvgSmall:   res.FCT.Avg(metrics.SmallFlows),
-				AvgLarge:   res.FCT.Avg(metrics.LargeFlows),
-				P99Small:   res.FCT.Percentile(metrics.SmallFlows, 0.99),
-				Completed:  res.Completed,
-				Generated:  res.Generated,
-			})
+			cells = append(cells, fctCell{load: load, scheme: scheme})
 		}
 	}
-	return out, nil
+	if base.Telemetry != nil || base.Progress != nil {
+		// A telemetry Run and a progress writer are single-stream sinks;
+		// interleaving cells would garble them.
+		workers = 1
+	}
+	stats, err := RunTrials(len(cells), workers, func(i int) (FCTStats, error) {
+		cfg := base
+		cfg.Scheme = cells[i].scheme
+		cfg.Load = cells[i].load
+		cfg.DCTCP = cells[i].scheme.IsECNBased()
+		res, err := RunDynamic(cfg)
+		if err != nil {
+			return FCTStats{}, err
+		}
+		return FCTStats{
+			Scheme:     cfg.Scheme,
+			Load:       cfg.Load,
+			AvgOverall: res.FCT.Avg(metrics.AllFlows),
+			AvgSmall:   res.FCT.Avg(metrics.SmallFlows),
+			AvgLarge:   res.FCT.Avg(metrics.LargeFlows),
+			P99Small:   res.FCT.Percentile(metrics.SmallFlows, 0.99),
+			Completed:  res.Completed,
+			Generated:  res.Generated,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FCTResult{Figure: figure, Cells: stats}, nil
 }
 
 // Cell returns the stats for (scheme, load), or nil.
@@ -166,7 +185,7 @@ func Fig8(o Options) (*FCTResult, error) {
 		MaxRuntime: pick(o,
 			30*units.Second, 120*units.Second, 600*units.Second),
 	}
-	return fctRun("fig8", NonECNSchemes(), fctLoads(o), base)
+	return fctRun("fig8", NonECNSchemes(), fctLoads(o), base, o.Parallel)
 }
 
 // Fig9 compares DynaQ (drop-based, plain TCP) with the ECN-based schemes
@@ -195,7 +214,7 @@ func Fig9(o Options) (*FCTResult, error) {
 		MaxRuntime: pick(o,
 			30*units.Second, 120*units.Second, 600*units.Second),
 	}
-	return fctRun("fig9", ECNSchemes(), fctLoads(o), base)
+	return fctRun("fig9", ECNSchemes(), fctLoads(o), base, o.Parallel)
 }
 
 // Fig13 runs the large-scale leaf-spine FCT simulation: SPQ(1)+DRR(7), the
@@ -222,7 +241,7 @@ func Fig13(o Options) (*FCTResult, error) {
 		MaxRuntime: pick(o,
 			20*units.Second, 60*units.Second, 300*units.Second),
 	}
-	return fctRun("fig13", NonECNSchemes(), fctLoads(o), base)
+	return fctRun("fig13", NonECNSchemes(), fctLoads(o), base, o.Parallel)
 }
 
 // Cycles reproduces the §IV-A hardware cost analysis (Table-less in the

@@ -23,6 +23,11 @@ func (s SeedStats) String() string {
 // RunSeeds repeats a scalar-metric experiment across n seeds derived from
 // base.Seed and aggregates the results — the harness for reporting
 // reproduction numbers with confidence rather than single-run noise.
+//
+// Seeds run on base.Parallel workers (0 = GOMAXPROCS) via RunTrials, so run
+// must be safe to call concurrently: build all simulation state inside it.
+// Aggregation happens over the seed-index-ordered results, making the stats
+// bit-for-bit independent of the worker count.
 func RunSeeds(n int, base Options, run func(Options) (float64, error)) (SeedStats, error) {
 	if n <= 0 {
 		return SeedStats{}, fmt.Errorf("experiment: RunSeeds needs n > 0")
@@ -30,15 +35,17 @@ func RunSeeds(n int, base Options, run func(Options) (float64, error)) (SeedStat
 	if run == nil {
 		return SeedStats{}, fmt.Errorf("experiment: RunSeeds needs a metric function")
 	}
-	xs := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
+	xs, err := RunTrials(n, base.Parallel, func(i int) (float64, error) {
 		o := base
 		o.Seed = base.Seed + int64(i)*7919 // distinct, deterministic seeds
 		v, err := run(o)
 		if err != nil {
-			return SeedStats{}, fmt.Errorf("experiment: seed %d: %w", o.Seed, err)
+			return 0, fmt.Errorf("seed %d: %w", o.Seed, err)
 		}
-		xs = append(xs, v)
+		return v, nil
+	})
+	if err != nil {
+		return SeedStats{}, err
 	}
 	st := SeedStats{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
 	for _, x := range xs {

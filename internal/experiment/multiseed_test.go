@@ -3,6 +3,7 @@ package experiment
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -20,13 +21,19 @@ func TestRunSeedsValidation(t *testing.T) {
 }
 
 func TestRunSeedsAggregates(t *testing.T) {
+	// Seeds may run concurrently (RunSeeds defaults to GOMAXPROCS workers),
+	// so the metric must be a pure function of the seed and the reuse check
+	// needs a lock.
+	var mu sync.Mutex
 	seen := map[int64]bool{}
 	st, err := RunSeeds(4, Options{Seed: 10}, func(o Options) (float64, error) {
+		mu.Lock()
 		if seen[o.Seed] {
 			t.Errorf("seed %d reused", o.Seed)
 		}
 		seen[o.Seed] = true
-		return float64(len(seen)), nil // 1, 2, 3, 4
+		mu.Unlock()
+		return float64((o.Seed-10)/7919) + 1, nil // 1, 2, 3, 4 by seed index
 	})
 	if err != nil {
 		t.Fatal(err)

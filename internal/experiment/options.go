@@ -35,6 +35,11 @@ func (s ScaleLevel) String() string {
 type Options struct {
 	Scale ScaleLevel
 	Seed  int64
+	// Parallel is the worker count for figures built from independent
+	// (scheme, load, seed) cells: 0 (the default) means GOMAXPROCS, 1 runs
+	// sequentially. Results are merged in deterministic cell order, so the
+	// output is identical at any setting (see RunTrials).
+	Parallel int
 }
 
 // pick returns the value for the chosen scale.

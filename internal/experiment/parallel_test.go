@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dynaq/internal/units"
+	"dynaq/internal/workload"
+)
+
+func TestRunTrialsValidation(t *testing.T) {
+	if _, err := RunTrials(0, 1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := RunTrials[int](3, 1, nil); err == nil {
+		t.Error("nil run should fail")
+	}
+}
+
+func TestRunTrialsIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := RunTrials(17, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunTrialsErrorCancelsPool checks the failure contract: the first error
+// (by index) is reported, idle workers stop claiming trials, and RunTrials
+// only returns once every worker has exited.
+func TestRunTrialsErrorCancelsPool(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	const n = 1000
+	_, err := RunTrials(n, 4, func(i int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "trial 3") {
+		t.Errorf("error %q does not name the failing trial", err)
+	}
+	// The pool must stop early: with 4 workers and trial 3 failing almost
+	// immediately, nowhere near all 1000 trials should have been claimed by
+	// the time every worker has exited (RunTrials has returned, so the
+	// counter is final).
+	if got := started.Load(); got >= n {
+		t.Errorf("pool ran all %d trials despite an early error", got)
+	}
+}
+
+func TestRunSeedsErrorCancelsPool(t *testing.T) {
+	boom := errors.New("seed failure")
+	var calls atomic.Int64
+	_, err := RunSeeds(64, Options{Seed: 5, Parallel: 8}, func(o Options) (float64, error) {
+		calls.Add(1)
+		if o.Seed == 5 { // seed index 0
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if got := calls.Load(); got >= 64 {
+		t.Errorf("all %d seeds ran despite an early failure", got)
+	}
+}
+
+// TestRunSeedsParallelParity is the satellite acceptance test: the same
+// aggregate stats bit-for-bit at -parallel 1 and -parallel 8, on a real
+// (if tiny) simulation workload.
+func TestRunSeedsParallelParity(t *testing.T) {
+	metric := func(o Options) (float64, error) {
+		cfg := StaticConfig{
+			Scheme:   DynaQ,
+			Sched:    SchedDRR,
+			Params:   SchemeParams{Weights: []int64{1, 1}},
+			Rate:     units.Gbps,
+			Delay:    20 * units.Microsecond,
+			Buffer:   200 * units.KB,
+			Queues:   2,
+			MTU:      1500,
+			Specs:    []QueueSpec{{Class: 0, Flows: 2}, {Class: 1, Flows: 4}},
+			Duration: 50 * units.Millisecond,
+			Seed:     o.Seed,
+		}
+		res, err := RunStatic(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.AvgAggregate(10*units.Time(units.Millisecond), 50*units.Time(units.Millisecond))), nil
+	}
+	seq := Options{Seed: 42, Parallel: 1}
+	par := Options{Seed: 42, Parallel: 8}
+	a, err := RunSeeds(4, seq, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSeeds(4, par, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DeepEqual compares the float fields bitwise, which is exactly the
+	// parity contract (and sidesteps float-eq lint on ==).
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("stats differ across worker counts:\n  sequential: %+v\n  parallel:   %+v", a, b)
+	}
+}
+
+// TestFCTGridParallelParity runs a small Fig8-shaped grid sequentially and
+// with 8 workers and demands identical cells in identical order.
+func TestFCTGridParallelParity(t *testing.T) {
+	base := DynamicConfig{
+		Params:    SchemeParams{Weights: equalWeights(3)},
+		Topo:      TopoStar,
+		Servers:   3,
+		Rate:      units.Gbps,
+		Delay:     20 * units.Microsecond,
+		Buffer:    200 * units.KB,
+		Queues:    3,
+		Load:      0.5,
+		Flows:     40,
+		Workloads: []*workload.CDF{workload.WebSearch()},
+		Seed:      9,
+	}
+	schemes := NonECNSchemes()
+	loads := []float64{0.4, 0.7}
+	seq, err := fctRun("parity", schemes, loads, base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := fctRun("parity", schemes, loads, base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Cells) != len(schemes)*len(loads) {
+		t.Fatalf("cells = %d, want %d", len(seq.Cells), len(schemes)*len(loads))
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("FCT grids differ across worker counts:\n  sequential: %+v\n  parallel:   %+v", seq, par)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(1, 10); got != 1 {
+		t.Errorf("Workers(1, 10) = %d, want 1", got)
+	}
+	if got := Workers(16, 3); got != 3 {
+		t.Errorf("Workers(16, 3) = %d, want clamp to 3", got)
+	}
+	if got := Workers(0, 1000); got < 1 {
+		t.Errorf("Workers(0, 1000) = %d, want ≥ 1 (GOMAXPROCS)", got)
+	}
+}

@@ -140,6 +140,12 @@ func RunStatic(cfg StaticConfig) (*StaticResult, error) {
 	}
 	mss := cfg.MTU - transport.HeaderSize
 
+	// Copy the queue specs before normalizing them below: cfg arrives by
+	// value, but the Specs slice still shares its backing array with the
+	// caller's — and parallel multi-seed runs hand the same specs to
+	// concurrent trials.
+	cfg.Specs = append([]QueueSpec(nil), cfg.Specs...)
+
 	// Host layout: senders first, receiver last.
 	nSenders := 0
 	for i := range cfg.Specs {

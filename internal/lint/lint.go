@@ -14,6 +14,10 @@
 //     T_i arithmetic must not branch on exact float identity).
 //   - guard-invariant: mutation of occupancy/threshold fields of the
 //     invariant-owning packages from outside their accessor methods.
+//   - parallel-state:  worker goroutines / trial functions (go statements,
+//     RunTrials, RunSeeds) capturing a *sim.Simulator, *rand.Rand, or
+//     telemetry *Run from an enclosing scope — per-trial engine state must
+//     be built inside the trial (shared-nothing parallelism).
 //
 // Everything is built on the stdlib go/parser, go/ast, go/types and
 // go/importer packages; dynaqlint adds no module dependencies.
@@ -59,7 +63,7 @@ type Analyzer struct {
 
 // All returns every analyzer dynaqlint ships, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, FloatEq, GuardInvariant}
+	return []*Analyzer{Determinism, MapOrder, FloatEq, GuardInvariant, ParallelState}
 }
 
 // Config tunes the analyzers for the tree being linted.
@@ -69,6 +73,10 @@ type Config struct {
 	// guard-invariant flags any write to a field of a type declared in one
 	// of these packages when the write happens in a different package.
 	GuardedPackages []string
+	// ParallelSharedTypes lists "import/path.TypeName" entries whose
+	// pointer types worker goroutines and trial functions must never
+	// capture from an enclosing scope (parallel-state).
+	ParallelSharedTypes []string
 }
 
 // DefaultConfig is the configuration for this repository: the packages that
@@ -79,6 +87,11 @@ func DefaultConfig() Config {
 			"dynaq/internal/core",
 			"dynaq/internal/buffer",
 			"dynaq/internal/netsim",
+		},
+		ParallelSharedTypes: []string{
+			"dynaq/internal/sim.Simulator",
+			"dynaq/internal/telemetry.Run",
+			"math/rand.Rand",
 		},
 	}
 }

@@ -49,9 +49,13 @@ func (c chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*typ
 }
 
 // fixtureConfig guards the fixture's invariant-owning package instead of the
-// real simulator packages.
+// real simulator packages, and bans the stdlib rand.Rand as the stand-in
+// shared parallel state.
 func fixtureConfig() Config {
-	return Config{GuardedPackages: []string{"guarded"}}
+	return Config{
+		GuardedPackages:     []string{"guarded"},
+		ParallelSharedTypes: []string{"math/rand.Rand"},
+	}
 }
 
 // TestFixtures runs every analyzer over each annotated fixture and matches
@@ -59,7 +63,7 @@ func fixtureConfig() Config {
 // directives and the seeded-rand false-positive cases, which must stay
 // silent.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"determ", "maporder", "floateq"} {
+	for _, name := range []string{"determ", "maporder", "floateq", "parstate"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixtureDir(t, NewLoader(), name)

@@ -17,24 +17,36 @@ type ThroughputSample struct {
 // counters — the paper's "measure per-queue throughput every 0.5 seconds"
 // (testbed) / "every 10ms" (simulation).
 type ThroughputSampler struct {
+	sim      *sim.Simulator
 	port     *netsim.Port
 	interval units.Duration
 	prev     []units.ByteSize
 	samples  []ThroughputSample
-	stop     func()
+	timer    *sim.Timer
 	publish  func(now units.Time, per []units.Rate, agg units.Rate) // set by Publish
 }
 
 // NewThroughputSampler attaches a sampler to port with the given interval
-// and starts it immediately.
+// and starts it immediately. The sampler re-arms one pooled timer per tick,
+// so long runs sample without allocating events.
 func NewThroughputSampler(s *sim.Simulator, port *netsim.Port, interval units.Duration) *ThroughputSampler {
+	if interval <= 0 {
+		panic("metrics: sampler interval must be positive")
+	}
 	ts := &ThroughputSampler{
+		sim:      s,
 		port:     port,
 		interval: interval,
 		prev:     make([]units.ByteSize, port.NumQueues()),
 	}
-	ts.stop = s.Every(interval, func() { ts.sample(s.Now()) })
+	ts.timer = s.NewTimer(ts.tick)
+	ts.timer.Reset(interval)
 	return ts
+}
+
+func (ts *ThroughputSampler) tick() {
+	ts.sample(ts.sim.Now())
+	ts.timer.Reset(ts.interval)
 }
 
 func (ts *ThroughputSampler) sample(now units.Time) {
@@ -54,7 +66,7 @@ func (ts *ThroughputSampler) sample(now units.Time) {
 }
 
 // Stop halts sampling.
-func (ts *ThroughputSampler) Stop() { ts.stop() }
+func (ts *ThroughputSampler) Stop() { ts.timer.Stop() }
 
 // Samples returns the collected series.
 func (ts *ThroughputSampler) Samples() []ThroughputSample { return ts.samples }

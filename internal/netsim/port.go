@@ -53,6 +53,43 @@ type Link struct {
 	// rnd draws uniform [0,1) variates for loss/corruption decisions; it is
 	// injected (seeded) by the fault engine so runs stay deterministic.
 	rnd func() float64
+
+	// freeDel recycles delivery carriers so a steady packet stream puts
+	// frames on the wire without heap allocations.
+	freeDel []*delivery
+}
+
+// delivery carries one in-flight packet across the wire. Together with the
+// package-level deliverFn it replaces the per-packet closure the link would
+// otherwise allocate for the arrival event.
+type delivery struct {
+	link *Link
+	pkt  *packet.Packet
+}
+
+// deliverFn is the shared arrival callback for every link delivery; the
+// carrier is recycled before the receiver runs so the receiver's own sends
+// can reuse it.
+var deliverFn = func(a any) {
+	d := a.(*delivery)
+	l, p := d.link, d.pkt
+	d.link, d.pkt = nil, nil
+	l.freeDel = append(l.freeDel, d)
+	l.dst.Receive(p)
+}
+
+func (l *Link) newDelivery(p *packet.Packet) *delivery {
+	var d *delivery
+	if n := len(l.freeDel); n > 0 {
+		d = l.freeDel[n-1]
+		l.freeDel[n-1] = nil
+		l.freeDel = l.freeDel[:n-1]
+	} else {
+		d = &delivery{}
+	}
+	d.link = l
+	d.pkt = p
+	return d
 }
 
 // NewLink wires a link with the given propagation delay toward dst.
@@ -80,7 +117,7 @@ func (l *Link) Send(p *packet.Packet) SendOutcome {
 		l.corrupted++
 		return SendCorrupted
 	}
-	l.sim.After(l.delay, func() { l.dst.Receive(p) })
+	l.sim.AfterCall(l.delay, deliverFn, l.newDelivery(p))
 	return SendDelivered
 }
 
@@ -269,6 +306,15 @@ type Port struct {
 	queueDrops []int64
 	queueTx    []units.ByteSize
 	hook       EventHook
+
+	// Serialization state. The busy flag guarantees at most one packet is
+	// serializing per port, so the in-flight packet lives in fields instead
+	// of a closure; the two callbacks are bound once at construction. This
+	// keeps the per-packet transmit path allocation-free.
+	txPkt      *packet.Packet
+	txQueue    int
+	txDoneFn   func()
+	transmitFn func()
 }
 
 // pktQueue is a FIFO of packets with byte accounting, backed by a ring-less
@@ -361,6 +407,8 @@ func NewPort(s *sim.Simulator, cfg PortConfig) (*Port, error) {
 		queueDrops: make([]int64, cfg.Queues),
 		queueTx:    make([]units.ByteSize, cfg.Queues),
 	}
+	p.txDoneFn = p.txDone
+	p.transmitFn = p.transmitNext
 	p.enqMark, _ = cfg.Admission.(buffer.EnqueueMarker)
 	p.deqMark, _ = cfg.Admission.(buffer.DequeueMarker)
 	p.deqDrop, _ = cfg.Admission.(buffer.DequeueDropper)
@@ -550,7 +598,7 @@ func (p *Port) transmitNext() {
 		p.stats.DequeueDrops++
 		p.emit(EvDequeueDrop, i, pkt)
 		p.notify()
-		p.sim.After(p.rate.Transmit(pkt.Size), p.transmitNext)
+		p.sim.After(p.rate.Transmit(pkt.Size), p.transmitFn)
 		return
 	}
 	if p.deqMark != nil && p.deqMark.MarkOnDequeue(i, sojourn) {
@@ -560,18 +608,24 @@ func (p *Port) transmitNext() {
 		}
 	}
 	p.notify()
-	txDelay := p.rate.Transmit(pkt.Size)
-	p.sim.After(txDelay, func() {
-		p.stats.TxPackets++
-		p.stats.TxBytes += pkt.Size
-		p.queueTx[i] += pkt.Size
-		p.emit(EvTransmit, i, pkt)
-		switch p.link.Send(pkt) {
-		case SendLost:
-			p.emit(EvLinkDrop, i, pkt)
-		case SendCorrupted:
-			p.emit(EvLinkCorrupt, i, pkt)
-		}
-		p.transmitNext()
-	})
+	p.txPkt, p.txQueue = pkt, i
+	p.sim.After(p.rate.Transmit(pkt.Size), p.txDoneFn)
+}
+
+// txDone completes serialization of the packet parked in txPkt: account it,
+// put it on the wire, and serve the next packet.
+func (p *Port) txDone() {
+	pkt, i := p.txPkt, p.txQueue
+	p.txPkt = nil
+	p.stats.TxPackets++
+	p.stats.TxBytes += pkt.Size
+	p.queueTx[i] += pkt.Size
+	p.emit(EvTransmit, i, pkt)
+	switch p.link.Send(pkt) {
+	case SendLost:
+		p.emit(EvLinkDrop, i, pkt)
+	case SendCorrupted:
+		p.emit(EvLinkCorrupt, i, pkt)
+	}
+	p.transmitNext()
 }

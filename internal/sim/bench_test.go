@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+// reportEventsPerSec attaches the throughput metric cmd/benchjson records
+// into BENCH_<date>.json.
+func reportEventsPerSec(b *testing.B, events int) {
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkEngineSchedule is the headline engine benchmark: schedule one
+// event, run it, repeat — the re-arm pattern every packet and timer in the
+// simulator follows. The acceptance bar is 0 allocs/op: after the first
+// iteration the free list serves every schedule.
+func BenchmarkEngineSchedule(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(units.Microsecond, fn)
+		s.Step()
+	}
+	reportEventsPerSec(b, b.N)
+}
+
+// BenchmarkEngineScheduleDepth64 keeps 64 events pending so every push/pop
+// traverses real heap depth instead of hitting an empty heap.
+func BenchmarkEngineScheduleDepth64(b *testing.B) {
+	s := New()
+	fn := func() {}
+	const depth = 64
+	for j := 0; j < depth; j++ {
+		// Stagger deadlines so the heap holds a spread of times.
+		s.After(units.Duration(j+1)*units.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(depth*units.Microsecond, fn)
+		s.Step()
+	}
+	reportEventsPerSec(b, b.N)
+}
+
+// BenchmarkEngineAfterCall measures the pooled-carrier scheduling path used
+// by netsim's link deliveries: package-level func value + recycled arg.
+func BenchmarkEngineAfterCall(b *testing.B) {
+	s := New()
+	arg := &struct{ n int }{}
+	fn := func(a any) { a.(*struct{ n int }).n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AfterCall(units.Microsecond, fn, arg)
+		s.Step()
+	}
+	reportEventsPerSec(b, b.N)
+}
+
+// BenchmarkEngineTimerReset is the transport-retransmission pattern: one
+// long-lived Timer re-armed on every ACK, rarely firing.
+func BenchmarkEngineTimerReset(b *testing.B) {
+	s := New()
+	tm := s.NewTimer(func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(units.Millisecond)
+	}
+	b.StopTimer()
+	tm.Stop()
+}
+
+// BenchmarkEngineCancel schedules and immediately cancels, exercising
+// removeAt plus free-list recycling.
+func BenchmarkEngineCancel(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cancel(s.After(units.Microsecond, fn))
+	}
+}
+
+// TestEngineScheduleZeroAlloc pins the 0 allocs/op acceptance criterion in
+// the regular test suite so a regression fails `go test`, not just a human
+// reading bench output.
+func TestEngineScheduleZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	s := New()
+	fn := func() {}
+	s.After(units.Microsecond, fn) // warm the free list
+	s.Step()
+	avg := testing.AllocsPerRun(1000, func() {
+		s.After(units.Microsecond, fn)
+		s.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+step allocates %.2f per op, want 0", avg)
+	}
+}
+
+func TestTimerResetZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	s := New()
+	tm := s.NewTimer(func() {})
+	tm.Reset(units.Millisecond) // warm the free list
+	avg := testing.AllocsPerRun(1000, func() {
+		tm.Reset(units.Millisecond)
+	})
+	if avg != 0 {
+		t.Fatalf("Timer.Reset allocates %.2f per op, want 0", avg)
+	}
+}

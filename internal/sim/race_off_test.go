@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// assertions are skipped under -race: the detector instruments closures and
+// interface conversions with bookkeeping allocations that are not ours.
+const raceEnabled = false

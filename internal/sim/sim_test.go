@@ -76,15 +76,15 @@ func TestCancel(t *testing.T) {
 	if ran {
 		t.Fatal("canceled event ran")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-ref cancel are no-ops.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(EventRef{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []int
-	var evs []*Event
+	var evs []EventRef
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, s.At(units.Time(i)*units.Time(units.Microsecond), func() {
@@ -225,6 +225,133 @@ func TestHeapRandomizedOrdering(t *testing.T) {
 			if got[i] < got[i-1] {
 				t.Fatalf("trial %d: time went backwards: %v < %v", trial, got[i], got[i-1])
 			}
+		}
+	}
+}
+
+// TestStaleCancelAfterRecycle is the free-list/Cancel regression test: a ref
+// to an event that has fired (or been canceled) and whose Event object has
+// been recycled for a NEW callback must never cancel — or otherwise disturb —
+// the new event. The generation counter on Event is what detects this.
+func TestStaleCancelAfterRecycle(t *testing.T) {
+	s := New()
+	first := s.At(units.Time(units.Millisecond), func() {})
+	s.Run() // first fires; its Event goes to the free list
+
+	secondRan := false
+	second := s.At(units.Time(2*units.Millisecond), func() { secondRan = true })
+	if second.ev != first.ev {
+		t.Fatal("free list did not recycle the fired event (test precondition)")
+	}
+	s.Cancel(first) // stale ref to the recycled object: must be a no-op
+	if !second.Pending() {
+		t.Fatal("stale Cancel killed the recycled live event")
+	}
+	s.Run()
+	if !secondRan {
+		t.Fatal("recycled event did not fire after stale Cancel")
+	}
+}
+
+// TestCanceledThenRecycledNeverFiresStaleCallback covers the other direction:
+// cancel an event, let its object be recycled, and check that only the new
+// callback runs — the canceled one must be gone for good.
+func TestCanceledThenRecycledNeverFiresStaleCallback(t *testing.T) {
+	s := New()
+	staleRan := false
+	stale := s.At(units.Time(units.Millisecond), func() { staleRan = true })
+	s.Cancel(stale)
+
+	freshRan := false
+	fresh := s.At(units.Time(units.Millisecond), func() { freshRan = true })
+	if fresh.ev != stale.ev {
+		t.Fatal("free list did not recycle the canceled event (test precondition)")
+	}
+	if stale.Pending() {
+		t.Fatal("stale ref claims to be pending after recycle")
+	}
+	s.Run()
+	if staleRan {
+		t.Fatal("canceled-then-recycled event fired its stale callback")
+	}
+	if !freshRan {
+		t.Fatal("recycled event did not fire its new callback")
+	}
+}
+
+func TestPoolReuseGrows(t *testing.T) {
+	s := New()
+	const n = 100
+	var done func()
+	count := 0
+	done = func() {
+		count++
+		if count < n {
+			s.After(units.Microsecond, done)
+		}
+	}
+	s.After(units.Microsecond, done)
+	s.Run()
+	if count != n {
+		t.Fatalf("ran %d events, want %d", count, n)
+	}
+	// The first schedule allocates; every re-arm reuses the fired object.
+	if got := s.PoolReuse(); got != n-1 {
+		t.Fatalf("PoolReuse = %d, want %d", got, n-1)
+	}
+}
+
+func TestAtCallPassesArg(t *testing.T) {
+	s := New()
+	type payload struct{ v int }
+	var got []int
+	deliver := func(a any) { got = append(got, a.(*payload).v) }
+	s.AtCall(units.Time(2*units.Microsecond), deliver, &payload{v: 2})
+	s.AtCall(units.Time(units.Microsecond), deliver, &payload{v: 1})
+	s.AfterCall(3*units.Microsecond, deliver, &payload{v: 3})
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCancelAtCall(t *testing.T) {
+	s := New()
+	ran := false
+	ref := s.AtCall(units.Time(units.Millisecond), func(any) { ran = true }, nil)
+	s.Cancel(ref)
+	s.Run()
+	if ran {
+		t.Fatal("canceled AtCall event ran")
+	}
+}
+
+// TestFourAryHeapStress mixes schedules and cancels at random and checks the
+// (when, seq) pop order invariant plus idx bookkeeping across removeAt paths.
+func TestFourAryHeapStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		var fired []units.Time
+		var refs []EventRef
+		for i := 0; i < 500; i++ {
+			tt := units.Time(rng.Intn(300)) * units.Time(units.Microsecond)
+			refs = append(refs, s.At(tt, func() { fired = append(fired, s.Now()) }))
+			if rng.Intn(3) == 0 && len(refs) > 0 {
+				s.Cancel(refs[rng.Intn(len(refs))])
+			}
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				t.Fatalf("trial %d: time went backwards: %v < %v", trial, fired[i], fired[i-1])
+			}
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("trial %d: %d events left pending", trial, s.Pending())
 		}
 	}
 }
