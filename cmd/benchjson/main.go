@@ -28,6 +28,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"dynaq"
 )
 
 // Result is one benchmark line: the name as printed (including the -N
@@ -55,9 +57,14 @@ func main() {
 	benchRE := flag.String("bench", ".", "regexp selecting benchmarks (go test -bench)")
 	benchtime := flag.String("benchtime", "1x", "per-benchmark time or iteration count (go test -benchtime)")
 	out := flag.String("out", "", "output path (default BENCH_<utc-date>.json)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	var pkgs multiFlag
 	flag.Var(&pkgs, "pkg", "package pattern to benchmark (repeatable; default ./...)")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("benchjson", dynaq.Version)
+		return
+	}
 	if len(pkgs) == 0 {
 		pkgs = []string{"./..."}
 	}

@@ -1,0 +1,91 @@
+// Command dynaqd is the simulation-as-a-service daemon: it accepts scenario
+// JSON over HTTP, queues (scheme, seed, scenario) cells into a bounded FIFO
+// drained by a deterministic worker pool, and serves results from a
+// content-addressed on-disk cache — identical submissions return identical
+// bytes without re-running.
+//
+// Endpoints:
+//
+//	POST /v1/jobs              submit a scenario (or {"scenario":..., "schemes":[...], "seeds":[...]} sweep)
+//	GET  /v1/jobs              list known jobs
+//	GET  /v1/jobs/{id}         job status, per-cell cache keys and artifact paths
+//	GET  /v1/jobs/{id}/events  live progress as chunked JSONL (replayed from cache for finished jobs)
+//	GET  /metrics              Prometheus text format: server counters + cumulative sim series
+//	GET  /healthz              liveness, build version, queue depth
+//
+// SIGTERM/SIGINT drain gracefully: in-flight work finishes, queued jobs
+// stay persisted under -data and resume on the next start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynaq"
+	"dynaq/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataDir     = flag.String("data", "dynaqd-data", "state directory (queue, cache, job records)")
+		queueDepth  = flag.Int("queue", 64, "bounded FIFO depth; submissions beyond it get 503")
+		concurrency = flag.Int("concurrency", 0, "worker pool size for one job's cells (0 = GOMAXPROCS)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution bound (e.g. 5m); 0 disables")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("dynaqd", dynaq.Version)
+		return
+	}
+
+	logger := log.New(os.Stderr, "dynaqd: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		DataDir:     *dataDir,
+		QueueDepth:  *queueDepth,
+		Concurrency: *concurrency,
+		JobTimeout:  *jobTimeout,
+		Version:     dynaq.Version,
+		Log:         logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("version %s listening on %s (data %s)", dynaq.Version, *addr, *dataDir)
+
+	select {
+	case err := <-errCh:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+	logger.Printf("signal received; draining")
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Printf("drain: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("clean shutdown")
+}

@@ -22,17 +22,23 @@ import (
 	"fmt"
 	"os"
 
+	"dynaq"
 	"dynaq/internal/lint"
 )
 
 func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON Lines instead of text")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dynaqlint [-json] [-list] packages...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("dynaqlint", dynaq.Version)
+		return
+	}
 
 	analyzers := lint.All()
 	if *list {

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dynaq"
 	"dynaq/internal/experiment"
 	"dynaq/internal/faults"
 	"dynaq/internal/metrics"
@@ -52,8 +53,13 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		progress = flag.Bool("progress", false, "print wall-clock progress heartbeats to stderr")
+		version  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("dynaqsim", dynaq.Version)
+		return
+	}
 
 	stopProf, err := telemetry.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -149,6 +155,7 @@ func main() {
 		var err error
 		run, err = telemetry.NewRun(*teleDir, telemetry.Manifest{
 			Tool:         "dynaqsim",
+			Version:      dynaq.Version,
 			ScenarioHash: telemetry.Hash([]byte(canonical)),
 			Seed:         *seed,
 			Scheme:       *scheme,
@@ -287,6 +294,7 @@ func runConfig(path, teleDir string, progress bool) {
 	if teleDir != "" {
 		run, err = telemetry.NewRun(teleDir, telemetry.Manifest{
 			Tool:         "dynaqsim",
+			Version:      dynaq.Version,
 			ScenarioHash: telemetry.Hash(data),
 			Seed:         r.Seed(),
 			Scheme:       r.Scheme(),

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"dynaq"
 	"dynaq/internal/experiment"
 	"dynaq/internal/telemetry"
 )
@@ -73,7 +74,12 @@ func main() {
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	progress := flag.Bool("progress", false, "print wall-clock progress heartbeats to stderr while figures run")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("experiments", dynaq.Version)
+		return
+	}
 
 	stopProf, err := telemetry.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -205,6 +211,7 @@ func writeFigureArtifacts(dir, figure, scale string, seed int64, res renderer) e
 	canonical := fmt.Sprintf("fig=%s scale=%s seed=%d", figure, scale, seed)
 	man := telemetry.Manifest{
 		Tool:         "experiments",
+		Version:      dynaq.Version,
 		ScenarioHash: telemetry.Hash([]byte(canonical)),
 		Seed:         seed,
 		Scheme:       figure,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,6 +26,18 @@ import (
 // claiming new trials, in-flight trials finish, and RunTrials returns after
 // every worker has exited.
 func RunTrials[T any](n, workers int, run func(trial int) (T, error)) ([]T, error) {
+	return RunTrialsCtx(context.Background(), n, workers, run)
+}
+
+// RunTrialsCtx is RunTrials with cooperative cancellation — the job-shaped
+// entry point dynaqd's per-job timeouts use. Cancelling ctx stops workers
+// from claiming further trials; trials already in flight run to completion
+// (a single-goroutine simulation cannot be preempted mid-run), after which
+// RunTrialsCtx returns ctx's error. A trial error observed before the
+// cancellation still wins, with the same first-by-index precedence as
+// RunTrials, so results stay independent of worker count and cancellation
+// timing races.
+func RunTrialsCtx[T any](ctx context.Context, n, workers int, run func(trial int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiment: RunTrials needs n > 0")
 	}
@@ -35,6 +48,9 @@ func RunTrials[T any](n, workers int, run func(trial int) (T, error)) ([]T, erro
 	results := make([]T, n)
 	if workers == 1 {
 		for i := range results {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiment: cancelled before trial %d: %w", i, err)
+			}
 			v, err := run(i)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: trial %d: %w", i, err)
@@ -53,7 +69,7 @@ func RunTrials[T any](n, workers int, run func(trial int) (T, error)) ([]T, erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !stop.Load() {
+			for !stop.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -73,6 +89,9 @@ func RunTrials[T any](n, workers int, run func(trial int) (T, error)) ([]T, erro
 		if err != nil {
 			return nil, fmt.Errorf("experiment: trial %d: %w", i, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: trials cancelled: %w", err)
 	}
 	return results, nil
 }

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunTrialsCtxCancelStopsPromptly: cancelling mid-run must stop workers
+// from claiming new trials — far fewer than n trials execute — and the
+// harness must report the context error.
+func TestRunTrialsCtxCancelStopsPromptly(t *testing.T) {
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	_, err := RunTrialsCtx(ctx, n, 4, func(trial int) (int, error) {
+		started.Add(1)
+		// The first few trials cancel the context and then park until the
+		// cancellation is observable, so every later claim sees a dead ctx.
+		once.Do(func() {
+			cancel()
+			close(release)
+		})
+		<-release
+		return trial, nil
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	// In-flight trials (at most one per worker) may finish; nothing new may
+	// start after the cancellation.
+	if got := started.Load(); got > 8 {
+		t.Fatalf("%d trials ran after cancellation; workers did not stop promptly", got)
+	}
+}
+
+// TestRunTrialsCtxSequentialCancel covers the workers==1 fast path: the
+// loop must notice the cancellation between trials.
+func TestRunTrialsCtxSequentialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	_, err := RunTrialsCtx(ctx, 100, 1, func(trial int) (int, error) {
+		ran++
+		if trial == 2 {
+			cancel()
+		}
+		return trial, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d trials, want 3 (cancelled after trial 2)", ran)
+	}
+}
+
+// TestRunTrialsCtxTrialErrorBeatsCancel: a trial failure followed by a
+// context cancellation must surface the trial error (first by index), not
+// the cancellation — the same precedence RunTrials guarantees, and the
+// property that keeps a job's terminal state independent of how the
+// timeout races the failure. Run under -race this also exercises the
+// stop/err handoff across workers.
+func TestRunTrialsCtxTrialErrorBeatsCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunTrialsCtx(ctx, 64, 8, func(trial int) (int, error) {
+		if trial == 5 {
+			cancel() // timeout fires while the failure below is in flight
+		}
+		if trial == 3 {
+			return 0, boom
+		}
+		return trial, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the trial error", err)
+	}
+	if !strings.Contains(err.Error(), "trial 3") {
+		t.Fatalf("error %q does not name the failing trial", err)
+	}
+}
+
+// TestRunTrialsCtxUncancelledMatchesRunTrials: with a background context the
+// ctx path is byte-for-byte the old harness — same results, any worker
+// count.
+func TestRunTrialsCtxUncancelledMatchesRunTrials(t *testing.T) {
+	square := func(trial int) (int, error) { return trial * trial, nil }
+	seq, err := RunTrials(32, 1, square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunTrialsCtx(context.Background(), 32, 8, square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("trial %d: sequential %d != parallel %d", i, seq[i], par[i])
+		}
+	}
+}

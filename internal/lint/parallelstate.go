@@ -27,8 +27,9 @@ var ParallelState = &Analyzer{
 // trialRunnerNames are the harness entry points whose function-literal
 // arguments execute on worker goroutines.
 var trialRunnerNames = map[string]bool{
-	"RunTrials": true,
-	"RunSeeds":  true,
+	"RunTrials":    true,
+	"RunTrialsCtx": true,
+	"RunSeeds":     true,
 }
 
 func runParallelState(p *Pass) {

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -88,6 +90,75 @@ func TestLoadRejectsBadNumbersAndFaults(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+		var verr *ValidationError
+		if !errors.As(err, &verr) {
+			t.Errorf("%s: error %T is not a *ValidationError", tc.name, err)
+		}
+	}
+}
+
+// TestLoadTypedErrors: validation failures carry the offending JSON field so
+// an HTTP server can return a structured 400 body; decode failures carry an
+// empty field.
+func TestLoadTypedErrors(t *testing.T) {
+	_, err := Load([]byte(`{"kind": "static", "rate_gbps": 0, "buffer_bytes": 1, "queues": 2, "rtt_us": 1}`))
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error %T is not a *ValidationError", err)
+	}
+	if verr.Field != "rate_gbps" {
+		t.Fatalf("field %q, want rate_gbps", verr.Field)
+	}
+	_, err = Load([]byte(`{not json`))
+	if !errors.As(err, &verr) {
+		t.Fatalf("decode error %T is not a *ValidationError", err)
+	}
+	if verr.Field != "" {
+		t.Fatalf("decode error carries field %q, want empty", verr.Field)
+	}
+}
+
+// TestLoadRejectsOversizedDocument: an untrusted body past MaxDocumentBytes
+// is refused before decoding.
+func TestLoadRejectsOversizedDocument(t *testing.T) {
+	doc := append([]byte(`{"kind": "static"`), bytes.Repeat([]byte(" "), MaxDocumentBytes)...)
+	_, err := Load(doc)
+	if err == nil {
+		t.Fatal("oversized document accepted")
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error %T is not a *ValidationError", err)
+	}
+	if !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("error %q does not mention the limit", err)
+	}
+}
+
+// TestLoadWithOverrides: the sweep expansion path replaces scheme/seed
+// before validation without touching the document bytes.
+func TestLoadWithOverrides(t *testing.T) {
+	doc := []byte(`{"kind": "static", "scheme": "BestEffort", "rate_gbps": 1,
+	  "buffer_bytes": 30000, "queues": 2, "rtt_us": 100, "duration_s": 1, "seed": 1,
+	  "specs": [{"class": 0, "flows": 2}]}`)
+	seed := int64(42)
+	r, err := LoadWith(doc, Overrides{Scheme: "DynaQ", Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheme() != "DynaQ" || r.Seed() != 42 {
+		t.Fatalf("overrides not applied: scheme=%q seed=%d", r.Scheme(), r.Seed())
+	}
+	if r.static == nil || string(r.static.Scheme) != "DynaQ" || r.static.Seed != 42 {
+		t.Fatal("overrides not wired into the experiment config")
+	}
+	// No overrides leaves the document untouched.
+	r, err = Load(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheme() != "BestEffort" || r.Seed() != 1 {
+		t.Fatalf("plain Load altered the document: scheme=%q seed=%d", r.Scheme(), r.Seed())
 	}
 }
 
@@ -144,6 +215,12 @@ func FuzzLoad(f *testing.F) {
 	f.Add([]byte(`{"kind": "fct", "rate_gbps": 1e308, "buffer_bytes": 9223372036854775807, "queues": 2147483647}`))
 	f.Add([]byte(`{"kind": "static", "rate_gbps": 1, "buffer_bytes": 1000, "queues": 2, "rtt_us": 100,
 	  "duration_s": 1, "faults": [{"kind": "flap", "target": "", "at_s": -1}]}`))
+	// Untrusted-upload hardening corpus: a body past the size limit must be
+	// refused outright, and pathologically deep nesting must come back as
+	// the decoder's depth error, never a stack overflow.
+	f.Add(bytes.Repeat([]byte(`{"kind":`), MaxDocumentBytes/8+1))
+	f.Add(append(append(bytes.Repeat([]byte("["), 50_000), []byte("1")...), bytes.Repeat([]byte("]"), 50_000)...))
+	f.Add([]byte(`{"specs": ` + strings.Repeat(`[`, 12_000) + strings.Repeat(`]`, 12_000) + `}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := Load(data)
 		if (r == nil) == (err == nil) {

@@ -84,6 +84,34 @@ type Document struct {
 // make Load allocate the default weight vector before any experiment runs.
 const maxQueues = 1024
 
+// MaxDocumentBytes bounds the scenario documents Load accepts. Scenarios
+// are small hand-written configurations (the largest shipped one is under
+// 2KB); the limit exists for untrusted input paths — dynaqd's POST /v1/jobs
+// — where an unbounded body would otherwise be decoded at full size before
+// any validation runs.
+const MaxDocumentBytes = 1 << 20
+
+// ValidationError is a typed Load failure suitable for an HTTP 400 body:
+// Field names the offending JSON field (empty when the document itself
+// failed to decode) and Msg says what was wrong with it.
+type ValidationError struct {
+	Field string
+	Msg   string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if e.Field == "" {
+		return "scenario: " + e.Msg
+	}
+	return "scenario: " + e.Field + ": " + e.Msg
+}
+
+// invalidf builds a ValidationError for field with a formatted message.
+func invalidf(field, format string, args ...any) *ValidationError {
+	return &ValidationError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
 // Result is what a loaded scenario produces when run.
 type Result struct {
 	Static  *experiment.StaticResult
@@ -130,32 +158,58 @@ func (r *Runner) SetProgress(w io.Writer) {
 	}
 }
 
+// Overrides replaces selected document fields before validation. It is the
+// sweep-expansion path of dynaqd: one uploaded scenario body fans out into
+// (scheme, seed) cells without re-serializing the document, so the cell's
+// cache identity can stay (scenario hash, scheme, seed) with the overrides
+// carried out-of-band.
+type Overrides struct {
+	// Scheme, when non-empty, replaces the document's scheme.
+	Scheme string
+	// Seed, when non-nil, replaces the document's seed.
+	Seed *int64
+}
+
 // Load parses and validates a JSON scenario.
-func Load(data []byte) (*Runner, error) {
+func Load(data []byte) (*Runner, error) { return LoadWith(data, Overrides{}) }
+
+// LoadWith parses and validates a JSON scenario after applying overrides.
+// Failures are *ValidationError — callers serving untrusted input can map
+// any Load error to an HTTP 400 with a structured body.
+func LoadWith(data []byte, ov Overrides) (*Runner, error) {
+	if len(data) > MaxDocumentBytes {
+		return nil, invalidf("", "document is %d bytes, limit %d", len(data), MaxDocumentBytes)
+	}
 	var doc Document
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+		return nil, &ValidationError{Msg: err.Error()}
+	}
+	if ov.Scheme != "" {
+		doc.Scheme = ov.Scheme
+	}
+	if ov.Seed != nil {
+		doc.Seed = *ov.Seed
 	}
 	r := &Runner{doc: doc}
 	if doc.RateGbps <= 0 {
-		return nil, fmt.Errorf("scenario: rate_gbps must be positive, got %v", doc.RateGbps)
+		return nil, invalidf("rate_gbps", "must be positive, got %v", doc.RateGbps)
 	}
 	if doc.BufferB <= 0 {
-		return nil, fmt.Errorf("scenario: buffer_bytes must be positive, got %d", doc.BufferB)
+		return nil, invalidf("buffer_bytes", "must be positive, got %d", doc.BufferB)
 	}
 	if doc.Queues < 1 || doc.Queues > maxQueues {
-		return nil, fmt.Errorf("scenario: queues must be in [1, %d], got %d", maxQueues, doc.Queues)
+		return nil, invalidf("queues", "must be in [1, %d], got %d", maxQueues, doc.Queues)
 	}
 	if doc.RTTUs < 0 {
-		return nil, fmt.Errorf("scenario: rtt_us must not be negative, got %v", doc.RTTUs)
+		return nil, invalidf("rtt_us", "must not be negative, got %v", doc.RTTUs)
 	}
 	if doc.DetectMs < 0 {
-		return nil, fmt.Errorf("scenario: detection_delay_ms must not be negative, got %v", doc.DetectMs)
+		return nil, invalidf("detection_delay_ms", "must not be negative, got %v", doc.DetectMs)
 	}
 	if err := faults.Validate(doc.Faults); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+		return nil, &ValidationError{Field: "faults", Msg: err.Error()}
 	}
 	weights := doc.Weights
 	if weights == nil {
@@ -165,7 +219,7 @@ func Load(data []byte) (*Runner, error) {
 		}
 	}
 	if len(weights) != doc.Queues {
-		return nil, fmt.Errorf("scenario: %d weights for %d queues", len(weights), doc.Queues)
+		return nil, invalidf("weights", "%d weights for %d queues", len(weights), doc.Queues)
 	}
 	schedKind := experiment.SchedKind(doc.Sched)
 	if doc.Sched == "" {
@@ -183,7 +237,7 @@ func Load(data []byte) (*Runner, error) {
 		for i, sp := range doc.Specs {
 			ctrl, err := controllerByName(sp.Ctrl)
 			if err != nil {
-				return nil, fmt.Errorf("scenario: spec %d: %w", i, err)
+				return nil, invalidf(fmt.Sprintf("specs[%d].ctrl", i), "%v", err)
 			}
 			specs = append(specs, experiment.QueueSpec{
 				Class:  sp.Class,
@@ -213,13 +267,13 @@ func Load(data []byte) (*Runner, error) {
 		}
 	case "fct":
 		if doc.Load <= 0 || doc.Load > 1 {
-			return nil, fmt.Errorf("scenario: load must be in (0, 1], got %v", doc.Load)
+			return nil, invalidf("load", "must be in (0, 1], got %v", doc.Load)
 		}
 		var cdfs []*workload.CDF
-		for _, name := range doc.Workloads {
+		for i, name := range doc.Workloads {
 			cdf, err := workload.ByName(name)
 			if err != nil {
-				return nil, err
+				return nil, invalidf(fmt.Sprintf("workloads[%d]", i), "%v", err)
 			}
 			cdfs = append(cdfs, cdf)
 		}
@@ -248,7 +302,7 @@ func Load(data []byte) (*Runner, error) {
 			DetectionDelay: units.Seconds(doc.DetectMs * 1e-3),
 		}
 	default:
-		return nil, fmt.Errorf("scenario: unknown kind %q (want static or fct)", doc.Kind)
+		return nil, invalidf("kind", "unknown kind %q (want static or fct)", doc.Kind)
 	}
 	return r, nil
 }

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"dynaq/internal/metrics"
+	"dynaq/internal/scenario"
+	"dynaq/internal/telemetry"
+	"dynaq/internal/units"
+)
+
+// CacheKey returns the content address of one result cell. Every input that
+// can change the artifact bytes is part of the key — the scenario document
+// hash, the (scheme, seed) overrides applied on top of it, and the build
+// version (two builds may legitimately disagree about a result, so an
+// upgrade must never serve stale bytes). Nothing else goes in: in
+// particular no wall-clock component, which is what makes a resubmission
+// tomorrow hit today's cache.
+func CacheKey(version, scenarioHash, scheme string, seed int64) string {
+	canonical := "dynaqd-cell\nversion=" + version +
+		"\nscenario=" + scenarioHash +
+		"\nscheme=" + scheme +
+		"\nseed=" + strconv.FormatInt(seed, 10) + "\n"
+	return telemetry.Hash([]byte(canonical))
+}
+
+// cellDir is the cached artifact directory for a cache key, fanned out over
+// a two-hex-digit prefix so one directory never accumulates every result.
+func (s *Server) cellDir(key string) string {
+	return filepath.Join(s.cfg.DataDir, "cache", key[:2], key)
+}
+
+// tmpDir is the in-progress artifact directory for a cell run; a completed
+// run is promoted into cellDir with a rename, so a cache directory is
+// always complete or absent, never half-written.
+func (s *Server) tmpDir(key string) string {
+	return filepath.Join(s.cfg.DataDir, "tmp", key)
+}
+
+// cellManifest builds the telemetry manifest for one cell. Every field is a
+// pure function of the cell's identity, keeping cached and fresh artifact
+// bytes comparable.
+func cellManifest(version, scenarioHash, scheme string, seed int64, key string) telemetry.Manifest {
+	return telemetry.Manifest{
+		Tool:         "dynaqd",
+		Version:      version,
+		ScenarioHash: scenarioHash,
+		Seed:         seed,
+		Scheme:       scheme,
+		Args:         []string{"scheme=" + scheme, "seed=" + strconv.FormatInt(seed, 10), "cache_key=" + key},
+	}
+}
+
+// runCell executes one cell of a job (or serves it from cache). It is the
+// trial function body of the job's RunTrialsCtx pool, so it may run
+// concurrently with other cells of the same job; every piece of simulation
+// state is built inside runCellTo, per cell.
+func (s *Server) runCell(j *Job, c *Cell) error {
+	final := s.cellDir(c.Key)
+	if _, err := os.Stat(filepath.Join(final, telemetry.ManifestFile)); err == nil {
+		s.mu.Lock()
+		c.State = StateDone
+		c.CacheHit = true
+		c.Dir = final
+		s.cacheHits.Inc()
+		s.mu.Unlock()
+		j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"done","cache_hit":true}`+"\n"))
+		return nil
+	}
+
+	s.mu.Lock()
+	c.State = StateRunning
+	s.cacheMisses.Inc()
+	s.mu.Unlock()
+	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"running","scheme":`+strconv.Quote(c.Scheme)+`,"seed":`+strconv.FormatInt(c.Seed, 10)+`}`+"\n"))
+
+	tmp := s.tmpDir(c.Key)
+	if err := os.RemoveAll(tmp); err != nil {
+		return s.failCell(c, fmt.Errorf("clearing stale artifacts: %w", err))
+	}
+	man := cellManifest(s.cfg.Version, j.ScenarioHash, c.Scheme, c.Seed, c.Key)
+	reg, err := runCellTo(tmp, j.Scenario, c.Scheme, c.Seed, man, func(line []byte) {
+		j.bc.publish(c.Index, line)
+	})
+	if err != nil {
+		os.RemoveAll(tmp)
+		return s.failCell(c, err)
+	}
+
+	// Promote atomically. With the single job drainer and per-job cell
+	// dedupe the destination cannot be mid-write by anyone else; if it
+	// exists, a previous run completed it and our bytes are identical by
+	// determinism, so keeping either copy is correct.
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		os.RemoveAll(tmp)
+		return s.failCell(c, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		if _, statErr := os.Stat(filepath.Join(final, telemetry.ManifestFile)); statErr != nil {
+			os.RemoveAll(tmp)
+			return s.failCell(c, err)
+		}
+		os.RemoveAll(tmp)
+	}
+
+	s.mu.Lock()
+	c.State = StateDone
+	c.Dir = final
+	s.cellsRun.Inc()
+	s.absorbLocked(reg)
+	s.mu.Unlock()
+	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"done","cache_hit":false}`+"\n"))
+	return nil
+}
+
+// failCell records a cell failure and returns the error for the trial pool.
+func (s *Server) failCell(c *Cell, err error) error {
+	s.mu.Lock()
+	c.State = StateFailed
+	c.Err = err.Error()
+	s.mu.Unlock()
+	return fmt.Errorf("cell %d (%s/seed %d): %w", c.Index, c.Scheme, c.Seed, err)
+}
+
+// runCellTo executes one (scenario, scheme, seed) cell into dir: a full
+// telemetry Run (events.jsonl, metrics.jsonl, manifest.json) around a
+// scenario execution. It is the common path for the daemon's cache misses
+// and for the byte-diff tests that prove a cached artifact equals a fresh
+// sequential run. The returned registry stays readable after the run for
+// server-level aggregation.
+func runCellTo(dir string, scenarioBytes []byte, scheme string, seed int64, man telemetry.Manifest, tee func(line []byte)) (*telemetry.Registry, error) {
+	r, err := scenario.LoadWith(scenarioBytes, scenario.Overrides{Scheme: scheme, Seed: &seed})
+	if err != nil {
+		return nil, err
+	}
+	run, err := telemetry.NewRun(dir, man)
+	if err != nil {
+		return nil, err
+	}
+	if tee != nil {
+		run.Tee(tee)
+	}
+	r.SetTelemetry(run)
+	res, err := r.Run()
+	if err != nil {
+		run.Close()
+		return nil, err
+	}
+	summarize(run, res)
+	return run.Registry(), run.Close()
+}
+
+// summarize records the result headline into the manifest summary, the same
+// fields dynaqsim -config emits so artifacts are comparable across tools.
+func summarize(run *telemetry.Run, res *scenario.Result) {
+	switch {
+	case res.Static != nil:
+		run.Summarize("drops", strconv.FormatInt(res.Static.Drops, 10))
+		run.Summarize("samples", strconv.Itoa(len(res.Static.Samples)))
+	case res.Dynamic != nil:
+		run.Summarize("flows_generated", strconv.Itoa(res.Dynamic.Generated))
+		run.Summarize("flows_completed", strconv.Itoa(res.Dynamic.Completed))
+		run.Summarize("avg_fct_us_overall",
+			strconv.FormatInt(int64(res.Dynamic.FCT.Avg(metrics.AllFlows)/units.Microsecond), 10))
+	}
+}
+
+// absorbLocked folds a finished cell's counter series into the server's
+// cumulative sim totals, exposed on /metrics as dynaqd_sim_<series>. Gauges
+// are skipped — an instantaneous value of a finished simulation is not
+// meaningful across runs. The caller holds s.mu.
+func (s *Server) absorbLocked(reg *telemetry.Registry) {
+	for _, sv := range reg.Snapshot() {
+		if sv.Kind == "counter" {
+			s.simTotals["dynaqd_sim_"+sv.ID] += sv.Value
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"dynaq/internal/scenario"
+	"dynaq/internal/telemetry"
+)
+
+// maxBodyBytes bounds a POST /v1/jobs body: a scenario document at its own
+// limit plus sweep-wrapper overhead.
+const maxBodyBytes = scenario.MaxDocumentBytes + 64*1024
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// errorBody is every non-2xx JSON response. Field carries the offending
+// scenario field for validation failures.
+type errorBody struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+// handleSubmit accepts a scenario (or sweep wrapper), expands and enqueues
+// it. Responses: 202 with the job status when enqueued or already in
+// flight; 400 on validation failure; 413 on an oversized body; 503 when
+// draining or the queue is full. Resubmitting terminal work re-enqueues it
+// under the same content-addressed id — done cells then come back as cache
+// hits without re-running, failed ones get a retry.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.countReject("invalid")
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "body exceeds " + strconv.FormatInt(tooLarge.Limit, 10) + " bytes"})
+			return
+		}
+		s.countReject("invalid")
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	j, err := buildJob(parseRequest(body), s.cfg.Version)
+	if err != nil {
+		s.countReject("invalid")
+		var verr *scenario.ValidationError
+		if errors.As(err, &verr) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: verr.Error(), Field: verr.Field})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	if !s.accepting {
+		s.rejected["draining"].Inc()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining: not accepting jobs"})
+		return
+	}
+	if existing, ok := s.jobs[j.ID]; ok && !terminal(existing.State) {
+		// Identical work already queued or running: hand back its handle.
+		s.jobsDeduped.Inc()
+		st := s.statusLocked(existing)
+		s.mu.Unlock()
+		w.Header().Set("Location", "/v1/jobs/"+st.ID)
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	// New work, or a resubmission of terminal work — the latter re-enqueues
+	// a fresh job under the same content-addressed id; done cells come back
+	// as cache hits, failed ones re-run.
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected["queue_full"].Inc()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "queue full (depth " + strconv.Itoa(cap(s.queue)) + ")"})
+		return
+	}
+	s.jobs[j.ID] = j
+	s.jobsSubbed.Inc()
+	if err := s.persistRequest(j, body); err != nil {
+		s.logf("job %s: persisting request: %v", j.ID, err)
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	s.logf("job %s: queued (%d cells)", st.ID, len(st.Cells))
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) countReject(reason string) {
+	s.mu.Lock()
+	s.rejected[reason].Inc()
+	s.mu.Unlock()
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams a job's progress as chunked JSONL (NDJSON): each
+// line is one telemetry event wrapped with the producing cell index, and
+// the stream ends with a {"cell":-1,"kind":"job",...} terminal line. For a
+// terminal job the stored events.jsonl of every cell is replayed; for a
+// live job the subscriber receives events from attach time onward.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Subscribe before inspecting the state so no line is lost between the
+	// terminal check and the attach.
+	ch := j.bc.subscribe()
+	s.mu.Lock()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+
+	if terminal(st.State) {
+		for _, c := range st.Cells {
+			if c.ArtifactDir != "" {
+				s.replayCellEvents(w, c)
+			}
+		}
+		writeFinal(w, st)
+		flush()
+		return
+	}
+
+	w.Write(statusLine(st))
+	flush()
+	for {
+		select {
+		case line, open := <-ch:
+			if !open {
+				s.mu.Lock()
+				st = s.statusLocked(j)
+				s.mu.Unlock()
+				writeFinal(w, st)
+				flush()
+				return
+			}
+			w.Write(line)
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// statusLine renders a {"cell":-1,"kind":"job","state":...} progress line.
+func statusLine(st JobStatus) []byte {
+	b := []byte(`{"cell":-1,"kind":"job","state":`)
+	b = strconv.AppendQuote(b, st.State)
+	b = append(b, '}', '\n')
+	return b
+}
+
+// writeFinal emits the terminal job line with the cell -1 wrapper.
+func writeFinal(w io.Writer, st JobStatus) {
+	line := finalStatusLine(st)
+	b := append([]byte(`{"cell":-1,`), line[1:]...)
+	w.Write(b)
+}
+
+// replayCellEvents streams one cached cell's events.jsonl, wrapping each
+// stored line with the cell index exactly as the live path does.
+func (s *Server) replayCellEvents(w io.Writer, c CellStatus) {
+	f, err := os.Open(filepath.Join(c.ArtifactDir, telemetry.EventsFile))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	prefix := append([]byte(`{"cell":`), strconv.AppendInt(nil, int64(c.Index), 10)...)
+	prefix = append(prefix, ',')
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) < 2 || line[0] != '{' {
+			continue
+		}
+		w.Write(prefix)
+		w.Write(line[1:])
+		w.Write([]byte{'\n'})
+	}
+}
+
+// handleMetrics renders the server registry (job/queue/cache counters) plus
+// the cumulative per-series sim totals absorbed from completed cells, all
+// in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.mu.Lock()
+	err := s.reg.WritePrometheus(&buf)
+	ids := make([]string, 0, len(s.simTotals))
+	for id := range s.simTotals {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		buf.WriteString(id)
+		buf.WriteByte(' ')
+		buf.WriteString(strconv.FormatInt(s.simTotals[id], 10))
+		buf.WriteByte('\n')
+	}
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	state := "serving"
+	if !s.accepting {
+		state = "draining"
+	}
+	depth := len(s.queue)
+	running := s.running
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"state":        state,
+		"version":      s.cfg.Version,
+		"queue_depth":  depth,
+		"jobs_running": running,
+	})
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"dynaq/internal/scenario"
+	"dynaq/internal/telemetry"
+)
+
+// Job states. A job is terminal in StateDone or StateFailed; StateQueued
+// jobs survive a daemon restart (their request bytes and queue position are
+// persisted at submit time).
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// maxCellsPerJob bounds the sweep fan-out of one submission so a single
+// request cannot enqueue unbounded work.
+const maxCellsPerJob = 256
+
+// Request is the POST /v1/jobs body: either a bare scenario document
+// (exactly what dynaqsim -config accepts) or a wrapper that fans one
+// scenario out into a (scheme, seed) sweep — every combination becomes one
+// independently cached cell.
+type Request struct {
+	Scenario json.RawMessage `json:"scenario"`
+	Schemes  []string        `json:"schemes,omitempty"`
+	Seeds    []int64         `json:"seeds,omitempty"`
+}
+
+// parseRequest decodes a POST body. A body that does not strictly match the
+// wrapper shape is treated as a bare scenario document; its own scheme and
+// seed fields then define the job's single cell.
+func parseRequest(body []byte) Request {
+	var req Request
+	if err := strictUnmarshal(body, &req); err == nil && req.Scenario != nil {
+		return req
+	}
+	return Request{Scenario: body}
+}
+
+// strictUnmarshal is json.Unmarshal with unknown fields rejected, so a bare
+// scenario document (whose fields the wrapper does not know) falls through
+// to bare-mode parsing instead of silently losing its content.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// Cell is one (scenario, scheme, seed) unit of work: the granularity of
+// both execution (one trial in the job's RunTrialsCtx pool) and caching
+// (one content-addressed artifact directory).
+type Cell struct {
+	Index    int
+	Scheme   string
+	Seed     int64
+	Key      string // content address: CacheKey(version, scenario hash, scheme, seed)
+	State    string
+	CacheHit bool
+	Dir      string // artifact directory once done
+	Err      string
+}
+
+// Job is one submission: a scenario body plus its expanded cells.
+type Job struct {
+	ID           string
+	State        string
+	Err          string
+	Scenario     []byte // raw scenario document (cells apply overrides out-of-band)
+	ScenarioHash string
+	CacheHit     bool // terminal: every cell was served from cache
+	Cells        []*Cell
+
+	bc   *broadcaster
+	done chan struct{} // closed on terminal state
+}
+
+// buildJob validates a request and expands its cells under the given build
+// version. Validation errors are *scenario.ValidationError, mapped to HTTP
+// 400 by the submit handler.
+func buildJob(req Request, version string) (*Job, error) {
+	base, err := scenario.Load(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	schemes := req.Schemes
+	if len(schemes) == 0 {
+		schemes = []string{base.Scheme()}
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{base.Seed()}
+	}
+	if len(schemes)*len(seeds) > maxCellsPerJob {
+		return nil, &scenario.ValidationError{
+			Field: "schemes",
+			Msg:   fmt.Sprintf("%d×%d cells exceed the per-job limit of %d", len(schemes), len(seeds), maxCellsPerJob),
+		}
+	}
+	hash := telemetry.Hash(req.Scenario)
+	j := &Job{
+		ID:           "", // filled below, over the expanded cells
+		State:        StateQueued,
+		Scenario:     req.Scenario,
+		ScenarioHash: hash,
+		bc:           newBroadcaster(),
+		done:         make(chan struct{}),
+	}
+	seen := make(map[string]bool)
+	for _, scheme := range schemes {
+		for _, seed := range seeds {
+			key := CacheKey(version, hash, scheme, seed)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			j.Cells = append(j.Cells, &Cell{
+				Index:  len(j.Cells),
+				Scheme: scheme,
+				Seed:   seed,
+				Key:    key,
+				State:  StateQueued,
+			})
+		}
+	}
+	j.ID = jobID(hash, j.Cells)
+	return j, nil
+}
+
+// jobID derives the job's identity from its content: the scenario hash plus
+// the expanded (scheme, seed) cells. Resubmitting the same work yields the
+// same id, which is what lets the daemon dedupe in-flight duplicates and
+// turn resubmissions of finished work into cache hits. The build version is
+// deliberately excluded — a job keeps its handle across daemon upgrades,
+// while its cells' cache keys (which do include the version) force a
+// re-run.
+func jobID(scenarioHash string, cells []*Cell) string {
+	b := []byte("dynaqd-job\nscenario=" + scenarioHash + "\n")
+	for _, c := range cells {
+		b = append(b, "cell="...)
+		b = append(b, c.Scheme...)
+		b = append(b, '/')
+		b = strconv.AppendInt(b, c.Seed, 10)
+		b = append(b, '\n')
+	}
+	return telemetry.Hash(b)[:16]
+}
+
+// CellStatus is the wire form of one cell in GET /v1/jobs/{id}.
+type CellStatus struct {
+	Index       int    `json:"index"`
+	Scheme      string `json:"scheme"`
+	Seed        int64  `json:"seed"`
+	CacheKey    string `json:"cache_key"`
+	State       string `json:"state"`
+	CacheHit    bool   `json:"cache_hit"`
+	ArtifactDir string `json:"artifact_dir,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// JobStatus is the wire form of GET /v1/jobs/{id} and the terminal state
+// persisted as status.json.
+type JobStatus struct {
+	ID           string       `json:"id"`
+	State        string       `json:"state"`
+	ScenarioHash string       `json:"scenario_hash"`
+	Version      string       `json:"version"`
+	CacheHit     bool         `json:"cache_hit"`
+	Error        string       `json:"error,omitempty"`
+	Cells        []CellStatus `json:"cells"`
+}
+
+// statusLocked snapshots a job for the wire; the caller holds s.mu.
+func (s *Server) statusLocked(j *Job) JobStatus {
+	st := JobStatus{
+		ID:           j.ID,
+		State:        j.State,
+		ScenarioHash: j.ScenarioHash,
+		Version:      s.cfg.Version,
+		CacheHit:     j.CacheHit,
+		Error:        j.Err,
+		Cells:        make([]CellStatus, 0, len(j.Cells)),
+	}
+	for _, c := range j.Cells {
+		st.Cells = append(st.Cells, CellStatus{
+			Index:       c.Index,
+			Scheme:      c.Scheme,
+			Seed:        c.Seed,
+			CacheKey:    c.Key,
+			State:       c.State,
+			CacheHit:    c.CacheHit,
+			ArtifactDir: c.Dir,
+			Error:       c.Err,
+		})
+	}
+	return st
+}
+
+// jobFromStatus rebuilds a terminal job from its persisted status.json —
+// enough for GET and events replay across a daemon restart. The scenario
+// bytes are not reloaded; a resubmission re-parses the request body.
+func jobFromStatus(st JobStatus) *Job {
+	j := &Job{
+		ID:           st.ID,
+		State:        st.State,
+		Err:          st.Error,
+		ScenarioHash: st.ScenarioHash,
+		CacheHit:     st.CacheHit,
+		bc:           newBroadcaster(),
+		done:         make(chan struct{}),
+	}
+	for _, cs := range st.Cells {
+		j.Cells = append(j.Cells, &Cell{
+			Index:    cs.Index,
+			Scheme:   cs.Scheme,
+			Seed:     cs.Seed,
+			Key:      cs.CacheKey,
+			State:    cs.State,
+			CacheHit: cs.CacheHit,
+			Dir:      cs.ArtifactDir,
+			Err:      cs.Error,
+		})
+	}
+	j.bc.close()
+	close(j.done)
+	return j
+}
+
+// terminal reports whether a job state is final.
+func terminal(state string) bool { return state == StateDone || state == StateFailed }

@@ -1,0 +1,375 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dynaq/internal/experiment"
+	"dynaq/internal/telemetry"
+)
+
+// Config parameterizes a daemon instance.
+type Config struct {
+	// DataDir roots all persistent state: jobs/ (requests and terminal
+	// statuses), queue/ (pending markers, replayed FIFO on restart),
+	// cache/ (content-addressed artifacts), tmp/ (in-progress runs).
+	DataDir string
+	// QueueDepth bounds the FIFO job queue; a submit beyond it is
+	// rejected with 503. 0 selects 64.
+	QueueDepth int
+	// Concurrency caps the worker pool that runs one job's cells
+	// (experiment.RunTrialsCtx workers). 0 selects GOMAXPROCS.
+	Concurrency int
+	// JobTimeout bounds one job's wall-clock execution; past it the job
+	// fails terminally. Cells already in flight finish (a single-goroutine
+	// simulation cannot be preempted), but no further cells start. 0
+	// disables the timeout.
+	JobTimeout time.Duration
+	// Version is the build stamp (dynaq.Version) folded into cache keys
+	// and manifests.
+	Version string
+	// Log receives lifecycle lines; nil silences them.
+	Log *log.Logger
+}
+
+// Server is the dynaqd HTTP handler plus its queue, drainer, cache, and
+// metric registry. Create with New, start the drainer with Start, and stop
+// with Shutdown.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	queue     chan *Job
+	seq       int
+	accepting bool
+	running   int64
+
+	reg         *telemetry.Registry
+	simTotals   map[string]int64
+	jobsSubbed  *telemetry.Counter
+	jobsDeduped *telemetry.Counter
+	jobsDone    *telemetry.Counter
+	jobsFailed  *telemetry.Counter
+	cellsRun    *telemetry.Counter
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	rejected    map[string]*telemetry.Counter
+
+	stop    chan struct{}
+	drained chan struct{}
+
+	// testJobStart, when set (tests only), runs synchronously as a job
+	// leaves the queue — the hook drain tests use to hold a job "running"
+	// at a deterministic point.
+	testJobStart func(*Job)
+}
+
+// New builds a server over DataDir, recovering persisted state: terminal
+// jobs become queryable again and queued jobs re-enter the FIFO in their
+// original order. The drainer is not started yet — call Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	for _, sub := range []string{"jobs", "queue", "cache", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(cfg.DataDir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:       cfg,
+		jobs:      make(map[string]*Job),
+		accepting: true,
+		reg:       telemetry.NewRegistry(),
+		simTotals: make(map[string]int64),
+		rejected:  make(map[string]*telemetry.Counter),
+		stop:      make(chan struct{}),
+		drained:   make(chan struct{}),
+	}
+	s.jobsSubbed = s.reg.Counter("dynaqd_jobs_submitted_total")
+	s.jobsDeduped = s.reg.Counter("dynaqd_jobs_deduped_total")
+	s.jobsDone = s.reg.Counter("dynaqd_jobs_completed_total")
+	s.jobsFailed = s.reg.Counter("dynaqd_jobs_failed_total")
+	s.cellsRun = s.reg.Counter("dynaqd_cells_completed_total")
+	s.cacheHits = s.reg.Counter("dynaqd_cache_hits_total")
+	s.cacheMisses = s.reg.Counter("dynaqd_cache_misses_total")
+	for _, reason := range []string{"draining", "invalid", "queue_full"} {
+		s.rejected[reason] = s.reg.Counter("dynaqd_jobs_rejected_total", telemetry.L("reason", reason))
+	}
+	s.reg.Gauge("dynaqd_build_info", telemetry.L("version", cfg.Version)).Set(1)
+	s.reg.GaugeFunc("dynaqd_queue_depth", func() int64 { return int64(len(s.queue)) })
+	s.reg.GaugeFunc("dynaqd_jobs_running", func() int64 { return s.running })
+
+	markers, err := s.loadQueueMarkers()
+	if err != nil {
+		return nil, err
+	}
+	// Size the channel to hold the whole recovered backlog plus the
+	// configured headroom, so recovery never blocks or drops.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(markers))
+	if err := s.recoverTerminal(); err != nil {
+		return nil, err
+	}
+	if err := s.recoverQueued(markers); err != nil {
+		return nil, err
+	}
+	s.routes()
+	return s, nil
+}
+
+// Start launches the drain loop: jobs leave the FIFO one at a time, each
+// fanning its cells onto a RunTrialsCtx worker pool capped at
+// cfg.Concurrency. Total simulation parallelism is therefore bounded by the
+// cap regardless of queue length.
+func (s *Server) Start() { go s.drain() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains gracefully: new submissions are rejected, the job in
+// flight finishes, and still-queued jobs stay persisted on disk for the
+// next daemon instance to resume. It returns once the drainer has exited or
+// ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosing := !s.accepting
+	s.accepting = false
+	s.mu.Unlock()
+	if !alreadyClosing {
+		close(s.stop)
+	}
+	select {
+	case <-s.drained:
+		s.logf("drained; %d job(s) left queued on disk", len(s.queue))
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// drain is the queue consumer. Checking stop before selecting keeps the
+// contract exact: once Shutdown begins, no further job leaves the queue
+// even if both channels are ready.
+func (s *Server) drain() {
+	defer close(s.drained)
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job's cells on a trial pool and settles its terminal
+// state.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	j.State = StateRunning
+	s.running++
+	s.mu.Unlock()
+	s.logf("job %s: running %d cell(s)", j.ID, len(j.Cells))
+	j.bc.publish(-1, []byte(`{"kind":"job","state":"running"}`+"\n"))
+	if s.testJobStart != nil {
+		s.testJobStart(j)
+	}
+
+	ctx := context.Background()
+	cancel := func() {}
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	}
+	_, err := experiment.RunTrialsCtx(ctx, len(j.Cells), s.cfg.Concurrency, func(i int) (struct{}, error) {
+		return struct{}{}, s.runCell(j, j.Cells[i])
+	})
+	cancel()
+
+	s.mu.Lock()
+	s.running--
+	if err != nil {
+		j.State = StateFailed
+		j.Err = err.Error()
+		s.jobsFailed.Inc()
+	} else {
+		j.State = StateDone
+		j.CacheHit = allCached(j.Cells)
+		s.jobsDone.Inc()
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+
+	if perr := s.persistStatus(st); perr != nil {
+		s.logf("job %s: persisting status: %v", j.ID, perr)
+	}
+	s.removeQueueMarker(j.ID)
+	j.bc.publish(-1, finalStatusLine(st))
+	j.bc.close()
+	close(j.done)
+	s.logf("job %s: %s", j.ID, st.State)
+}
+
+// allCached reports whether every cell was served from cache.
+func allCached(cells []*Cell) bool {
+	for _, c := range cells {
+		if !c.CacheHit {
+			return false
+		}
+	}
+	return len(cells) > 0
+}
+
+// finalStatusLine renders the terminal job event appended to every event
+// stream.
+func finalStatusLine(st JobStatus) []byte {
+	b := []byte(`{"kind":"job","state":`)
+	b = strconv.AppendQuote(b, st.State)
+	b = append(b, `,"cache_hit":`...)
+	b = strconv.AppendBool(b, st.CacheHit)
+	if st.Error != "" {
+		b = append(b, `,"error":`...)
+		b = strconv.AppendQuote(b, st.Error)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// --- persistence ---------------------------------------------------------
+
+func (s *Server) jobDir(id string) string { return filepath.Join(s.cfg.DataDir, "jobs", id) }
+
+// persistRequest records a submission before it is enqueued, so a queued
+// job survives a daemon restart: request.json holds the raw body and a
+// queue marker holds the FIFO position.
+func (s *Server) persistRequest(j *Job, body []byte) error {
+	dir := s.jobDir(j.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "request.json"), body, 0o644); err != nil {
+		return err
+	}
+	s.seq++
+	marker := filepath.Join(s.cfg.DataDir, "queue", fmt.Sprintf("%08d-%s", s.seq, j.ID))
+	return os.WriteFile(marker, nil, 0o644)
+}
+
+func (s *Server) persistStatus(st JobStatus) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := s.jobDir(st.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "status.json"), append(data, '\n'), 0o644)
+}
+
+// removeQueueMarker deletes a job's pending marker (any sequence prefix).
+func (s *Server) removeQueueMarker(id string) {
+	entries, err := os.ReadDir(filepath.Join(s.cfg.DataDir, "queue"))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), "-"+id) {
+			os.Remove(filepath.Join(s.cfg.DataDir, "queue", e.Name()))
+		}
+	}
+}
+
+// loadQueueMarkers returns pending markers sorted by sequence (FIFO order)
+// and advances the sequence counter past them.
+func (s *Server) loadQueueMarkers() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.cfg.DataDir, "queue"))
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if seq, _, ok := strings.Cut(name, "-"); ok {
+			if n, err := strconv.Atoi(seq); err == nil && n > s.seq {
+				s.seq = n
+			}
+		}
+	}
+	return names, nil
+}
+
+// recoverTerminal loads every persisted terminal job so GET /v1/jobs/{id}
+// and cache-hit resubmission work across restarts.
+func (s *Server) recoverTerminal() error {
+	entries, err := os.ReadDir(filepath.Join(s.cfg.DataDir, "jobs"))
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(s.jobDir(e.Name()), "status.json"))
+		if err != nil {
+			continue // queued job (no terminal status yet) or foreign file
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil || !terminal(st.State) {
+			continue
+		}
+		s.jobs[st.ID] = jobFromStatus(st)
+	}
+	return nil
+}
+
+// recoverQueued re-enqueues persisted pending jobs in marker order. Cells
+// are re-expanded under the current build version, so work queued before an
+// upgrade re-runs instead of hitting a stale cache.
+func (s *Server) recoverQueued(markers []string) error {
+	for _, name := range markers {
+		_, id, ok := strings.Cut(name, "-")
+		if !ok {
+			continue
+		}
+		marker := filepath.Join(s.cfg.DataDir, "queue", name)
+		body, err := os.ReadFile(filepath.Join(s.jobDir(id), "request.json"))
+		if err != nil {
+			s.logf("job %s: dropping unreadable queued request: %v", id, err)
+			os.Remove(marker)
+			continue
+		}
+		j, err := buildJob(parseRequest(body), s.cfg.Version)
+		if err != nil {
+			s.logf("job %s: queued request no longer validates: %v", id, err)
+			os.Remove(marker)
+			continue
+		}
+		j.ID = id // keep the persisted handle even if expansion rules evolve
+		s.jobs[id] = j
+		s.queue <- j
+	}
+	return nil
+}

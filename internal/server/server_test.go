@@ -1,0 +1,594 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"dynaq/internal/telemetry"
+)
+
+// testScenario is a deliberately tiny static run (50 simulated ms, 2 flows)
+// so one cell completes in well under a second of wall time.
+const testScenario = `{"kind":"static","scheme":"BestEffort","rate_gbps":1,"buffer_bytes":30000,"queues":2,"rtt_us":100,"duration_s":0.05,"sample_ms":10,"seed":1,"specs":[{"class":0,"flows":2}]}`
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		DataDir:     t.TempDir(),
+		QueueDepth:  8,
+		Concurrency: 1,
+		Version:     "test-v1",
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, body string) (JobStatus, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decoding submit response: %v\n%s", err, data)
+		}
+	}
+	return st, resp
+}
+
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decoding status: %v\n%s", err, data)
+		}
+		if terminal(st.State) {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return JobStatus{}
+}
+
+// TestEndToEnd is the service acceptance path: submit → fresh run → artifact
+// on disk; resubmit → cache hit, same artifact directory; and the cached
+// artifact is byte-identical to a fresh sequential run of the same cell.
+func TestEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	s.Start()
+	defer s.Shutdown(shutdownCtx(t))
+
+	st, resp := submit(t, ts, testScenario)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+st.ID {
+		t.Fatalf("Location = %q, want /v1/jobs/%s", loc, st.ID)
+	}
+	if len(st.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(st.Cells))
+	}
+
+	done := waitTerminal(t, ts, st.ID)
+	if done.State != StateDone {
+		t.Fatalf("state = %s (err %q), want done", done.State, done.Error)
+	}
+	if done.CacheHit {
+		t.Fatal("first run reported cache_hit")
+	}
+	cell := done.Cells[0]
+	if cell.CacheHit || cell.State != StateDone {
+		t.Fatalf("cell = %+v, want fresh done", cell)
+	}
+	for _, f := range []string{telemetry.ManifestFile, telemetry.EventsFile, telemetry.MetricsFile} {
+		if _, err := os.Stat(filepath.Join(cell.ArtifactDir, f)); err != nil {
+			t.Errorf("artifact %s: %v", f, err)
+		}
+	}
+
+	// Resubmit: same job id, every cell served from cache, same artifact dir.
+	st2, _ := submit(t, ts, testScenario)
+	if st2.ID != st.ID {
+		t.Fatalf("resubmit id = %s, want %s", st2.ID, st.ID)
+	}
+	done2 := waitTerminal(t, ts, st2.ID)
+	if done2.State != StateDone || !done2.CacheHit {
+		t.Fatalf("resubmit = %s cache_hit=%v, want done from cache", done2.State, done2.CacheHit)
+	}
+	if !done2.Cells[0].CacheHit || done2.Cells[0].ArtifactDir != cell.ArtifactDir {
+		t.Fatalf("resubmit cell = %+v, want cache hit at %s", done2.Cells[0], cell.ArtifactDir)
+	}
+
+	// Byte-diff: a fresh sequential run of the same cell through the shared
+	// execution path must produce exactly the cached bytes.
+	fresh := filepath.Join(t.TempDir(), "fresh")
+	man := cellManifest("test-v1", done.ScenarioHash, cell.Scheme, cell.Seed, cell.CacheKey)
+	if _, err := runCellTo(fresh, []byte(testScenario), cell.Scheme, cell.Seed, man, nil); err != nil {
+		t.Fatalf("fresh runCellTo: %v", err)
+	}
+	diffDirs(t, cell.ArtifactDir, fresh)
+}
+
+// diffDirs asserts two artifact directories hold identical file sets with
+// identical bytes.
+func diffDirs(t *testing.T, a, b string) {
+	t.Helper()
+	names := func(dir string) []string {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("ReadDir %s: %v", dir, err)
+		}
+		var out []string
+		for _, e := range entries {
+			out = append(out, e.Name())
+		}
+		sort.Strings(out)
+		return out
+	}
+	an, bn := names(a), names(b)
+	if fmt.Sprint(an) != fmt.Sprint(bn) {
+		t.Fatalf("file sets differ: %v vs %v", an, bn)
+	}
+	for _, name := range an {
+		ab, err := os.ReadFile(filepath.Join(a, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(filepath.Join(b, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("%s differs between cached and fresh run (%d vs %d bytes)", name, len(ab), len(bb))
+		}
+	}
+}
+
+// shutdownCtx bounds a test Shutdown so a drain bug fails the test instead
+// of hanging it.
+func shutdownCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestSweepExpansion checks the wrapper form: schemes × seeds become
+// deduplicated cells and the job id is a pure function of the expansion.
+func TestSweepExpansion(t *testing.T) {
+	body := `{"scenario":` + testScenario + `,"schemes":["BestEffort","DynaQ","BestEffort"],"seeds":[1,2]}`
+	j, err := buildJob(parseRequest([]byte(body)), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BestEffort repeated: 2 schemes × 2 seeds = 4 unique cells.
+	if len(j.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(j.Cells))
+	}
+	j2, err := buildJob(parseRequest([]byte(body)), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != j2.ID {
+		t.Fatalf("job id not stable: %s vs %s", j.ID, j2.ID)
+	}
+	// The id survives version changes (handles outlive upgrades)...
+	j3, err := buildJob(parseRequest([]byte(body)), "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID != j.ID {
+		t.Fatalf("job id changed with version: %s vs %s", j3.ID, j.ID)
+	}
+	// ...while the cells' cache keys do not (upgrades re-run).
+	if j3.Cells[0].Key == j.Cells[0].Key {
+		t.Fatal("cell cache key did not change with version")
+	}
+}
+
+// TestCacheKeyVersioned pins the satellite requirement: the cache key moves
+// with the build version and with every other identity input.
+func TestCacheKeyVersioned(t *testing.T) {
+	base := CacheKey("v1", "hash", "DynaQ", 1)
+	for name, other := range map[string]string{
+		"version": CacheKey("v2", "hash", "DynaQ", 1),
+		"hash":    CacheKey("v1", "hash2", "DynaQ", 1),
+		"scheme":  CacheKey("v1", "hash", "BestEffort", 1),
+		"seed":    CacheKey("v1", "hash", "DynaQ", 2),
+	} {
+		if other == base {
+			t.Errorf("cache key ignores %s", name)
+		}
+	}
+	if again := CacheKey("v1", "hash", "DynaQ", 1); again != base {
+		t.Error("cache key not deterministic")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	// Invalid scenario: typed field surfaces in the 400 body.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"static","scheme":"BestEffort","rate_gbps":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400\n%s", resp.StatusCode, data)
+	}
+	var eb struct {
+		Error string `json:"error"`
+		Field string `json:"field"`
+	}
+	if err := json.Unmarshal(data, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Field != "rate_gbps" {
+		t.Fatalf("field = %q, want rate_gbps\n%s", eb.Field, data)
+	}
+
+	// Oversized body: 413 before any parsing.
+	big := `{"pad":"` + strings.Repeat("x", maxBodyBytes) + `"}`
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized status = %d, want 413", resp.StatusCode)
+	}
+
+	// Unknown job: 404.
+	resp, err = http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestQueueFull fills the bounded FIFO of a server whose drainer was never
+// started and checks the overflow submission is rejected with 503.
+func TestQueueFull(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.QueueDepth = 1 })
+
+	first := strings.Replace(testScenario, `"seed":1`, `"seed":11`, 1)
+	if _, resp := submit(t, ts, first); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", resp.StatusCode)
+	}
+	second := strings.Replace(testScenario, `"seed":1`, `"seed":12`, 1)
+	_, resp := submit(t, ts, second)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestDedupeInFlight holds a job at its start hook and resubmits it: the
+// duplicate must come back 202 with the same id without enqueuing new work.
+func TestDedupeInFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s, ts := newTestServer(t, nil)
+	s.testJobStart = func(*Job) {
+		close(started)
+		<-release
+	}
+	s.Start()
+	defer s.Shutdown(shutdownCtx(t))
+
+	st, _ := submit(t, ts, testScenario)
+	<-started
+	dup, resp := submit(t, ts, testScenario)
+	if resp.StatusCode != http.StatusAccepted || dup.ID != st.ID {
+		t.Fatalf("duplicate = %d id %s, want 202 id %s", resp.StatusCode, dup.ID, st.ID)
+	}
+	if dup.State != StateRunning {
+		t.Fatalf("duplicate state = %s, want running", dup.State)
+	}
+	close(release)
+	waitTerminal(t, ts, st.ID)
+}
+
+// TestJobTimeout runs with a timeout that has already expired by the time
+// the first cell would be claimed: the job must fail terminally.
+func TestJobTimeout(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.JobTimeout = time.Nanosecond })
+	s.Start()
+	defer s.Shutdown(shutdownCtx(t))
+
+	st, _ := submit(t, ts, testScenario)
+	done := waitTerminal(t, ts, st.ID)
+	if done.State != StateFailed {
+		t.Fatalf("state = %s, want failed", done.State)
+	}
+	if !strings.Contains(done.Error, "cancelled") {
+		t.Fatalf("error = %q, want a cancellation", done.Error)
+	}
+}
+
+// TestDrainAndRecover is the graceful-shutdown contract: with job A held
+// running and job B queued, Shutdown finishes A, leaves B persisted on disk,
+// and a second daemon instance over the same data dir resumes B.
+func TestDrainAndRecover(t *testing.T) {
+	dataDir := t.TempDir()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s, ts := newTestServer(t, func(c *Config) { c.DataDir = dataDir })
+	s.testJobStart = func(*Job) {
+		close(started)
+		<-release
+	}
+	s.Start()
+
+	stA, _ := submit(t, ts, testScenario)
+	<-started
+	scenB := strings.Replace(testScenario, `"seed":1`, `"seed":2`, 1)
+	stB, _ := submit(t, ts, scenB)
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- s.Shutdown(shutdownCtx(t)) }()
+	// Submissions during drain are refused.
+	waitFor(t, func() bool {
+		_, resp := submit(t, ts, strings.Replace(testScenario, `"seed":1`, `"seed":3`, 1))
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	close(release)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// A finished; B stayed queued and persisted.
+	a := getStatus(t, ts, stA.ID)
+	if a.State != StateDone {
+		t.Fatalf("job A state = %s, want done", a.State)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "jobs", stB.ID, "request.json")); err != nil {
+		t.Fatalf("job B request not persisted: %v", err)
+	}
+	markers, _ := os.ReadDir(filepath.Join(dataDir, "queue"))
+	if len(markers) != 1 || !strings.HasSuffix(markers[0].Name(), "-"+stB.ID) {
+		t.Fatalf("queue markers = %v, want exactly job B", markers)
+	}
+	ts.Close()
+
+	// A fresh instance over the same data dir recovers both: A terminal and
+	// queryable, B queued and then run to completion.
+	s2, err := New(Config{DataDir: dataDir, Concurrency: 1, Version: "test-v1"})
+	if err != nil {
+		t.Fatalf("New (recovery): %v", err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	if a2 := getStatus(t, ts2, stA.ID); a2.State != StateDone {
+		t.Fatalf("recovered job A state = %s, want done", a2.State)
+	}
+	s2.Start()
+	defer s2.Shutdown(shutdownCtx(t))
+	b := waitTerminal(t, ts2, stB.ID)
+	if b.State != StateDone {
+		t.Fatalf("recovered job B state = %s (err %q), want done", b.State, b.Error)
+	}
+	if rest, _ := os.ReadDir(filepath.Join(dataDir, "queue")); len(rest) != 0 {
+		t.Fatalf("queue markers left after recovery run: %v", rest)
+	}
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("decoding status: %v\n%s", err, data)
+	}
+	return st
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+// TestMetricsEndpoint drives one fresh run and one cache hit, then checks
+// /metrics speaks Prometheus text format and carries both the server
+// counters and the absorbed simulation series.
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	s.Start()
+	defer s.Shutdown(shutdownCtx(t))
+
+	st, _ := submit(t, ts, testScenario)
+	waitTerminal(t, ts, st.ID)
+	st2, _ := submit(t, ts, testScenario)
+	waitTerminal(t, ts, st2.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE dynaqd_jobs_submitted_total counter",
+		"dynaqd_jobs_submitted_total 2",
+		"dynaqd_jobs_completed_total 2",
+		"dynaqd_cache_hits_total 1",
+		"dynaqd_cache_misses_total 1",
+		`dynaqd_build_info{version="test-v1"} 1`,
+		"dynaqd_queue_depth 0",
+		"dynaqd_sim_",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Healthz carries the build version and serving state.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(hb), `"state": "serving"`) || !strings.Contains(string(hb), `"version": "test-v1"`) {
+		t.Fatalf("healthz = %s", hb)
+	}
+}
+
+// TestEventsStream covers both event paths: a live subscriber attached while
+// the job is held running sees the full lifecycle, and a second request
+// after completion replays the stored events with identical framing.
+func TestEventsStream(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s, ts := newTestServer(t, nil)
+	s.testJobStart = func(*Job) {
+		close(started)
+		<-release
+	}
+	s.Start()
+	defer s.Shutdown(shutdownCtx(t))
+
+	st, _ := submit(t, ts, testScenario)
+	<-started
+
+	liveDone := make(chan []string, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+		if err != nil {
+			liveDone <- nil
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		liveDone <- strings.Split(strings.TrimSpace(string(data)), "\n")
+	}()
+	// Give the live subscriber a moment to attach before releasing the job;
+	// attach-after-finish would exercise the replay path instead.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	lines := <-liveDone
+	if lines == nil {
+		t.Fatal("live events request failed")
+	}
+	checkEventLines(t, lines)
+
+	// Replay path: terminal job streams stored events plus the final line.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	replay := strings.Split(strings.TrimSpace(string(data)), "\n")
+	checkEventLines(t, replay)
+	if len(replay) < 3 {
+		t.Fatalf("replay stream too short (%d lines): %v", len(replay), replay)
+	}
+}
+
+// checkEventLines asserts NDJSON framing: every line is an object with a
+// cell index, and the last line is the terminal job event.
+func checkEventLines(t *testing.T, lines []string) {
+	t.Helper()
+	if len(lines) == 0 {
+		t.Fatal("empty event stream")
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if _, ok := obj["cell"]; !ok {
+			t.Fatalf("event line missing cell index: %q", line)
+		}
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"kind":"job"`) || !strings.Contains(last, `"state":"done"`) {
+		t.Fatalf("last line is not the terminal job event: %q", last)
+	}
+}
+
+// TestBroadcaster unit-tests the fan-out: framing, late subscription after
+// close, and drop-don't-block on a full buffer.
+func TestBroadcaster(t *testing.T) {
+	b := newBroadcaster()
+	ch := b.subscribe()
+	b.publish(3, []byte(`{"kind":"x"}`+"\n"))
+	got := string(<-ch)
+	if got != `{"cell":3,"kind":"x"}`+"\n" {
+		t.Fatalf("framed line = %q", got)
+	}
+
+	// Overflow: a slow subscriber drops lines instead of stalling publish.
+	for i := 0; i < subBuffer+10; i++ {
+		b.publish(0, []byte(`{"n":1}`+"\n"))
+	}
+	if n := len(ch); n != subBuffer {
+		t.Fatalf("buffered = %d, want %d", n, subBuffer)
+	}
+
+	b.close()
+	if _, open := <-b.subscribe(); open {
+		t.Fatal("subscribe after close returned an open channel")
+	}
+	b.publish(0, []byte(`{"n":2}`+"\n")) // must not panic
+}

@@ -28,6 +28,7 @@ const (
 // identical (scenario, seed) runs produce identical manifest bytes.
 type Manifest struct {
 	Tool         string
+	Version      string // build stamp (dynaq.Version); part of a cached result's identity
 	ScenarioHash string
 	Seed         int64
 	Scheme       string
@@ -80,6 +81,7 @@ type Run struct {
 
 	f   *os.File
 	buf *bufio.Writer
+	tee func(line []byte)
 	err error // first write error, surfaced at Close
 }
 
@@ -109,6 +111,13 @@ func (r *Run) Dir() string { return r.dir }
 // Registry returns the run's metric registry.
 func (r *Run) Registry() *Registry { return r.reg }
 
+// Tee registers fn to receive a copy of every encoded event line (including
+// the trailing newline) as it is written — the live-progress subscription
+// hook dynaqd streams job events from. fn runs synchronously on the
+// simulation goroutine and must not retain the slice past the call; copy if
+// it needs to hand the line to another goroutine.
+func (r *Run) Tee(fn func(line []byte)) { r.tee = fn }
+
 // Event implements EventWriter: one JSONL line with fixed leading fields
 // {"t_ps":...,"kind":...} followed by the caller's fields in call order.
 func (r *Run) Event(at units.Time, kind string, fields ...Field) {
@@ -127,6 +136,9 @@ func (r *Run) Event(at units.Time, kind string, fields ...Field) {
 		b = appendValue(b, f.Val)
 	}
 	b = append(b, '}', '\n')
+	if r.tee != nil {
+		r.tee(b)
+	}
 	if _, err := r.buf.Write(b); err != nil {
 		r.err = err
 	}
@@ -207,6 +219,8 @@ func WriteManifest(dir string, man Manifest, summary []SummaryEntry) error {
 	var b []byte
 	b = append(b, "{\n  \"tool\": "...)
 	b = strconv.AppendQuote(b, man.Tool)
+	b = append(b, ",\n  \"version\": "...)
+	b = strconv.AppendQuote(b, man.Version)
 	b = append(b, ",\n  \"scenario_hash\": "...)
 	b = strconv.AppendQuote(b, man.ScenarioHash)
 	b = append(b, ",\n  \"seed\": "...)

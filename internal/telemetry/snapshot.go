@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SeriesValue is one series' state captured by Registry.Snapshot. For
+// counters and gauges Value holds the reading; for histograms Value is the
+// observation count, Sum the observation sum, and Bounds/Counts the bucket
+// upper bounds and per-bucket (non-cumulative) counts, with the final
+// Counts entry being the +Inf overflow bucket.
+type SeriesValue struct {
+	ID     string
+	Kind   string // "counter" | "gauge" | "histogram"
+	Value  int64
+	Sum    int64
+	Bounds []int64
+	Counts []int64
+}
+
+// Snapshot reads every series into a slice sorted by series id, without
+// touching the filesystem — the accessor /metrics endpoints and tests use
+// instead of round-tripping through metrics.jsonl. It allocates only the
+// result slice, the id sort scratch, and one Counts copy per histogram
+// (bucket counts keep mutating after the snapshot; Bounds are fixed at
+// registration and shared).
+//
+// Like the rest of the registry, Snapshot is not safe for concurrent use
+// with writers; callers that share a registry across goroutines must
+// serialize access themselves.
+func (r *Registry) Snapshot() []SeriesValue {
+	ids := make([]string, 0, len(r.series))
+	for id := range r.series {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]SeriesValue, 0, len(ids))
+	for _, id := range ids {
+		s := r.series[id]
+		sv := SeriesValue{ID: id, Kind: s.kind}
+		switch {
+		case s.hist != nil:
+			sv.Value = s.hist.count
+			sv.Sum = s.hist.sum
+			sv.Bounds = s.hist.bounds
+			sv.Counts = append([]int64(nil), s.hist.counts...)
+		case s.ctr != nil:
+			sv.Value = s.ctr.Value()
+		case s.gge != nil:
+			sv.Value = s.gge.Value()
+		case s.fn != nil:
+			sv.Value = s.fn()
+		}
+		out = append(out, sv)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. Series ids are already name{label="value",...}, so counters and
+// gauges emit verbatim; histograms expand into cumulative _bucket series
+// plus _sum and _count, splicing the le label after any existing labels.
+// Output is sorted by series id and byte-stable across renders with no
+// intervening writes — the same determinism contract as WriteJSONL.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b []byte
+	for _, sv := range r.Snapshot() {
+		name, labels := splitSeriesID(sv.ID)
+		b = b[:0]
+		b = append(b, "# TYPE "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, sv.Kind...)
+		b = append(b, '\n')
+		if sv.Kind == "histogram" {
+			var cum int64
+			for i, bound := range sv.Bounds {
+				cum += sv.Counts[i]
+				b = appendBucket(b, name, labels, strconv.FormatInt(bound, 10), cum)
+			}
+			cum += sv.Counts[len(sv.Bounds)]
+			b = appendBucket(b, name, labels, "+Inf", cum)
+			b = appendSample(b, name+"_sum", labels, sv.Sum)
+			b = appendSample(b, name+"_count", labels, sv.Value)
+		} else {
+			b = appendSample(b, name, labels, sv.Value)
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitSeriesID separates a canonical series id into its metric name and
+// the inner label list (without braces), either of which may be empty.
+func splitSeriesID(id string) (name, labels string) {
+	i := strings.IndexByte(id, '{')
+	if i < 0 {
+		return id, ""
+	}
+	return id[:i], strings.TrimSuffix(id[i+1:], "}")
+}
+
+// appendSample emits one `name{labels} value` line.
+func appendSample(b []byte, name, labels string, v int64) []byte {
+	b = append(b, name...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, v, 10)
+	return append(b, '\n')
+}
+
+// appendBucket emits one cumulative `name_bucket{labels,le="bound"} n` line.
+func appendBucket(b []byte, name, labels, le string, n int64) []byte {
+	b = append(b, name...)
+	b = append(b, "_bucket{"...)
+	if labels != "" {
+		b = append(b, labels...)
+		b = append(b, ',')
+	}
+	b = append(b, `le=`...)
+	b = strconv.AppendQuote(b, le)
+	b = append(b, "} "...)
+	b = strconv.AppendInt(b, n, 10)
+	return append(b, '\n')
+}

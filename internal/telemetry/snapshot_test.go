@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSnapshotRegistry populates one series of every kind, including a
+// labeled pair registered out of lexicographic order to exercise sorting.
+func buildSnapshotRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("z_total").Add(3)
+	reg.Counter("drops_total", L("queue", "1")).Add(7)
+	reg.Counter("drops_total", L("queue", "0")).Add(5)
+	reg.Gauge("depth").Set(-2)
+	reg.GaugeFunc("derived", func() int64 { return 42 })
+	h := reg.Histogram("lat_us", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	return reg
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	reg := buildSnapshotRegistry()
+	snap := reg.Snapshot()
+	if len(snap) != 6 {
+		t.Fatalf("snapshot has %d series, want 6", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].ID >= snap[i].ID {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].ID, snap[i].ID)
+		}
+	}
+	byID := make(map[string]SeriesValue, len(snap))
+	for _, sv := range snap {
+		byID[sv.ID] = sv
+	}
+	if sv := byID[`drops_total{queue="0"}`]; sv.Kind != "counter" || sv.Value != 5 {
+		t.Errorf("drops_total{queue=0} = %+v", sv)
+	}
+	if sv := byID["depth"]; sv.Kind != "gauge" || sv.Value != -2 {
+		t.Errorf("depth = %+v", sv)
+	}
+	if sv := byID["derived"]; sv.Value != 42 {
+		t.Errorf("derived = %+v", sv)
+	}
+	hv := byID["lat_us"]
+	if hv.Kind != "histogram" || hv.Value != 3 || hv.Sum != 5055 {
+		t.Fatalf("lat_us = %+v", hv)
+	}
+	if len(hv.Counts) != 3 || hv.Counts[0] != 1 || hv.Counts[1] != 1 || hv.Counts[2] != 1 {
+		t.Fatalf("lat_us counts = %v", hv.Counts)
+	}
+}
+
+// TestSnapshotRenderDeterministic is the satellite contract: two snapshots
+// with no writes in between render byte-equal Prometheus text.
+func TestSnapshotRenderDeterministic(t *testing.T) {
+	reg := buildSnapshotRegistry()
+	render := func() string {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("renders differ:\n%s\n----\n%s", first, second)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := buildSnapshotRegistry()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE depth gauge
+depth -2
+# TYPE derived gauge
+derived 42
+# TYPE drops_total counter
+drops_total{queue="0"} 5
+# TYPE drops_total counter
+drops_total{queue="1"} 7
+# TYPE lat_us histogram
+lat_us_bucket{le="10"} 1
+lat_us_bucket{le="100"} 2
+lat_us_bucket{le="+Inf"} 3
+lat_us_sum 5055
+lat_us_count 3
+# TYPE z_total counter
+z_total 3
+`
+	if got != want {
+		t.Fatalf("render:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshotDoesNotAliasHistogramCounts: mutating the registry after a
+// snapshot must not change the snapshot's bucket counts.
+func TestSnapshotDoesNotAliasHistogramCounts(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []int64{10})
+	h.Observe(1)
+	snap := reg.Snapshot()
+	h.Observe(2)
+	if snap[0].Counts[0] != 1 {
+		t.Fatalf("snapshot aliases live bucket counts: %v", snap[0].Counts)
+	}
+}
