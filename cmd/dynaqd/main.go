@@ -1,20 +1,30 @@
-// Command dynaqd is the simulation-as-a-service daemon: it accepts scenario
-// JSON over HTTP, queues (scheme, seed, scenario) cells into a bounded FIFO
-// drained by a deterministic worker pool, and serves results from a
+// Command dynaqd is the simulation-as-a-service coordinator: it accepts
+// scenario JSON over HTTP, queues (scheme, seed, scenario) cells into a
+// bounded FIFO, hands them to pull-based dynaqworker processes under
+// time-boxed heartbeat-renewed leases (falling back to a local executor
+// pool when no workers are registered), and serves results from a
 // content-addressed on-disk cache — identical submissions return identical
-// bytes without re-running.
+// bytes without re-running, no matter which node computed them.
 //
 // Endpoints:
 //
-//	POST /v1/jobs              submit a scenario (or {"scenario":..., "schemes":[...], "seeds":[...]} sweep)
-//	GET  /v1/jobs              list known jobs
-//	GET  /v1/jobs/{id}         job status, per-cell cache keys and artifact paths
-//	GET  /v1/jobs/{id}/events  live progress as chunked JSONL (replayed from cache for finished jobs)
-//	GET  /metrics              Prometheus text format: server counters + cumulative sim series
-//	GET  /healthz              liveness, build version, queue depth
+//	POST /v1/jobs                     submit a scenario (or {"scenario":..., "schemes":[...], "seeds":[...]} sweep)
+//	GET  /v1/jobs                     list known jobs
+//	GET  /v1/jobs/{id}                job status, per-cell cache keys, attempts, and artifact paths
+//	GET  /v1/jobs/{id}/events         live progress as chunked JSONL (replayed from cache for finished jobs)
+//	POST /v1/leases                   pull one cell of work (dynaqworker)
+//	POST /v1/leases/{id}/heartbeat    renew a held lease
+//	POST /v1/leases/{id}/complete     upload a finished cell's artifacts
+//	GET  /v1/deadletter               list quarantined cells
+//	POST /v1/deadletter/requeue       put quarantined cells back in play
+//	GET  /metrics                     Prometheus text format: server counters + cumulative sim series
+//	GET  /healthz                     liveness, build version, queue depth, fleet state
 //
-// SIGTERM/SIGINT drain gracefully: in-flight work finishes, queued jobs
-// stay persisted under -data and resume on the next start.
+// Failed cells retry with capped exponential backoff (deterministically
+// jittered per cell) up to -max-attempts, then quarantine to the persisted
+// dead-letter list. SIGTERM/SIGINT drain gracefully: cells already
+// executing locally finish, leased and pending cells requeue with attempt
+// counters persisted, and queued jobs resume on the next start.
 package main
 
 import (
@@ -39,6 +49,10 @@ func main() {
 		queueDepth  = flag.Int("queue", 64, "bounded FIFO depth; submissions beyond it get 503")
 		concurrency = flag.Int("concurrency", 0, "worker pool size for one job's cells (0 = GOMAXPROCS)")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution bound (e.g. 5m); 0 disables")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "worker lease TTL; a cell whose lease lapses is requeued")
+		maxAttempts = flag.Int("max-attempts", 3, "failed attempts before a cell is quarantined to the dead-letter list")
+		retryBase   = flag.Duration("retry-base", 250*time.Millisecond, "base delay of the capped exponential retry backoff")
+		retryCap    = flag.Duration("retry-cap", 10*time.Second, "ceiling of the retry backoff")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -53,6 +67,10 @@ func main() {
 		QueueDepth:  *queueDepth,
 		Concurrency: *concurrency,
 		JobTimeout:  *jobTimeout,
+		LeaseTTL:    *leaseTTL,
+		MaxAttempts: *maxAttempts,
+		RetryBase:   *retryBase,
+		RetryCap:    *retryCap,
 		Version:     dynaq.Version,
 		Log:         logger,
 	})

@@ -1,0 +1,544 @@
+// Package chaostest is the in-process chaos harness for the dynaqd fleet:
+// a real coordinator (internal/server) plus real pull workers
+// (internal/fleet), with failures injected on purpose — workers killed
+// mid-cell, heartbeats dropped so leases expire under live computations,
+// and a coordinator brought up over the debris a crash mid-promotion
+// leaves behind.
+//
+// The harness asserts the property the whole design leans on: chaos may
+// change *when* and *where* a cell runs, but never *what* it produces.
+// Every submitted job reaches a terminal state, no cell is charged more
+// than the configured attempt budget, and the final artifacts are
+// byte-identical to an undisturbed single-node run.
+//
+// Everything here lives in _test.go files deliberately: the package has no
+// buildable (non-test) sources, so it is invisible to `go build ./...` and
+// to dynaqlint's package expansion, and its free use of wall-clock timing
+// for assertions needs no suppression directives.
+package chaostest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dynaq/internal/fleet"
+	"dynaq/internal/server"
+	"dynaq/internal/telemetry"
+)
+
+// chaosScenario is tiny (50 simulated ms) so single cells finish fast and
+// the harness can afford many retries inside a test timeout.
+const chaosScenario = `{"kind":"static","scheme":"BestEffort","rate_gbps":1,"buffer_bytes":30000,"queues":2,"rtt_us":100,"duration_s":0.05,"sample_ms":10,"seed":1,"specs":[{"class":0,"flows":2}]}`
+
+// chaosSweep expands a longer scenario (250 simulated ms) into 2 schemes ×
+// 6 seeds = 12 cells, so individual cells take long enough that worker
+// kills land mid-lease rather than between cells.
+const chaosSweep = `{"scenario":{"kind":"static","scheme":"BestEffort","rate_gbps":1,"buffer_bytes":30000,"queues":2,"rtt_us":100,"duration_s":0.25,"sample_ms":10,"seed":1,"specs":[{"class":0,"flows":4}]},"schemes":["BestEffort","DynaQ"],"seeds":[1,2,3,4,5,6]}`
+
+const chaosVersion = "chaos-v1"
+
+func startCoordinator(t *testing.T, mutate func(*server.Config)) (*server.Server, *httptest.Server) {
+	t.Helper()
+	cfg := server.Config{
+		DataDir:     t.TempDir(),
+		QueueDepth:  8,
+		Concurrency: 2,
+		Version:     chaosVersion,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// startDraining starts the coordinator's drain/expiry loops and registers a
+// bounded shutdown.
+func startDraining(t *testing.T, s *server.Server) {
+	t.Helper()
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+}
+
+func submit(t *testing.T, ts *httptest.Server, body string) server.JobStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, data)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("decoding submit response: %v\n%s", err, data)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) server.JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st server.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("decoding status: %v\n%s", err, data)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) server.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State == server.StateDone || st.State == server.StateFailed {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state within %s: %+v", id, timeout, getStatus(t, ts, id))
+	return server.JobStatus{}
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// readDirBytes loads every file of one artifact directory.
+func readDirBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir %s: %v", dir, err)
+	}
+	files := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = data
+	}
+	return files
+}
+
+// snapshotArtifacts maps "scheme/seed" → artifact file bytes for a done job.
+func snapshotArtifacts(t *testing.T, st server.JobStatus) map[string]map[string][]byte {
+	t.Helper()
+	out := make(map[string]map[string][]byte, len(st.Cells))
+	for _, c := range st.Cells {
+		out[fmt.Sprintf("%s/%d", c.Scheme, c.Seed)] = readDirBytes(t, c.ArtifactDir)
+	}
+	return out
+}
+
+// diffSnapshots asserts two artifact snapshots are byte-identical.
+func diffSnapshots(t *testing.T, want, got map[string]map[string][]byte) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("cell sets differ: %d vs %d cells", len(want), len(got))
+	}
+	for cell, wantFiles := range want {
+		gotFiles, ok := got[cell]
+		if !ok {
+			t.Errorf("cell %s missing from chaos run", cell)
+			continue
+		}
+		if len(wantFiles) != len(gotFiles) {
+			t.Errorf("cell %s: file sets differ: %d vs %d files", cell, len(wantFiles), len(gotFiles))
+			continue
+		}
+		for name, wantBytes := range wantFiles {
+			if !bytes.Equal(wantBytes, gotFiles[name]) {
+				t.Errorf("cell %s: %s differs from undisturbed run (%d vs %d bytes)", cell, name, len(wantBytes), len(gotFiles[name]))
+			}
+		}
+	}
+}
+
+// tlogWriter routes worker lifecycle lines into the test log so a failing
+// chaos run carries its own narrative.
+type tlogWriter struct {
+	t *testing.T
+}
+
+func (w tlogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+// leaseAs is a hand-rolled puller for the deterministic scenarios: one
+// lease request for the named worker; nil means 204 (registered, no work).
+func leaseAs(t *testing.T, ts *httptest.Server, worker string) *fleet.LeaseGrant {
+	t.Helper()
+	body, _ := json.Marshal(fleet.LeaseRequest{Worker: worker})
+	resp, err := http.Post(ts.URL+"/v1/leases", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var g fleet.LeaseGrant
+		if err := json.NewDecoder(resp.Body).Decode(&g); err != nil {
+			t.Fatalf("decoding grant: %v", err)
+		}
+		return &g
+	case http.StatusNoContent:
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	default:
+		t.Fatalf("lease request status = %d", resp.StatusCode)
+		return nil
+	}
+}
+
+func postComplete(t *testing.T, ts *httptest.Server, leaseID string, req fleet.CompleteRequest) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/leases/"+leaseID+"/complete", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func deadLetterLen(t *testing.T, ts *httptest.Server) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/deadletter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list fleet.DeadLetterList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return len(list.Cells)
+}
+
+// TestChaosConvergence is the storm: a coordinator with short leases, one
+// steady worker, one worker that never heartbeats (its leases expire under
+// live computations, so its uploads land on dead leases), and a seeded
+// sequence of short-lived workers killed abruptly mid-lease. The sweep must
+// still terminate with every cell done within its attempt budget, nothing
+// quarantined, and artifacts byte-identical to an undisturbed single-node
+// run of the same sweep.
+func TestChaosConvergence(t *testing.T) {
+	const maxAttempts = 16
+
+	// Undisturbed reference: same sweep, same version, no workers — the
+	// coordinator's local pool computes everything.
+	baseS, baseTS := startCoordinator(t, nil)
+	startDraining(t, baseS)
+	baseSt := submit(t, baseTS, chaosSweep)
+	baseDone := waitTerminal(t, baseTS, baseSt.ID, 60*time.Second)
+	if baseDone.State != server.StateDone {
+		t.Fatalf("baseline run = %s (err %q), want done", baseDone.State, baseDone.Error)
+	}
+	baseline := snapshotArtifacts(t, baseDone)
+
+	// Chaos coordinator: leases expire fast, retries are cheap.
+	chaosS, ts := startCoordinator(t, func(c *server.Config) {
+		c.LeaseTTL = 300 * time.Millisecond
+		c.MaxAttempts = maxAttempts
+		c.RetryBase = 2 * time.Millisecond
+		c.RetryCap = 40 * time.Millisecond
+	})
+	startDraining(t, chaosS)
+
+	logger := log.New(tlogWriter{t}, "", 0)
+	rootCtx, rootCancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer func() { rootCancel(); wg.Wait() }()
+	startWorker := func(ctx context.Context, id string, poll time.Duration, mute bool) {
+		w := fleet.NewWorker(fleet.WorkerConfig{
+			Coordinator:      ts.URL,
+			ID:               id,
+			Version:          chaosVersion,
+			WorkDir:          filepath.Join(t.TempDir(), id),
+			Poll:             poll,
+			Log:              logger,
+			DisableHeartbeat: mute,
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+
+	// The survivors: one well-behaved worker and one that computes fine but
+	// never renews its leases.
+	startWorker(rootCtx, "steady", 5*time.Millisecond, false)
+	startWorker(rootCtx, "mute", 7*time.Millisecond, true)
+
+	// The casualties: a seeded sequence of workers killed abruptly (context
+	// cancel — the in-process equivalent of SIGKILL: no completion, no
+	// farewell heartbeat, any held lease left to expire). The seed makes the
+	// kill schedule reproducible; the *interleaving* with real execution is
+	// not, which is exactly the point — the assertions below must hold for
+	// every interleaving.
+	jobDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 12; i++ {
+			mctx, mcancel := context.WithCancel(rootCtx)
+			startWorker(mctx, fmt.Sprintf("mortal-%02d", i), 3*time.Millisecond, false)
+			select {
+			case <-time.After(time.Duration(20+rng.Intn(80)) * time.Millisecond):
+			case <-jobDone:
+				mcancel()
+				return
+			case <-rootCtx.Done():
+				mcancel()
+				return
+			}
+			mcancel()
+		}
+	}()
+
+	st := submit(t, ts, chaosSweep)
+	done := waitTerminal(t, ts, st.ID, 120*time.Second)
+	close(jobDone)
+
+	if done.State != server.StateDone {
+		t.Fatalf("chaos run = %s (err %q), want done", done.State, done.Error)
+	}
+	for _, c := range done.Cells {
+		if c.State != server.StateDone {
+			t.Errorf("cell %s/%d ended %s, want done", c.Scheme, c.Seed, c.State)
+		}
+		if c.Attempts > maxAttempts {
+			t.Errorf("cell %s/%d charged %d attempts, budget is %d", c.Scheme, c.Seed, c.Attempts, maxAttempts)
+		}
+	}
+	if n := deadLetterLen(t, ts); n != 0 {
+		t.Errorf("dead-letter list has %d cells after a convergent run, want 0", n)
+	}
+
+	// Not asserted (the interleaving is timing-dependent), but logged so a
+	// chaos run carries evidence of how much the fault machinery fired.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err == nil {
+		metrics, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, line := range bytes.Split(metrics, []byte("\n")) {
+			if bytes.Contains(line, []byte("lease")) || bytes.Contains(line, []byte("retr")) || bytes.Contains(line, []byte("cells_")) {
+				t.Logf("%s", line)
+			}
+		}
+	}
+
+	// The property under test: chaos moved the work around but the bytes
+	// are exactly the undisturbed run's bytes.
+	diffSnapshots(t, baseline, snapshotArtifacts(t, done))
+}
+
+// TestStaleUploadAbsorbed pins the expired-lease upload contract, fully
+// deterministically under a ManualClock: a worker that stops heartbeating
+// loses its lease (the cell is requeued and charged one attempt), its late
+// upload is answered 410 Gone — but the artifact is absorbed into the
+// content-addressed cache first, so the retry never recomputes.
+func TestStaleUploadAbsorbed(t *testing.T) {
+	mc := fleet.NewManualClock(time.Unix(1_700_000_000, 0))
+	const ttl = 10 * time.Second
+	ghostS, ts := startCoordinator(t, func(c *server.Config) {
+		c.Concurrency = 1
+		c.LeaseTTL = ttl
+		c.RetryBase = time.Second
+		c.RetryCap = 4 * time.Second
+		c.Clock = mc
+	})
+	startDraining(t, ghostS)
+
+	// Register the ghost worker before submitting so the local pool stands
+	// down (with a frozen clock it would stand down forever anyway — the
+	// ghost's last-seen instant never ages).
+	if g := leaseAs(t, ts, "ghost"); g != nil {
+		t.Fatalf("unexpected grant before any submission: %+v", g)
+	}
+	st := submit(t, ts, chaosScenario)
+
+	var g *fleet.LeaseGrant
+	waitUntil(t, 10*time.Second, "first lease grant", func() bool {
+		g = leaseAs(t, ts, "ghost")
+		return g != nil
+	})
+	if g.Attempt != 1 {
+		t.Fatalf("first grant attempt = %d, want 1", g.Attempt)
+	}
+
+	// The ghost computes the cell for real (shared execution path) but
+	// never heartbeats.
+	work := filepath.Join(t.TempDir(), "ghost-cell")
+	man := fleet.CellManifest(g.Version, g.ScenarioHash, g.Scheme, g.Seed, g.CacheKey)
+	if _, err := fleet.RunCellTo(work, g.Scenario, g.Scheme, g.Seed, man, nil); err != nil {
+		t.Fatalf("ghost RunCellTo: %v", err)
+	}
+	files := readDirBytes(t, work)
+
+	// Step time past the TTL: the expiry scan declares the ghost dead,
+	// requeues the cell, and charges the attempt.
+	mc.Advance(ttl + ttl/4 + time.Second)
+	waitUntil(t, 10*time.Second, "lease expiry to requeue the cell", func() bool {
+		c := getStatus(t, ts, st.ID).Cells[0]
+		return c.State == server.StateQueued && c.Attempts == 1
+	})
+
+	// The late upload: lease gone → 410, artifact absorbed regardless.
+	code := postComplete(t, ts, g.LeaseID, fleet.CompleteRequest{
+		Worker: "ghost", CacheKey: g.CacheKey, Files: files,
+	})
+	if code != http.StatusGone {
+		t.Fatalf("late completion status = %d, want 410", code)
+	}
+
+	// Step past the retry backoff; the requeued attempt is granted again,
+	// and this time the ghost completes empty-handed — the absorbed
+	// artifact already satisfies the cache key.
+	mc.Advance(5 * time.Second)
+	var g2 *fleet.LeaseGrant
+	waitUntil(t, 10*time.Second, "retry lease grant", func() bool {
+		g2 = leaseAs(t, ts, "ghost")
+		return g2 != nil
+	})
+	if g2.Attempt != 2 {
+		t.Fatalf("retry grant attempt = %d, want 2", g2.Attempt)
+	}
+	if code := postComplete(t, ts, g2.LeaseID, fleet.CompleteRequest{
+		Worker: "ghost", CacheKey: g2.CacheKey,
+	}); code != http.StatusOK {
+		t.Fatalf("retry completion status = %d, want 200", code)
+	}
+
+	done := waitTerminal(t, ts, st.ID, 10*time.Second)
+	if done.State != server.StateDone {
+		t.Fatalf("job = %s (err %q), want done", done.State, done.Error)
+	}
+	c := done.Cells[0]
+	if c.Attempts != 1 || c.Worker != "ghost" {
+		t.Fatalf("cell = %+v, want 1 charged attempt by ghost", c)
+	}
+	// Byte identity: the cached artifact IS the ghost's late upload.
+	got := readDirBytes(t, c.ArtifactDir)
+	if len(got) != len(files) {
+		t.Fatalf("absorbed artifact has %d files, upload had %d", len(got), len(files))
+	}
+	for name, want := range files {
+		if !bytes.Equal(want, got[name]) {
+			t.Errorf("%s: absorbed bytes differ from the late upload", name)
+		}
+	}
+	if n := deadLetterLen(t, ts); n != 0 {
+		t.Errorf("dead-letter list has %d cells, want 0", n)
+	}
+}
+
+// TestCoordinatorCrashRecovery boots a coordinator over the exact debris a
+// crash mid-promotion leaves behind: a persisted queue marker for a job
+// that never ran, plus a half-written artifact directory under tmp/ for one
+// of that job's real cache keys. The recovered coordinator must sweep the
+// torn directory, re-run the job from the persisted request, and produce
+// artifacts byte-identical to an undisturbed run.
+func TestCoordinatorCrashRecovery(t *testing.T) {
+	baseS, baseTS := startCoordinator(t, nil)
+	startDraining(t, baseS)
+	baseDone := waitTerminal(t, baseTS, submit(t, baseTS, chaosSweep).ID, 60*time.Second)
+	if baseDone.State != server.StateDone {
+		t.Fatalf("baseline run = %s, want done", baseDone.State)
+	}
+	baseline := snapshotArtifacts(t, baseDone)
+
+	// First life: accept the job but never start the drainer — the moral
+	// equivalent of a coordinator killed right after persisting the queue
+	// marker. Then fake the torn promotion by hand.
+	dataDir := t.TempDir()
+	cfg := server.Config{DataDir: dataDir, QueueDepth: 8, Concurrency: 2, Version: chaosVersion}
+	s1, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts1 := httptest.NewServer(s1)
+	st := submit(t, ts1, chaosSweep)
+	if st.State != server.StateQueued {
+		t.Fatalf("job state before crash = %s, want queued", st.State)
+	}
+	torn := filepath.Join(dataDir, "tmp", st.Cells[0].CacheKey)
+	if err := os.MkdirAll(torn, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(torn, telemetry.EventsFile), []byte(`{"kind":"arr`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close() // the "crash": no Shutdown, no drain
+
+	// Second life over the same tree: sweep, recover, finish.
+	s2, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New (recovery): %v", err)
+	}
+	ts2 := httptest.NewServer(s2)
+	t.Cleanup(ts2.Close)
+	if entries, err := os.ReadDir(filepath.Join(dataDir, "tmp")); err != nil || len(entries) != 0 {
+		t.Fatalf("torn tmp dir not swept at recovery: %v entries, err %v", len(entries), err)
+	}
+	if got := getStatus(t, ts2, st.ID); got.State != server.StateQueued {
+		t.Fatalf("recovered job = %s, want queued", got.State)
+	}
+	s2.Start()
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	defer s2.Shutdown(sctx)
+
+	done := waitTerminal(t, ts2, st.ID, 60*time.Second)
+	if done.State != server.StateDone {
+		t.Fatalf("recovered run = %s (err %q), want done", done.State, done.Error)
+	}
+	diffSnapshots(t, baseline, snapshotArtifacts(t, done))
+}

@@ -1,0 +1,85 @@
+package fleet
+
+import "time"
+
+// ReadyQueue orders requeued work by readiness: Pop yields the item with
+// the earliest readyAt that has arrived, breaking ties by insertion order,
+// so cells requeued without backoff drain strictly FIFO. Like Table it is
+// pure bookkeeping under the caller's lock.
+type ReadyQueue[T any] struct {
+	seq   int
+	items []readyItem[T]
+}
+
+type readyItem[T any] struct {
+	v       T
+	readyAt time.Time
+	seq     int
+}
+
+// Push enqueues v, leasable once readyAt has passed.
+func (q *ReadyQueue[T]) Push(v T, readyAt time.Time) {
+	q.seq++
+	q.items = append(q.items, readyItem[T]{v: v, readyAt: readyAt, seq: q.seq})
+}
+
+// Pop removes and returns the frontmost ready item ((readyAt, seq) order);
+// ok is false when nothing is ready at now.
+func (q *ReadyQueue[T]) Pop(now time.Time) (v T, ok bool) {
+	best := -1
+	for i, it := range q.items {
+		if it.readyAt.After(now) {
+			continue
+		}
+		if best < 0 || less(it, q.items[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return v, false
+	}
+	v = q.items[best].v
+	q.items = append(q.items[:best], q.items[best+1:]...)
+	return v, true
+}
+
+func less[T any](a, b readyItem[T]) bool {
+	if !a.readyAt.Equal(b.readyAt) {
+		return a.readyAt.Before(b.readyAt)
+	}
+	return a.seq < b.seq
+}
+
+// NextAt returns the earliest readiness instant of any queued item; ok is
+// false on an empty queue. Callers use it to schedule their next wakeup.
+func (q *ReadyQueue[T]) NextAt() (time.Time, bool) {
+	if len(q.items) == 0 {
+		return time.Time{}, false
+	}
+	min := q.items[0]
+	for _, it := range q.items[1:] {
+		if less(it, min) {
+			min = it
+		}
+	}
+	return min.readyAt, true
+}
+
+// Len returns the number of queued items, ready or not.
+func (q *ReadyQueue[T]) Len() int { return len(q.items) }
+
+// Drain empties the queue and returns the items in (readyAt, seq) order.
+func (q *ReadyQueue[T]) Drain() []T {
+	out := make([]T, 0, len(q.items))
+	for len(q.items) > 0 {
+		best := 0
+		for i := 1; i < len(q.items); i++ {
+			if less(q.items[i], q.items[best]) {
+				best = i
+			}
+		}
+		out = append(out, q.items[best].v)
+		q.items = append(q.items[:best], q.items[best+1:]...)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"strconv"
+
+	"dynaq/internal/metrics"
+	"dynaq/internal/scenario"
+	"dynaq/internal/telemetry"
+	"dynaq/internal/units"
+)
+
+// CellManifest builds the telemetry manifest for one cell. Every field is a
+// pure function of the cell's identity, keeping artifact bytes identical no
+// matter which node (coordinator fallback or any worker) produced them.
+func CellManifest(version, scenarioHash, scheme string, seed int64, key string) telemetry.Manifest {
+	return telemetry.Manifest{
+		Tool:         "dynaqd",
+		Version:      version,
+		ScenarioHash: scenarioHash,
+		Seed:         seed,
+		Scheme:       scheme,
+		Args:         []string{"scheme=" + scheme, "seed=" + strconv.FormatInt(seed, 10), "cache_key=" + key},
+	}
+}
+
+// RunCellTo executes one (scenario, scheme, seed) cell into dir: a full
+// telemetry Run (events.jsonl, metrics.jsonl, manifest.json) around a
+// scenario execution. It is the single execution path shared by the
+// coordinator's local fallback, cmd/dynaqworker, and the byte-diff tests
+// that prove a cached artifact equals a fresh sequential run. The returned
+// registry stays readable after the run for server-level aggregation.
+func RunCellTo(dir string, scenarioBytes []byte, scheme string, seed int64, man telemetry.Manifest, tee func(line []byte)) (*telemetry.Registry, error) {
+	r, err := scenario.LoadWith(scenarioBytes, scenario.Overrides{Scheme: scheme, Seed: &seed})
+	if err != nil {
+		return nil, err
+	}
+	run, err := telemetry.NewRun(dir, man)
+	if err != nil {
+		return nil, err
+	}
+	if tee != nil {
+		run.Tee(tee)
+	}
+	r.SetTelemetry(run)
+	res, err := r.Run()
+	if err != nil {
+		run.Close()
+		return nil, err
+	}
+	summarize(run, res)
+	return run.Registry(), run.Close()
+}
+
+// summarize records the result headline into the manifest summary, the same
+// fields dynaqsim -config emits so artifacts are comparable across tools.
+func summarize(run *telemetry.Run, res *scenario.Result) {
+	switch {
+	case res.Static != nil:
+		run.Summarize("drops", strconv.FormatInt(res.Static.Drops, 10))
+		run.Summarize("samples", strconv.Itoa(len(res.Static.Samples)))
+	case res.Dynamic != nil:
+		run.Summarize("flows_generated", strconv.Itoa(res.Dynamic.Generated))
+		run.Summarize("flows_completed", strconv.Itoa(res.Dynamic.Completed))
+		run.Summarize("avg_fct_us_overall",
+			strconv.FormatInt(int64(res.Dynamic.FCT.Avg(metrics.AllFlows)/units.Microsecond), 10))
+	}
+}

@@ -1,0 +1,92 @@
+package fleet
+
+import "encoding/json"
+
+// Wire types of the lease API. The coordinator (internal/server) serves
+// them; Worker and any external puller consume them.
+//
+//	POST /v1/leases                    LeaseRequest → 200 LeaseGrant | 204 (no work, Retry-After hint)
+//	POST /v1/leases/{id}/heartbeat     → 200 HeartbeatResponse | 410 (lease lost)
+//	POST /v1/leases/{id}/complete      CompleteRequest → 200 | 410 (lease lost; artifacts still absorbed)
+//	GET  /v1/deadletter                → DeadLetterList
+//	POST /v1/deadletter/requeue        RequeueRequest → RequeueResponse
+
+// LeaseRequest asks the coordinator for one cell of work. Worker is the
+// puller's self-chosen identity; polling alone registers it as an active
+// worker, which is what switches the coordinator out of local-execution
+// fallback.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseGrant hands one cell to a worker: everything needed to run it
+// (scenario document plus out-of-band scheme/seed overrides), the lease
+// handle to renew and complete under, and the coordinator's build version,
+// which the worker must match — a mismatched binary would upload artifacts
+// that contradict the cache key's version component.
+type LeaseGrant struct {
+	LeaseID      string          `json:"lease_id"`
+	JobID        string          `json:"job_id"`
+	CellIndex    int             `json:"cell_index"`
+	CacheKey     string          `json:"cache_key"`
+	Scheme       string          `json:"scheme"`
+	Seed         int64           `json:"seed"`
+	Attempt      int             `json:"attempt"`
+	TTLMillis    int64           `json:"ttl_ms"`
+	Version      string          `json:"version"`
+	ScenarioHash string          `json:"scenario_hash"`
+	Scenario     json.RawMessage `json:"scenario"`
+}
+
+// HeartbeatResponse acknowledges a renewal and restates the TTL the worker
+// must renew within.
+type HeartbeatResponse struct {
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// CompleteRequest reports the outcome of a leased cell. On success Files
+// carries the artifact directory contents (name → bytes; JSON base64s the
+// values); on failure Error carries the reason and Files is empty.
+// CacheKey restates the grant's content address so the coordinator can
+// absorb the artifact even after the lease itself has expired and been
+// forgotten — a late upload is still the right bytes for that key.
+type CompleteRequest struct {
+	Worker   string            `json:"worker"`
+	CacheKey string            `json:"cache_key"`
+	Error    string            `json:"error,omitempty"`
+	Files    map[string][]byte `json:"files,omitempty"`
+}
+
+// DeadLetterEntry is one quarantined cell: it exhausted the coordinator's
+// max attempts and will not be retried until explicitly requeued. The entry
+// carries everything needed to find the owning job's persisted request and
+// re-run the cell.
+type DeadLetterEntry struct {
+	CacheKey   string `json:"cache_key"`
+	JobID      string `json:"job_id"`
+	CellIndex  int    `json:"cell_index"`
+	Scheme     string `json:"scheme"`
+	Seed       int64  `json:"seed"`
+	Attempts   int    `json:"attempts"`
+	LastError  string `json:"last_error"`
+	LastWorker string `json:"last_worker,omitempty"`
+}
+
+// DeadLetterList is the GET /v1/deadletter body.
+type DeadLetterList struct {
+	Cells []DeadLetterEntry `json:"cells"`
+}
+
+// RequeueRequest selects quarantined cells to put back in play. An empty
+// Keys requeues everything.
+type RequeueRequest struct {
+	Keys []string `json:"keys,omitempty"`
+}
+
+// RequeueResponse reports which jobs were re-enqueued (a requeued cell
+// re-enters as a resubmission of its owning job; finished sibling cells
+// come back as cache hits).
+type RequeueResponse struct {
+	Requeued []string `json:"requeued_jobs"`
+	Dropped  []string `json:"dropped_keys,omitempty"`
+}

@@ -1,0 +1,296 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// WorkerConfig parameterizes one pull worker.
+type WorkerConfig struct {
+	// Coordinator is the dynaqd base URL (e.g. http://host:8080).
+	Coordinator string
+	// ID is the worker's self-chosen identity, shown in lease bookkeeping
+	// and dead-letter entries.
+	ID string
+	// Version is this binary's build version. Grants from a coordinator at
+	// a different version are refused (reported as a cell failure), because
+	// the cache key the coordinator filed the cell under embeds its own
+	// version.
+	Version string
+	// WorkDir is scratch space for in-progress artifact staging.
+	WorkDir string
+	// Poll is the idle wait between lease requests when the coordinator has
+	// no work (and the fallback when it sends no Retry-After hint).
+	// 0 selects 500ms.
+	Poll time.Duration
+	// Clock is the injected time source. nil selects WallClock.
+	Clock Clock
+	// Client issues the HTTP requests. nil selects http.DefaultClient.
+	Client *http.Client
+	// Log receives lifecycle lines; nil silences them.
+	Log *log.Logger
+
+	// DisableHeartbeat stops all lease renewals — a chaos knob that makes
+	// the worker look dead to the coordinator while it keeps computing.
+	DisableHeartbeat bool
+	// BeforeComplete, when set, runs after the cell has been computed but
+	// before the completion upload — a chaos hook for pausing a worker at
+	// the most damaging instant.
+	BeforeComplete func(g LeaseGrant)
+}
+
+// Worker is the pull loop behind cmd/dynaqworker: lease one cell, heartbeat
+// while it runs, upload the artifact, repeat. All failure handling lives in
+// the coordinator; the worker's whole contract is "hold a valid lease or
+// stop mattering".
+type Worker struct {
+	cfg WorkerConfig
+
+	// Cells counts completed uploads (successes the coordinator accepted),
+	// readable after Run returns.
+	Cells int
+	// LostLeases counts uploads answered 410 Gone — the lease expired
+	// under us, someone else owns the cell now.
+	LostLeases int
+}
+
+// NewWorker builds a Worker; see WorkerConfig for defaults.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock{}
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.WorkDir == "" {
+		cfg.WorkDir = os.TempDir()
+	}
+	return &Worker{cfg: cfg}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Log != nil {
+		w.cfg.Log.Printf(format, args...)
+	}
+}
+
+// Run pulls and executes cells until ctx is cancelled. Transient transport
+// errors back off by the poll interval and keep going; Run only returns
+// ctx's error.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, wait, err := w.requestLease(ctx)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("lease request: %v", err)
+			wait = w.cfg.Poll
+		case grant != nil:
+			w.runLease(ctx, *grant)
+			continue
+		}
+		if wait <= 0 {
+			wait = w.cfg.Poll
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-w.cfg.Clock.After(wait):
+		}
+	}
+}
+
+// requestLease asks for work. A nil grant with wait > 0 means "nothing to
+// do, come back after wait" (204 or 503, honoring Retry-After).
+func (w *Worker) requestLease(ctx context.Context) (*LeaseGrant, time.Duration, error) {
+	body, _ := json.Marshal(LeaseRequest{Worker: w.cfg.ID})
+	resp, err := w.post(ctx, "/v1/leases", body)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var g LeaseGrant
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxGrantBytes)).Decode(&g); err != nil {
+			return nil, 0, fmt.Errorf("decoding grant: %w", err)
+		}
+		return &g, 0, nil
+	case http.StatusNoContent, http.StatusServiceUnavailable:
+		return nil, retryAfter(resp, w.cfg.Poll), nil
+	default:
+		return nil, 0, fmt.Errorf("lease request: unexpected status %s", resp.Status)
+	}
+}
+
+// maxGrantBytes bounds a lease grant body: a scenario at its own limit plus
+// envelope overhead.
+const maxGrantBytes = 2 << 20
+
+// retryAfter parses a Retry-After header (delta-seconds form); fallback
+// when absent or unparseable.
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
+}
+
+// runLease executes one granted cell end to end: heartbeat goroutine, local
+// run into scratch, completion upload, scratch cleanup.
+func (w *Worker) runLease(ctx context.Context, g LeaseGrant) {
+	w.logf("lease %s: cell %d (%s/seed %d) attempt %d", g.LeaseID, g.CellIndex, g.Scheme, g.Seed, g.Attempt)
+	if g.Version != w.cfg.Version {
+		w.complete(ctx, g, CompleteRequest{
+			Worker:   w.cfg.ID,
+			CacheKey: g.CacheKey,
+			Error:    fmt.Sprintf("worker version %q does not match coordinator version %q", w.cfg.Version, g.Version),
+		})
+		return
+	}
+
+	hbCtx, hbStop := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	if !w.cfg.DisableHeartbeat {
+		go func() { defer close(hbDone); w.heartbeat(hbCtx, g) }()
+	} else {
+		close(hbDone)
+	}
+
+	dir := filepath.Join(w.cfg.WorkDir, "lease-"+g.LeaseID)
+	os.RemoveAll(dir)
+	man := CellManifest(g.Version, g.ScenarioHash, g.Scheme, g.Seed, g.CacheKey)
+	_, runErr := RunCellTo(dir, g.Scenario, g.Scheme, g.Seed, man, nil)
+	hbStop()
+	<-hbDone
+
+	req := CompleteRequest{Worker: w.cfg.ID, CacheKey: g.CacheKey}
+	if runErr != nil {
+		req.Error = runErr.Error()
+	} else if req.Files, runErr = readArtifacts(dir); runErr != nil {
+		req.Error, req.Files = runErr.Error(), nil
+	}
+	if w.cfg.BeforeComplete != nil {
+		w.cfg.BeforeComplete(g)
+	}
+	w.complete(ctx, g, req)
+	os.RemoveAll(dir)
+}
+
+// heartbeat renews the lease every TTL/3 until stopped; a 410 means the
+// lease is lost and renewal is pointless (the upload will settle it).
+func (w *Worker) heartbeat(ctx context.Context, g LeaseGrant) {
+	interval := time.Duration(g.TTLMillis) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.cfg.Clock.After(interval):
+		}
+		resp, err := w.post(ctx, "/v1/leases/"+g.LeaseID+"/heartbeat", nil)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.logf("lease %s: heartbeat: %v", g.LeaseID, err)
+			continue
+		}
+		code := resp.StatusCode
+		drainClose(resp)
+		if code == http.StatusGone || code == http.StatusNotFound {
+			// Lost: the coordinator requeued the cell. Keep computing —
+			// the completion upload is still absorbed content-addressed,
+			// so whoever re-runs the cell cache-hits our bytes.
+			w.logf("lease %s: lost (heartbeat answered %d)", g.LeaseID, code)
+			return
+		}
+	}
+}
+
+// complete uploads the cell outcome. 410 means the lease lapsed first; the
+// coordinator still absorbed any uploaded artifact into its cache, so the
+// work is not wasted — the requeued attempt will cache-hit.
+func (w *Worker) complete(ctx context.Context, g LeaseGrant, req CompleteRequest) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		w.logf("lease %s: encoding completion: %v", g.LeaseID, err)
+		return
+	}
+	resp, err := w.post(ctx, "/v1/leases/"+g.LeaseID+"/complete", body)
+	if err != nil {
+		w.logf("lease %s: completion upload: %v", g.LeaseID, err)
+		return
+	}
+	code := resp.StatusCode
+	drainClose(resp)
+	switch code {
+	case http.StatusOK:
+		w.Cells++
+		w.logf("lease %s: completed (error=%q)", g.LeaseID, req.Error)
+	case http.StatusGone:
+		w.LostLeases++
+		w.logf("lease %s: completion rejected, lease lost; artifact absorbed content-addressed", g.LeaseID)
+	default:
+		w.logf("lease %s: completion answered %d", g.LeaseID, code)
+	}
+}
+
+// readArtifacts loads the flat artifact directory for upload.
+func readArtifacts(dir string) (map[string][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files[e.Name()] = data
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("artifact directory %s is empty", dir)
+	}
+	return files, nil
+}
+
+func (w *Worker) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.cfg.Client.Do(req)
+}
+
+// drainClose releases a response so the client connection can be reused.
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -16,10 +16,28 @@ import (
 // with rand.New(rand.NewSource(seed)) are the sanctioned pattern and are not
 // flagged — unless the source is itself seeded from a nondeterministic value
 // such as time.Now().UnixNano() or os.Getpid().
+//
+// Packages listed in Config.StrictTimePackages are additionally held to the
+// fleet timing rule: the stdlib timer primitives (time.Sleep, time.After,
+// time.Tick, time.NewTimer, time.NewTicker, time.AfterFunc) are banned
+// there, because retry-backoff and lease-expiry decisions must flow through
+// the injected fleet.Clock — a raw timer would make those paths untestable
+// under a manual clock and unreplayable in the chaos harness.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "flag wall-clock reads and global/unseeded math/rand use",
+	Doc:  "flag wall-clock reads, global/unseeded math/rand use, and raw timers in strict-time packages",
 	Run:  runDeterminism,
+}
+
+// strictTimeFuncs are the stdlib timer primitives banned in strict-time
+// packages.
+var strictTimeFuncs = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
 }
 
 const randPath = "math/rand"
@@ -33,6 +51,13 @@ var randConstructors = map[string]bool{
 }
 
 func runDeterminism(p *Pass) {
+	strictTime := false
+	for _, path := range p.Config.StrictTimePackages {
+		if p.Pkg != nil && p.Pkg.Path() == path {
+			strictTime = true
+			break
+		}
+	}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -40,9 +65,11 @@ func runDeterminism(p *Pass) {
 				return true
 			}
 			if name, ok := pkgFuncCall(p.TypesInfo, call, "time"); ok {
-				switch name {
-				case "Now", "Since", "Until":
+				switch {
+				case name == "Now" || name == "Since" || name == "Until":
 					p.Reportf(call.Pos(), "wall-clock read time.%s breaks (scenario, seed) replay; use the simulator clock (sim.Now)", name)
+				case strictTime && strictTimeFuncs[name]:
+					p.Reportf(call.Pos(), "raw timer time.%s in strict-time package %s; lease-expiry and retry timing must flow through the injected fleet.Clock", name, p.Pkg.Path())
 				}
 				return true
 			}

@@ -77,6 +77,13 @@ type Config struct {
 	// pointer types worker goroutines and trial functions must never
 	// capture from an enclosing scope (parallel-state).
 	ParallelSharedTypes []string
+	// StrictTimePackages lists import paths held to the stricter fleet
+	// timing rule: beyond wall-clock reads, every stdlib timer primitive
+	// (time.Sleep, time.After, time.Tick, time.NewTimer, time.NewTicker,
+	// time.AfterFunc) is flagged, because retry-backoff and lease-expiry
+	// decisions there must flow through the injected fleet.Clock to stay
+	// replayable under a manual clock.
+	StrictTimePackages []string
 }
 
 // DefaultConfig is the configuration for this repository: the packages that
@@ -92,6 +99,10 @@ func DefaultConfig() Config {
 			"dynaq/internal/sim.Simulator",
 			"dynaq/internal/telemetry.Run",
 			"math/rand.Rand",
+		},
+		StrictTimePackages: []string{
+			"dynaq/internal/fleet",
+			"dynaq/internal/server",
 		},
 	}
 }

@@ -49,12 +49,13 @@ func (c chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*typ
 }
 
 // fixtureConfig guards the fixture's invariant-owning package instead of the
-// real simulator packages, and bans the stdlib rand.Rand as the stand-in
-// shared parallel state.
+// real simulator packages, bans the stdlib rand.Rand as the stand-in shared
+// parallel state, and holds the fleetdet fixture to the strict-time rule.
 func fixtureConfig() Config {
 	return Config{
 		GuardedPackages:     []string{"guarded"},
 		ParallelSharedTypes: []string{"math/rand.Rand"},
+		StrictTimePackages:  []string{"fleetdet"},
 	}
 }
 
@@ -63,7 +64,7 @@ func fixtureConfig() Config {
 // directives and the seeded-rand false-positive cases, which must stay
 // silent.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"determ", "maporder", "floateq", "parstate"} {
+	for _, name := range []string{"determ", "fleetdet", "maporder", "floateq", "parstate"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixtureDir(t, NewLoader(), name)

@@ -5,11 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
-	"dynaq/internal/metrics"
-	"dynaq/internal/scenario"
 	"dynaq/internal/telemetry"
-	"dynaq/internal/units"
 )
 
 // CacheKey returns the content address of one result cell. Every input that
@@ -33,139 +31,85 @@ func (s *Server) cellDir(key string) string {
 	return filepath.Join(s.cfg.DataDir, "cache", key[:2], key)
 }
 
-// tmpDir is the in-progress artifact directory for a cell run; a completed
-// run is promoted into cellDir with a rename, so a cache directory is
-// always complete or absent, never half-written.
+// tmpDir is the in-progress artifact directory for a local cell run; a
+// completed run is promoted into cellDir with a rename, so a cache
+// directory is always complete or absent, never half-written.
 func (s *Server) tmpDir(key string) string {
 	return filepath.Join(s.cfg.DataDir, "tmp", key)
 }
 
-// cellManifest builds the telemetry manifest for one cell. Every field is a
-// pure function of the cell's identity, keeping cached and fresh artifact
-// bytes comparable.
-func cellManifest(version, scenarioHash, scheme string, seed int64, key string) telemetry.Manifest {
-	return telemetry.Manifest{
-		Tool:         "dynaqd",
-		Version:      version,
-		ScenarioHash: scenarioHash,
-		Seed:         seed,
-		Scheme:       scheme,
-		Args:         []string{"scheme=" + scheme, "seed=" + strconv.FormatInt(seed, 10), "cache_key=" + key},
-	}
+// artifactCached reports whether a complete artifact exists for the key.
+// The manifest is written by telemetry.Run's Close, so its presence proves
+// the whole directory landed (promotion is an atomic rename).
+func (s *Server) artifactCached(key string) bool {
+	_, err := os.Stat(filepath.Join(s.cellDir(key), telemetry.ManifestFile))
+	return err == nil
 }
 
-// runCell executes one cell of a job (or serves it from cache). It is the
-// trial function body of the job's RunTrialsCtx pool, so it may run
-// concurrently with other cells of the same job; every piece of simulation
-// state is built inside runCellTo, per cell.
-func (s *Server) runCell(j *Job, c *Cell) error {
-	final := s.cellDir(c.Key)
-	if _, err := os.Stat(filepath.Join(final, telemetry.ManifestFile)); err == nil {
-		s.mu.Lock()
-		c.State = StateDone
-		c.CacheHit = true
-		c.Dir = final
-		s.cacheHits.Inc()
-		s.mu.Unlock()
-		j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"done","cache_hit":true}`+"\n"))
-		return nil
-	}
-
-	s.mu.Lock()
-	c.State = StateRunning
-	s.cacheMisses.Inc()
-	s.mu.Unlock()
-	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"running","scheme":`+strconv.Quote(c.Scheme)+`,"seed":`+strconv.FormatInt(c.Seed, 10)+`}`+"\n"))
-
-	tmp := s.tmpDir(c.Key)
-	if err := os.RemoveAll(tmp); err != nil {
-		return s.failCell(c, fmt.Errorf("clearing stale artifacts: %w", err))
-	}
-	man := cellManifest(s.cfg.Version, j.ScenarioHash, c.Scheme, c.Seed, c.Key)
-	reg, err := runCellTo(tmp, j.Scenario, c.Scheme, c.Seed, man, func(line []byte) {
-		j.bc.publish(c.Index, line)
-	})
-	if err != nil {
-		os.RemoveAll(tmp)
-		return s.failCell(c, err)
-	}
-
-	// Promote atomically. With the single job drainer and per-job cell
-	// dedupe the destination cannot be mid-write by anyone else; if it
-	// exists, a previous run completed it and our bytes are identical by
-	// determinism, so keeping either copy is correct.
+// promote atomically moves a finished artifact directory into the cache.
+// If the destination already exists, a previous run completed it and our
+// bytes are identical by determinism, so keeping either copy is correct.
+func (s *Server) promote(tmp, final string) error {
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
 		os.RemoveAll(tmp)
-		return s.failCell(c, err)
+		return err
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		if _, statErr := os.Stat(filepath.Join(final, telemetry.ManifestFile)); statErr != nil {
 			os.RemoveAll(tmp)
-			return s.failCell(c, err)
+			return err
 		}
 		os.RemoveAll(tmp)
 	}
-
-	s.mu.Lock()
-	c.State = StateDone
-	c.Dir = final
-	s.cellsRun.Inc()
-	s.absorbLocked(reg)
-	s.mu.Unlock()
-	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"done","cache_hit":false}`+"\n"))
 	return nil
 }
 
-// failCell records a cell failure and returns the error for the trial pool.
-func (s *Server) failCell(c *Cell, err error) error {
-	s.mu.Lock()
-	c.State = StateFailed
-	c.Err = err.Error()
-	s.mu.Unlock()
-	return fmt.Errorf("cell %d (%s/seed %d): %w", c.Index, c.Scheme, c.Seed, err)
-}
+// maxUploadBytes bounds a worker's completion upload. A cell artifact is a
+// few JSONL files; anything past this is corrupt or hostile.
+const maxUploadBytes = 8 << 20
 
-// runCellTo executes one (scenario, scheme, seed) cell into dir: a full
-// telemetry Run (events.jsonl, metrics.jsonl, manifest.json) around a
-// scenario execution. It is the common path for the daemon's cache misses
-// and for the byte-diff tests that prove a cached artifact equals a fresh
-// sequential run. The returned registry stays readable after the run for
-// server-level aggregation.
-func runCellTo(dir string, scenarioBytes []byte, scheme string, seed int64, man telemetry.Manifest, tee func(line []byte)) (*telemetry.Registry, error) {
-	r, err := scenario.LoadWith(scenarioBytes, scenario.Overrides{Scheme: scheme, Seed: &seed})
+// absorbUpload writes a worker-uploaded artifact into the content-addressed
+// cache: stage the files in a fresh tmp directory, then promote with the
+// same atomic rename as a local run. It validates names (flat directory,
+// no separators) and requires the manifest, so a truncated upload can never
+// masquerade as a complete artifact. Absorption is keyed purely by content
+// address — it is correct even when the uploading worker's lease has
+// already expired, which is how late uploads stay useful (the requeued
+// attempt cache-hits these bytes).
+func (s *Server) absorbUpload(key string, files map[string][]byte) error {
+	if len(files) == 0 {
+		return fmt.Errorf("empty artifact upload")
+	}
+	if _, ok := files[telemetry.ManifestFile]; !ok {
+		return fmt.Errorf("artifact upload lacks %s", telemetry.ManifestFile)
+	}
+	total := 0
+	for name, data := range files {
+		if name == "" || name == "." || name == ".." ||
+			strings.ContainsAny(name, "/\\") {
+			return fmt.Errorf("invalid artifact file name %q", name)
+		}
+		total += len(data)
+	}
+	if total > maxUploadBytes {
+		return fmt.Errorf("artifact upload of %d bytes exceeds the %d limit", total, maxUploadBytes)
+	}
+	if s.artifactCached(key) {
+		return nil // deterministic duplicate; either copy is the right bytes
+	}
+	// Stage under tmp/ with a unique name so a concurrent local run of the
+	// same key (using tmpDir) cannot collide; orphans are swept at startup.
+	tmp, err := os.MkdirTemp(filepath.Join(s.cfg.DataDir, "tmp"), "upload-")
 	if err != nil {
-		return nil, err
+		return err
 	}
-	run, err := telemetry.NewRun(dir, man)
-	if err != nil {
-		return nil, err
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(tmp, name), data, 0o644); err != nil {
+			os.RemoveAll(tmp)
+			return err
+		}
 	}
-	if tee != nil {
-		run.Tee(tee)
-	}
-	r.SetTelemetry(run)
-	res, err := r.Run()
-	if err != nil {
-		run.Close()
-		return nil, err
-	}
-	summarize(run, res)
-	return run.Registry(), run.Close()
-}
-
-// summarize records the result headline into the manifest summary, the same
-// fields dynaqsim -config emits so artifacts are comparable across tools.
-func summarize(run *telemetry.Run, res *scenario.Result) {
-	switch {
-	case res.Static != nil:
-		run.Summarize("drops", strconv.FormatInt(res.Static.Drops, 10))
-		run.Summarize("samples", strconv.Itoa(len(res.Static.Samples)))
-	case res.Dynamic != nil:
-		run.Summarize("flows_generated", strconv.Itoa(res.Dynamic.Generated))
-		run.Summarize("flows_completed", strconv.Itoa(res.Dynamic.Completed))
-		run.Summarize("avg_fct_us_overall",
-			strconv.FormatInt(int64(res.Dynamic.FCT.Avg(metrics.AllFlows)/units.Microsecond), 10))
-	}
+	return s.promote(tmp, s.cellDir(key))
 }
 
 // absorbLocked folds a finished cell's counter series into the server's

@@ -1,0 +1,455 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"dynaq/internal/fleet"
+)
+
+// This file is the coordinator side of the worker fleet: cells of the job
+// in flight are offered to pull-based workers as time-boxed leases, or run
+// by the local executor pool when no workers are registered. Failure is the
+// default case — a silent worker's lease expires and the cell is requeued
+// with capped, deterministically-jittered backoff; a cell that exhausts its
+// attempt budget is quarantined to the persisted dead-letter list instead
+// of retrying forever.
+
+// dispatchCells runs one job's cells to settlement. It returns the job's
+// terminal error (nil on success) and whether a daemon shutdown interrupted
+// the job before settlement — in which case the caller requeues it instead
+// of settling it.
+func (s *Server) dispatchCells(ctx context.Context, j *Job) (error, bool) {
+	now := s.clock.Now()
+	var hits []*Cell
+	s.mu.Lock()
+	s.current = j
+	s.outstanding = 0
+	s.jobDone = make(chan struct{})
+	for _, c := range j.Cells {
+		if s.artifactCached(c.Key) {
+			c.State = StateDone
+			c.CacheHit = true
+			c.Dir = s.cellDir(c.Key)
+			s.cacheHits.Inc()
+			hits = append(hits, c)
+			continue
+		}
+		c.State = StateQueued
+		s.outstanding++
+		s.ready.Push(c, now)
+	}
+	outstanding := s.outstanding
+	if outstanding == 0 {
+		s.current = nil
+	}
+	s.mu.Unlock()
+	for _, c := range hits {
+		j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"done","cache_hit":true}`+"\n"))
+	}
+	if outstanding == 0 {
+		return nil, false
+	}
+
+	// A shutdown that began before dispatch even started requeues the job
+	// wholesale — no executors are spawned, so the outcome is deterministic
+	// rather than a race between the first claim and the cancel.
+	select {
+	case <-s.stop:
+		s.mu.Lock()
+		for _, c := range j.Cells {
+			if c.State != StateDone && c.State != StateQuarantined {
+				c.State = StateQueued
+			}
+		}
+		s.ready.Drain()
+		s.current = nil
+		s.mu.Unlock()
+		return nil, true
+	default:
+	}
+
+	// Local fallback executors: they only claim cells while no fleet
+	// worker is active, so a registered fleet gets the work and an empty
+	// fleet degrades to exactly the single-node behavior.
+	lctx, lcancel := context.WithCancel(ctx)
+	defer lcancel()
+	var wg sync.WaitGroup
+	for i := 0; i < localWorkers(s.cfg.Concurrency); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.localExecutor(lctx, j)
+		}()
+	}
+
+	interrupted := false
+	select {
+	case <-s.jobDone:
+	case <-ctx.Done():
+	case <-s.stop:
+		interrupted = true
+	}
+	lcancel()
+	wg.Wait() // cells already executing locally finish and land in cache
+
+	s.mu.Lock()
+	s.leases.DropJob(j.ID)
+	s.ready.Drain()
+	pending := 0
+	var jobErr error
+	for _, c := range j.Cells {
+		switch c.State {
+		case StateDone:
+		case StateQuarantined:
+			if jobErr == nil {
+				jobErr = fmt.Errorf("cell %d (%s/seed %d) quarantined after %d attempt(s): %s",
+					c.Index, c.Scheme, c.Seed, c.Attempts, c.Err)
+			}
+		default:
+			c.State = StateQueued
+			c.Worker = ""
+			pending++
+		}
+	}
+	s.current = nil
+	s.mu.Unlock()
+
+	if interrupted && pending > 0 {
+		return nil, true
+	}
+	if jobErr != nil {
+		return jobErr, false
+	}
+	if pending > 0 {
+		// Not interrupted and not quarantined: the job timed out.
+		s.mu.Lock()
+		for _, c := range j.Cells {
+			if c.State == StateQueued {
+				c.State = StateFailed
+				c.Err = "job cancelled"
+			}
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("job cancelled with %d cell(s) unfinished: %v", pending, ctx.Err()), false
+	}
+	return nil, false
+}
+
+// localWorkers sizes the fallback executor pool.
+func localWorkers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// localExecutor claims and runs ready cells while no fleet worker is
+// active. It blocks on the kick channel (nudged whenever readiness or
+// worker liveness changes) or on the clock until the next requeued cell's
+// backoff elapses.
+func (s *Server) localExecutor(ctx context.Context, j *Job) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		c, wait := s.claimLocalCell(j)
+		if c != nil {
+			s.executeLocalCell(j, c)
+			continue
+		}
+		if wait < 0 {
+			return
+		}
+		var timer <-chan time.Time
+		if wait > 0 {
+			timer = s.clock.After(wait)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.jobDone:
+			return
+		case <-s.kick:
+		case <-timer:
+		}
+	}
+}
+
+// claimLocalCell pops a ready cell for local execution, unless fleet
+// workers are active (they get the work via leases). wait < 0 means the job
+// has settled; wait > 0 is the delay until the next cell's backoff
+// readiness; wait == 0 means block until kicked.
+func (s *Server) claimLocalCell(j *Job) (*Cell, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.current != j || s.outstanding == 0 {
+		return nil, -1
+	}
+	now := s.clock.Now()
+	if s.activeWorkersLocked(now) > 0 {
+		// A live fleet owns the work; the expiry scanner kicks us if it
+		// goes quiet.
+		return nil, 0
+	}
+	c, ok := s.ready.Pop(now)
+	if !ok {
+		if at, have := s.ready.NextAt(); have {
+			return nil, at.Sub(now)
+		}
+		return nil, 0 // everything is leased or running
+	}
+	c.State = StateRunning
+	c.Worker = ""
+	if s.ready.Len() > 0 {
+		s.kickLocked() // wake a sibling executor for the next ready cell
+	}
+	return c, 0
+}
+
+// executeLocalCell runs one cell on the coordinator (cache check, fresh
+// run, atomic promotion) and settles it.
+func (s *Server) executeLocalCell(j *Job, c *Cell) {
+	final := s.cellDir(c.Key)
+	if s.artifactCached(c.Key) {
+		s.mu.Lock()
+		s.cacheHits.Inc()
+		s.mu.Unlock()
+		s.settleCellDone(j, c, true)
+		return
+	}
+
+	s.mu.Lock()
+	s.cacheMisses.Inc()
+	s.mu.Unlock()
+	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"running","scheme":`+strconv.Quote(c.Scheme)+`,"seed":`+strconv.FormatInt(c.Seed, 10)+`,"attempt":`+strconv.Itoa(c.Attempts+1)+`}`+"\n"))
+
+	tmp := s.tmpDir(c.Key)
+	if err := os.RemoveAll(tmp); err != nil {
+		s.cellFailed(j, c, "local", fmt.Errorf("clearing stale artifacts: %w", err))
+		return
+	}
+	man := fleet.CellManifest(s.cfg.Version, j.ScenarioHash, c.Scheme, c.Seed, c.Key)
+	reg, err := fleet.RunCellTo(tmp, j.Scenario, c.Scheme, c.Seed, man, func(line []byte) {
+		j.bc.publish(c.Index, line)
+	})
+	if err != nil {
+		os.RemoveAll(tmp)
+		s.cellFailed(j, c, "local", err)
+		return
+	}
+	if err := s.promote(tmp, final); err != nil {
+		s.cellFailed(j, c, "local", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.cellsRun.Inc()
+	s.absorbLocked(reg)
+	s.mu.Unlock()
+	s.settleCellDone(j, c, false)
+}
+
+// settleCellDone marks a cell finished and closes the job's done channel
+// when it was the last one outstanding.
+func (s *Server) settleCellDone(j *Job, c *Cell, cacheHit bool) {
+	s.mu.Lock()
+	if c.State == StateDone {
+		s.mu.Unlock()
+		return
+	}
+	c.State = StateDone
+	c.CacheHit = cacheHit
+	c.Dir = s.cellDir(c.Key)
+	c.Err = ""
+	s.outstanding--
+	settled := s.outstanding == 0
+	s.mu.Unlock()
+	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"done","cache_hit":`+strconv.FormatBool(cacheHit)+`}`+"\n"))
+	if settled {
+		close(s.jobDone)
+	}
+}
+
+// cellFailed charges one failed attempt against a cell: requeue with capped
+// deterministic backoff, or quarantine to the dead-letter list once the
+// attempt budget is spent.
+func (s *Server) cellFailed(j *Job, c *Cell, worker string, err error) {
+	s.mu.Lock()
+	c.Attempts++
+	c.Err = err.Error()
+	c.Worker = worker
+	s.persistAttemptsLocked(j)
+	if c.Attempts >= s.cfg.MaxAttempts {
+		c.State = StateQuarantined
+		s.quarantined.Inc()
+		s.addDeadLetterLocked(fleet.DeadLetterEntry{
+			CacheKey:   c.Key,
+			JobID:      j.ID,
+			CellIndex:  c.Index,
+			Scheme:     c.Scheme,
+			Seed:       c.Seed,
+			Attempts:   c.Attempts,
+			LastError:  c.Err,
+			LastWorker: worker,
+		})
+		s.outstanding--
+		settled := s.outstanding == 0
+		s.mu.Unlock()
+		j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"quarantined","attempts":`+strconv.Itoa(c.Attempts)+`,"error":`+strconv.Quote(c.Err)+`}`+"\n"))
+		s.logf("job %s: cell %d quarantined after %d attempt(s): %s", j.ID, c.Index, c.Attempts, c.Err)
+		if settled {
+			close(s.jobDone)
+		}
+		return
+	}
+	delay := s.backoff.Delay(c.Key, c.Attempts)
+	readyAt := s.clock.Now().Add(delay)
+	c.State = StateQueued
+	s.ready.Push(c, readyAt)
+	s.cellRetries.Inc()
+	s.kickLocked()
+	s.mu.Unlock()
+	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"requeued","attempt":`+strconv.Itoa(c.Attempts)+`,"backoff_ms":`+strconv.FormatInt(delay.Milliseconds(), 10)+`,"error":`+strconv.Quote(c.Err)+`}`+"\n"))
+	s.logf("job %s: cell %d attempt %d failed (%s); retrying in %s", j.ID, c.Index, c.Attempts, c.Err, delay)
+}
+
+// kickLocked nudges one blocked local executor. The channel is buffered, so
+// a kick sent while nobody is waiting is consumed by the next executor
+// about to block — no lost wakeups.
+func (s *Server) kickLocked() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// activeWorkersLocked counts workers seen within the liveness window (one
+// lease TTL). The caller holds s.mu.
+func (s *Server) activeWorkersLocked(now time.Time) int {
+	n := 0
+	for _, seen := range s.workers {
+		if now.Sub(seen) <= s.cfg.LeaseTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// cellByKeyLocked finds the current job's cell with the given cache key.
+func (s *Server) cellByKeyLocked(key string) (*Job, *Cell) {
+	if s.current == nil {
+		return nil, nil
+	}
+	for _, c := range s.current.Cells {
+		if c.Key == key {
+			return s.current, c
+		}
+	}
+	return nil, nil
+}
+
+// expiryLoop periodically expires silent workers' leases and prunes the
+// worker liveness table. The scan interval is a quarter TTL, so a lease is
+// requeued at most 1.25 TTL after its last heartbeat.
+func (s *Server) expiryLoop() {
+	interval := s.cfg.LeaseTTL / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.clock.After(interval):
+		}
+		s.tick()
+	}
+}
+
+// tick is one maintenance pass: expire lapsed leases (requeueing their
+// cells), prune dead workers, and kick the local executors so they notice
+// a fleet that has gone quiet.
+func (s *Server) tick() {
+	type expired struct {
+		j *Job
+		c *Cell
+		l *fleet.Lease
+	}
+	var lapsed []expired
+	s.mu.Lock()
+	now := s.clock.Now()
+	for _, l := range s.leases.Expire(now) {
+		s.leaseExpiry.Inc()
+		if j, c := s.cellByKeyLocked(l.Key); c != nil && c.State == StateLeased {
+			lapsed = append(lapsed, expired{j: j, c: c, l: l})
+		}
+	}
+	for id, seen := range s.workers {
+		if now.Sub(seen) > s.cfg.LeaseTTL {
+			delete(s.workers, id)
+		}
+	}
+	if s.current != nil {
+		s.kickLocked()
+	}
+	s.mu.Unlock()
+	for _, e := range lapsed {
+		s.cellFailed(e.j, e.c, e.l.Worker,
+			fmt.Errorf("lease %s expired: worker %s silent past the %s TTL", e.l.ID, e.l.Worker, s.cfg.LeaseTTL))
+	}
+}
+
+// --- dead-letter persistence ---------------------------------------------
+
+func (s *Server) deadLetterPath() string {
+	return filepath.Join(s.cfg.DataDir, "deadletter.json")
+}
+
+// addDeadLetterLocked appends (or refreshes) a quarantine entry and
+// persists the list. The caller holds s.mu.
+func (s *Server) addDeadLetterLocked(e fleet.DeadLetterEntry) {
+	replaced := false
+	for i := range s.dead {
+		if s.dead[i].CacheKey == e.CacheKey {
+			s.dead[i] = e
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.dead = append(s.dead, e)
+	}
+	s.persistDeadLetterLocked()
+}
+
+func (s *Server) persistDeadLetterLocked() {
+	data, err := json.MarshalIndent(s.dead, "", "  ")
+	if err == nil {
+		err = os.WriteFile(s.deadLetterPath(), append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		s.logf("persisting dead-letter list: %v", err)
+	}
+}
+
+func (s *Server) loadDeadLetter() error {
+	data, err := os.ReadFile(s.deadLetterPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := json.Unmarshal(data, &s.dead); err != nil {
+		return fmt.Errorf("server: parsing deadletter.json: %w", err)
+	}
+	return nil
+}

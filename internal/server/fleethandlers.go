@@ -1,0 +1,272 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"dynaq/internal/fleet"
+)
+
+// maxCompleteBytes bounds a completion upload body: the artifact byte cap
+// plus base64 expansion and JSON envelope overhead.
+const maxCompleteBytes = maxUploadBytes*3/2 + 64*1024
+
+// handleLease hands one ready cell of the current job to a pulling worker.
+// Polling at all registers the worker as active, which switches the
+// coordinator out of local-execution fallback. 204 means no work; the
+// Retry-After hint (when present) is the time until the next requeued cell's
+// backoff elapses.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req fleet.LeaseRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil || req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "lease request needs a worker id"})
+		return
+	}
+	s.mu.Lock()
+	now := s.clock.Now()
+	s.workers[req.Worker] = now
+	j := s.current
+	if j == nil {
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	c, ok := s.ready.Pop(now)
+	if !ok {
+		if at, have := s.ready.NextAt(); have {
+			w.Header().Set("Retry-After", retryAfterSeconds(at.Sub(now)))
+		}
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	l := s.leases.Grant(c.Key, j.ID, req.Worker, c.Attempts+1, now, s.cfg.LeaseTTL)
+	c.State = StateLeased
+	c.Worker = req.Worker
+	s.leaseGrants.Inc()
+	grant := fleet.LeaseGrant{
+		LeaseID:      l.ID,
+		JobID:        j.ID,
+		CellIndex:    c.Index,
+		CacheKey:     c.Key,
+		Scheme:       c.Scheme,
+		Seed:         c.Seed,
+		Attempt:      l.Attempt,
+		TTLMillis:    s.cfg.LeaseTTL.Milliseconds(),
+		Version:      s.cfg.Version,
+		ScenarioHash: j.ScenarioHash,
+		Scenario:     json.RawMessage(j.Scenario),
+	}
+	s.mu.Unlock()
+	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"leased","worker":`+strconv.Quote(req.Worker)+`,"attempt":`+strconv.Itoa(grant.Attempt)+`}`+"\n"))
+	s.logf("job %s: cell %d leased to %s (%s, attempt %d)", j.ID, c.Index, req.Worker, l.ID, grant.Attempt)
+	writeJSON(w, http.StatusOK, grant)
+}
+
+// retryAfterSeconds renders a duration as the delta-seconds Retry-After
+// form, rounded up so a client honoring it never polls early.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// handleHeartbeat renews a live lease; 410 means the lease expired (its
+// cell already requeued) and renewal is pointless.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	now := s.clock.Now()
+	l, ok := s.leases.Renew(id, now, s.cfg.LeaseTTL)
+	if ok {
+		s.workers[l.Worker] = now
+		s.leaseRenews.Inc()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusGone, errorBody{Error: "lease " + id + " is not live"})
+		return
+	}
+	writeJSON(w, http.StatusOK, fleet.HeartbeatResponse{TTLMillis: s.cfg.LeaseTTL.Milliseconds()})
+}
+
+// handleComplete settles a leased cell. Uploaded artifact bytes are
+// absorbed into the content-addressed cache FIRST, regardless of lease
+// validity — the cache key fully determines the bytes, so a late upload
+// from an expired lease is still exactly what the requeued attempt needs
+// (it will cache-hit instead of re-running). Only then is the lease itself
+// settled: 200 if it was live, 410 if it had already lapsed.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req fleet.CompleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCompleteBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding completion: " + err.Error()})
+		return
+	}
+	var absorbErr error
+	if req.Error == "" && len(req.Files) > 0 {
+		if req.CacheKey == "" {
+			absorbErr = errors.New("completion upload lacks a cache key")
+		} else {
+			absorbErr = s.absorbUpload(req.CacheKey, req.Files)
+		}
+		if absorbErr != nil {
+			s.logf("lease %s: rejecting artifact upload: %v", id, absorbErr)
+		}
+	}
+
+	s.mu.Lock()
+	now := s.clock.Now()
+	if req.Worker != "" {
+		s.workers[req.Worker] = now
+	}
+	l, ok := s.leases.Complete(id)
+	var j *Job
+	var c *Cell
+	if ok {
+		j, c = s.cellByKeyLocked(l.Key)
+		if c == nil || c.State != StateLeased {
+			ok = false
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusGone, errorBody{Error: "lease " + id + " is not live; artifact absorbed if uploaded"})
+		return
+	}
+
+	switch {
+	case req.Error != "":
+		s.cellFailed(j, c, l.Worker, errors.New(req.Error))
+	case absorbErr != nil:
+		s.cellFailed(j, c, l.Worker, absorbErr)
+	case !s.artifactCached(c.Key):
+		s.cellFailed(j, c, l.Worker, fmt.Errorf("completion carried no artifact for key %s", c.Key))
+	default:
+		s.mu.Lock()
+		s.cellsRemote.Inc()
+		s.mu.Unlock()
+		s.settleCellDone(j, c, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleDeadLetter lists quarantined cells.
+func (s *Server) handleDeadLetter(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := fleet.DeadLetterList{Cells: append([]fleet.DeadLetterEntry(nil), s.dead...)}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRequeue puts quarantined cells back in play by re-enqueueing their
+// owning jobs from the persisted request bytes — the same resubmission path
+// an operator would use, so finished sibling cells come back as cache hits
+// and the requeued cells start with a fresh attempt budget. Keys that match
+// nothing, or whose owning job is still in flight, are reported dropped.
+func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
+	var req fleet.RequeueRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil && err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding requeue request: " + err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.accepting {
+		s.rejected["draining"].Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining: not accepting jobs"})
+		return
+	}
+
+	selected := make(map[string]bool, len(req.Keys))
+	for _, k := range req.Keys {
+		selected[k] = true
+	}
+	var resp fleet.RequeueResponse
+	jobs := make(map[string][]fleet.DeadLetterEntry)
+	order := []string{}
+	matched := make(map[string]bool)
+	for _, e := range s.dead {
+		if len(req.Keys) > 0 && !selected[e.CacheKey] {
+			continue
+		}
+		matched[e.CacheKey] = true
+		if _, seen := jobs[e.JobID]; !seen {
+			order = append(order, e.JobID)
+		}
+		jobs[e.JobID] = append(jobs[e.JobID], e)
+	}
+	for _, k := range req.Keys {
+		if !matched[k] {
+			resp.Dropped = append(resp.Dropped, k)
+		}
+	}
+	if len(order) > cap(s.queue)-len(s.queue) {
+		s.rejected["queue_full"].Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error: "queue full (depth " + strconv.Itoa(cap(s.queue)) + "): requeue would enqueue " + strconv.Itoa(len(order)) + " job(s)",
+		})
+		return
+	}
+
+	requeued := make(map[string]bool)
+	for _, jobID := range order {
+		if existing, ok := s.jobs[jobID]; ok && !terminal(existing.State) {
+			// Still in flight (a sibling cell may even be the one running);
+			// its quarantined cells cannot be requeued yet.
+			for _, e := range jobs[jobID] {
+				resp.Dropped = append(resp.Dropped, e.CacheKey)
+			}
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(s.jobDir(jobID), "request.json"))
+		if err != nil {
+			s.logf("deadletter: job %s request unreadable: %v", jobID, err)
+			for _, e := range jobs[jobID] {
+				resp.Dropped = append(resp.Dropped, e.CacheKey)
+			}
+			continue
+		}
+		j, err := buildJob(parseRequest(body), s.cfg.Version)
+		if err != nil {
+			s.logf("deadletter: job %s no longer validates: %v", jobID, err)
+			for _, e := range jobs[jobID] {
+				resp.Dropped = append(resp.Dropped, e.CacheKey)
+			}
+			continue
+		}
+		j.ID = jobID // keep the persisted handle even if expansion rules evolve
+		s.queue <- j // capacity pre-checked above
+		s.jobs[jobID] = j
+		s.jobsSubbed.Inc()
+		if err := s.persistRequest(j, body); err != nil {
+			s.logf("job %s: persisting request: %v", jobID, err)
+		}
+		resp.Requeued = append(resp.Requeued, jobID)
+		requeued[jobID] = true
+		s.logf("deadletter: job %s requeued (%d quarantined cell(s) back in play)", jobID, len(jobs[jobID]))
+	}
+
+	if len(requeued) > 0 {
+		kept := s.dead[:0]
+		for _, e := range s.dead {
+			if !requeued[e.JobID] {
+				kept = append(kept, e)
+			}
+		}
+		s.dead = kept
+		s.persistDeadLetterLocked()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

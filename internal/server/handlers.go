@@ -26,6 +26,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/leases", s.handleLease)
+	s.mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /v1/deadletter", s.handleDeadLetter)
+	s.mux.HandleFunc("POST /v1/deadletter/requeue", s.handleRequeue)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
@@ -103,6 +108,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.rejected["queue_full"].Inc()
 		s.mu.Unlock()
+		// A full queue is transient — the drainer frees a slot as soon as
+		// the job at the head finishes. Tell well-behaved clients when to
+		// come back instead of letting them hammer the endpoint.
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "queue full (depth " + strconv.Itoa(cap(s.queue)) + ")"})
 		return
 	}
@@ -285,12 +294,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	depth := len(s.queue)
 	running := s.running
+	workers := s.activeWorkersLocked(s.clock.Now())
+	leases := s.leases.Len()
+	deadletter := len(s.dead)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       "ok",
-		"state":        state,
-		"version":      s.cfg.Version,
-		"queue_depth":  depth,
-		"jobs_running": running,
+		"status":          "ok",
+		"state":           state,
+		"version":         s.cfg.Version,
+		"queue_depth":     depth,
+		"jobs_running":    running,
+		"workers_active":  workers,
+		"leases_live":     leases,
+		"deadletter_size": deadletter,
 	})
 }

@@ -20,6 +20,14 @@ const (
 	StateFailed  = "failed"
 )
 
+// Cell-only states. A leased cell is held by a fleet worker under a
+// time-boxed lease; a quarantined cell exhausted its attempt budget and
+// sits on the dead-letter list until an operator requeues its job.
+const (
+	StateLeased      = "leased"
+	StateQuarantined = "quarantined"
+)
+
 // maxCellsPerJob bounds the sweep fan-out of one submission so a single
 // request cannot enqueue unbounded work.
 const maxCellsPerJob = 256
@@ -66,6 +74,8 @@ type Cell struct {
 	CacheHit bool
 	Dir      string // artifact directory once done
 	Err      string
+	Attempts int    // failed attempts charged so far (persisted across restarts)
+	Worker   string // last worker to touch the cell ("local" for the fallback pool)
 }
 
 // Job is one submission: a scenario body plus its expanded cells.
@@ -163,6 +173,8 @@ type CellStatus struct {
 	CacheHit    bool   `json:"cache_hit"`
 	ArtifactDir string `json:"artifact_dir,omitempty"`
 	Error       string `json:"error,omitempty"`
+	Attempts    int    `json:"attempts,omitempty"`
+	Worker      string `json:"worker,omitempty"`
 }
 
 // JobStatus is the wire form of GET /v1/jobs/{id} and the terminal state
@@ -198,6 +210,8 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 			CacheHit:    c.CacheHit,
 			ArtifactDir: c.Dir,
 			Error:       c.Err,
+			Attempts:    c.Attempts,
+			Worker:      c.Worker,
 		})
 	}
 	return st
@@ -226,6 +240,8 @@ func jobFromStatus(st JobStatus) *Job {
 			CacheHit: cs.CacheHit,
 			Dir:      cs.ArtifactDir,
 			Err:      cs.Error,
+			Attempts: cs.Attempts,
+			Worker:   cs.Worker,
 		})
 	}
 	j.bc.close()

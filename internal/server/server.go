@@ -14,27 +14,44 @@ import (
 	"sync"
 	"time"
 
-	"dynaq/internal/experiment"
+	"dynaq/internal/fleet"
 	"dynaq/internal/telemetry"
 )
 
 // Config parameterizes a daemon instance.
 type Config struct {
-	// DataDir roots all persistent state: jobs/ (requests and terminal
-	// statuses), queue/ (pending markers, replayed FIFO on restart),
-	// cache/ (content-addressed artifacts), tmp/ (in-progress runs).
+	// DataDir roots all persistent state: jobs/ (requests, terminal
+	// statuses, attempt counters), queue/ (pending markers, replayed FIFO
+	// on restart), cache/ (content-addressed artifacts), tmp/ (in-progress
+	// runs, swept at startup), deadletter.json (quarantined cells).
 	DataDir string
 	// QueueDepth bounds the FIFO job queue; a submit beyond it is
-	// rejected with 503. 0 selects 64.
+	// rejected with 503 + Retry-After. 0 selects 64.
 	QueueDepth int
-	// Concurrency caps the worker pool that runs one job's cells
-	// (experiment.RunTrialsCtx workers). 0 selects GOMAXPROCS.
+	// Concurrency caps the local-fallback executor pool that runs a job's
+	// cells when no fleet workers are registered. 0 selects GOMAXPROCS.
 	Concurrency int
 	// JobTimeout bounds one job's wall-clock execution; past it the job
 	// fails terminally. Cells already in flight finish (a single-goroutine
 	// simulation cannot be preempted), but no further cells start. 0
 	// disables the timeout.
 	JobTimeout time.Duration
+	// LeaseTTL bounds how long a worker may hold a cell between
+	// heartbeats; past it the cell is requeued for someone else. 0
+	// selects 15s.
+	LeaseTTL time.Duration
+	// MaxAttempts caps how many times one cell may run (across workers
+	// and local fallback) before it is quarantined to the dead-letter
+	// list. 0 selects 3.
+	MaxAttempts int
+	// RetryBase and RetryCap shape the capped exponential backoff between
+	// attempts of a failed cell. Zero values select 250ms and 10s.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Clock is the injected time source for lease expiry, retry
+	// readiness, and worker liveness. nil selects fleet.WallClock; the
+	// chaos harness injects a fleet.ManualClock.
+	Clock fleet.Clock
 	// Version is the build stamp (dynaq.Version) folded into cache keys
 	// and manifests.
 	Version string
@@ -42,12 +59,15 @@ type Config struct {
 	Log *log.Logger
 }
 
-// Server is the dynaqd HTTP handler plus its queue, drainer, cache, and
-// metric registry. Create with New, start the drainer with Start, and stop
-// with Shutdown.
+// Server is the dynaqd coordinator: HTTP handler plus job queue, lease
+// dispatcher, local-fallback executors, content-addressed cache, dead-letter
+// list, and metric registry. Create with New, start the drainer and expiry
+// scanner with Start, and stop with Shutdown.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg     Config
+	clock   fleet.Clock
+	backoff fleet.Backoff
+	mux     *http.ServeMux
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -56,6 +76,18 @@ type Server struct {
 	accepting bool
 	running   int64
 
+	// Fleet dispatch state: the job currently being dispatched, its cells
+	// awaiting (re)lease ordered by readiness, live leases, recently-seen
+	// workers, and the quarantine list. All guarded by mu.
+	current     *Job
+	ready       fleet.ReadyQueue[*Cell]
+	leases      *fleet.Table
+	workers     map[string]time.Time
+	outstanding int
+	jobDone     chan struct{}
+	kick        chan struct{}
+	dead        []fleet.DeadLetterEntry
+
 	reg         *telemetry.Registry
 	simTotals   map[string]int64
 	jobsSubbed  *telemetry.Counter
@@ -63,8 +95,14 @@ type Server struct {
 	jobsDone    *telemetry.Counter
 	jobsFailed  *telemetry.Counter
 	cellsRun    *telemetry.Counter
+	cellsRemote *telemetry.Counter
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
+	leaseGrants *telemetry.Counter
+	leaseRenews *telemetry.Counter
+	leaseExpiry *telemetry.Counter
+	cellRetries *telemetry.Counter
+	quarantined *telemetry.Counter
 	rejected    map[string]*telemetry.Counter
 
 	stop    chan struct{}
@@ -77,11 +115,19 @@ type Server struct {
 }
 
 // New builds a server over DataDir, recovering persisted state: terminal
-// jobs become queryable again and queued jobs re-enter the FIFO in their
-// original order. The drainer is not started yet — call Start.
+// jobs become queryable again, queued jobs re-enter the FIFO in their
+// original order with attempt counters intact, the dead-letter list is
+// reloaded, and orphaned tmp directories left by a crash mid-promotion are
+// swept. The drainer is not started yet — call Start.
 func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
 	}
 	for _, sub := range []string{"jobs", "queue", "cache", "tmp"} {
 		if err := os.MkdirAll(filepath.Join(cfg.DataDir, sub), 0o755); err != nil {
@@ -90,28 +136,55 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:       cfg,
+		clock:     cfg.Clock,
+		backoff:   fleet.Backoff{Base: cfg.RetryBase, Cap: cfg.RetryCap},
 		jobs:      make(map[string]*Job),
 		accepting: true,
+		leases:    fleet.NewTable(),
+		workers:   make(map[string]time.Time),
+		kick:      make(chan struct{}, 1),
 		reg:       telemetry.NewRegistry(),
 		simTotals: make(map[string]int64),
 		rejected:  make(map[string]*telemetry.Counter),
 		stop:      make(chan struct{}),
 		drained:   make(chan struct{}),
 	}
+	if s.clock == nil {
+		s.clock = fleet.WallClock{}
+	}
 	s.jobsSubbed = s.reg.Counter("dynaqd_jobs_submitted_total")
 	s.jobsDeduped = s.reg.Counter("dynaqd_jobs_deduped_total")
 	s.jobsDone = s.reg.Counter("dynaqd_jobs_completed_total")
 	s.jobsFailed = s.reg.Counter("dynaqd_jobs_failed_total")
 	s.cellsRun = s.reg.Counter("dynaqd_cells_completed_total")
+	s.cellsRemote = s.reg.Counter("dynaqd_cells_remote_total")
 	s.cacheHits = s.reg.Counter("dynaqd_cache_hits_total")
 	s.cacheMisses = s.reg.Counter("dynaqd_cache_misses_total")
+	s.leaseGrants = s.reg.Counter("dynaqd_leases_granted_total")
+	s.leaseRenews = s.reg.Counter("dynaqd_leases_renewed_total")
+	s.leaseExpiry = s.reg.Counter("dynaqd_leases_expired_total")
+	s.cellRetries = s.reg.Counter("dynaqd_cell_retries_total")
+	s.quarantined = s.reg.Counter("dynaqd_deadletter_total")
 	for _, reason := range []string{"draining", "invalid", "queue_full"} {
 		s.rejected[reason] = s.reg.Counter("dynaqd_jobs_rejected_total", telemetry.L("reason", reason))
 	}
 	s.reg.Gauge("dynaqd_build_info", telemetry.L("version", cfg.Version)).Set(1)
 	s.reg.GaugeFunc("dynaqd_queue_depth", func() int64 { return int64(len(s.queue)) })
 	s.reg.GaugeFunc("dynaqd_jobs_running", func() int64 { return s.running })
+	s.reg.GaugeFunc("dynaqd_workers_active", func() int64 {
+		return int64(s.activeWorkersLocked(s.clock.Now()))
+	})
+	s.reg.GaugeFunc("dynaqd_leases_live", func() int64 { return int64(s.leases.Len()) })
+	s.reg.GaugeFunc("dynaqd_deadletter_size", func() int64 { return int64(len(s.dead)) })
 
+	if n, err := s.sweepTmp(); err != nil {
+		return nil, err
+	} else if n > 0 {
+		s.logf("swept %d orphaned tmp director(ies) left by a previous crash", n)
+	}
+	if err := s.loadDeadLetter(); err != nil {
+		return nil, err
+	}
 	markers, err := s.loadQueueMarkers()
 	if err != nil {
 		return nil, err
@@ -129,19 +202,40 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start launches the drain loop: jobs leave the FIFO one at a time, each
-// fanning its cells onto a RunTrialsCtx worker pool capped at
-// cfg.Concurrency. Total simulation parallelism is therefore bounded by the
-// cap regardless of queue length.
-func (s *Server) Start() { go s.drain() }
+// sweepTmp removes every entry under DataDir/tmp. Promotion into the cache
+// is an atomic rename, so anything still in tmp when a daemon starts is the
+// torn residue of a crash mid-run or mid-promotion — never a valid artifact.
+func (s *Server) sweepTmp() (int, error) {
+	dir := filepath.Join(s.cfg.DataDir, "tmp")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("server: sweeping tmp: %w", err)
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return 0, fmt.Errorf("server: sweeping tmp: %w", err)
+		}
+	}
+	return len(entries), nil
+}
+
+// Start launches the drain loop (jobs leave the FIFO one at a time, their
+// cells fanned out to fleet workers or the local executor pool) and the
+// lease-expiry scanner.
+func (s *Server) Start() {
+	go s.drain()
+	go s.expiryLoop()
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Shutdown drains gracefully: new submissions are rejected, the job in
-// flight finishes, and still-queued jobs stay persisted on disk for the
-// next daemon instance to resume. It returns once the drainer has exited or
-// ctx expires.
+// Shutdown drains gracefully: new submissions are rejected, cells already
+// executing locally finish (and land in the cache), leased and pending
+// cells are requeued — the in-flight job reverts to queued with attempt
+// counters persisted — and still-queued jobs stay on disk for the next
+// daemon instance to resume. It returns once the drainer has exited or ctx
+// expires.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	alreadyClosing := !s.accepting
@@ -152,7 +246,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	select {
 	case <-s.drained:
-		s.logf("drained; %d job(s) left queued on disk", len(s.queue))
+		s.mu.Lock()
+		queued := 0
+		for _, j := range s.jobs {
+			if j.State == StateQueued {
+				queued++
+			}
+		}
+		s.mu.Unlock()
+		s.logf("drained; %d job(s) left queued on disk", queued)
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -185,8 +287,11 @@ func (s *Server) drain() {
 	}
 }
 
-// runJob executes one job's cells on a trial pool and settles its terminal
-// state.
+// runJob dispatches one job's cells (to fleet workers, or the local
+// executor pool when none are registered) and settles its terminal state —
+// unless a shutdown interrupted it, in which case the job reverts to
+// queued, its marker stays on disk, and the next daemon instance resumes
+// it with attempt counters intact.
 func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	j.State = StateRunning
@@ -203,10 +308,19 @@ func (s *Server) runJob(j *Job) {
 	if s.cfg.JobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 	}
-	_, err := experiment.RunTrialsCtx(ctx, len(j.Cells), s.cfg.Concurrency, func(i int) (struct{}, error) {
-		return struct{}{}, s.runCell(j, j.Cells[i])
-	})
+	err, interrupted := s.dispatchCells(ctx, j)
 	cancel()
+
+	if interrupted {
+		s.mu.Lock()
+		j.State = StateQueued
+		s.running--
+		s.persistAttemptsLocked(j)
+		s.mu.Unlock()
+		j.bc.publish(-1, []byte(`{"kind":"job","state":"queued","reason":"daemon draining"}`+"\n"))
+		s.logf("job %s: requeued for the next daemon instance (drain)", j.ID)
+		return
+	}
 
 	s.mu.Lock()
 	s.running--
@@ -263,7 +377,9 @@ func (s *Server) jobDir(id string) string { return filepath.Join(s.cfg.DataDir, 
 
 // persistRequest records a submission before it is enqueued, so a queued
 // job survives a daemon restart: request.json holds the raw body and a
-// queue marker holds the FIFO position.
+// queue marker holds the FIFO position. Any stale attempt counters from an
+// earlier life of the same job id are cleared — a (re)submission starts
+// with a fresh retry budget.
 func (s *Server) persistRequest(j *Job, body []byte) error {
 	dir := s.jobDir(j.ID)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -272,6 +388,7 @@ func (s *Server) persistRequest(j *Job, body []byte) error {
 	if err := os.WriteFile(filepath.Join(dir, "request.json"), body, 0o644); err != nil {
 		return err
 	}
+	os.Remove(filepath.Join(dir, "attempts.json"))
 	s.seq++
 	marker := filepath.Join(s.cfg.DataDir, "queue", fmt.Sprintf("%08d-%s", s.seq, j.ID))
 	return os.WriteFile(marker, nil, 0o644)
@@ -287,6 +404,52 @@ func (s *Server) persistStatus(st JobStatus) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "status.json"), append(data, '\n'), 0o644)
+}
+
+// persistAttemptsLocked records every cell's attempt counter so a daemon
+// restart (graceful or not) resumes the retry budget instead of resetting
+// it. Keys are version-independent ("scheme/seed") because cells are
+// re-expanded under the current build on recovery. The caller holds s.mu.
+func (s *Server) persistAttemptsLocked(j *Job) {
+	counts := make(map[string]int)
+	for _, c := range j.Cells {
+		if c.Attempts > 0 {
+			counts[attemptKey(c)] = c.Attempts
+		}
+	}
+	path := filepath.Join(s.jobDir(j.ID), "attempts.json")
+	if len(counts) == 0 {
+		os.Remove(path)
+		return
+	}
+	data, err := json.Marshal(counts)
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		s.logf("job %s: persisting attempts: %v", j.ID, err)
+	}
+}
+
+// attemptKey identifies a cell across daemon restarts and version bumps.
+func attemptKey(c *Cell) string { return c.Scheme + "/" + strconv.FormatInt(c.Seed, 10) }
+
+// loadAttempts restores persisted attempt counters onto a recovered job.
+func (s *Server) loadAttempts(j *Job) {
+	data, err := os.ReadFile(filepath.Join(s.jobDir(j.ID), "attempts.json"))
+	if err != nil {
+		return
+	}
+	var counts map[string]int
+	if err := json.Unmarshal(data, &counts); err != nil {
+		s.logf("job %s: unreadable attempts.json: %v", j.ID, err)
+		return
+	}
+	for _, c := range j.Cells {
+		if n, ok := counts[attemptKey(c)]; ok {
+			c.Attempts = n
+		}
+	}
 }
 
 // removeQueueMarker deletes a job's pending marker (any sequence prefix).
@@ -345,9 +508,12 @@ func (s *Server) recoverTerminal() error {
 	return nil
 }
 
-// recoverQueued re-enqueues persisted pending jobs in marker order. Cells
-// are re-expanded under the current build version, so work queued before an
-// upgrade re-runs instead of hitting a stale cache.
+// recoverQueued re-enqueues persisted pending jobs in marker order —
+// including jobs that were mid-dispatch when the previous daemon stopped,
+// whose leased-but-unfinished cells come back as queued with their attempt
+// counters intact. Cells are re-expanded under the current build version,
+// so work queued before an upgrade re-runs instead of hitting a stale
+// cache.
 func (s *Server) recoverQueued(markers []string) error {
 	for _, name := range markers {
 		_, id, ok := strings.Cut(name, "-")
@@ -368,6 +534,7 @@ func (s *Server) recoverQueued(markers []string) error {
 			continue
 		}
 		j.ID = id // keep the persisted handle even if expansion rules evolve
+		s.loadAttempts(j)
 		s.jobs[id] = j
 		s.queue <- j
 	}

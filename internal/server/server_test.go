@@ -11,10 +11,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"dynaq/internal/fleet"
 	"dynaq/internal/telemetry"
 )
 
@@ -134,9 +136,9 @@ func TestEndToEnd(t *testing.T) {
 	// Byte-diff: a fresh sequential run of the same cell through the shared
 	// execution path must produce exactly the cached bytes.
 	fresh := filepath.Join(t.TempDir(), "fresh")
-	man := cellManifest("test-v1", done.ScenarioHash, cell.Scheme, cell.Seed, cell.CacheKey)
-	if _, err := runCellTo(fresh, []byte(testScenario), cell.Scheme, cell.Seed, man, nil); err != nil {
-		t.Fatalf("fresh runCellTo: %v", err)
+	man := fleet.CellManifest("test-v1", done.ScenarioHash, cell.Scheme, cell.Seed, cell.CacheKey)
+	if _, err := fleet.RunCellTo(fresh, []byte(testScenario), cell.Scheme, cell.Seed, man, nil); err != nil {
+		t.Fatalf("fresh RunCellTo: %v", err)
 	}
 	diffDirs(t, cell.ArtifactDir, fresh)
 }
@@ -345,9 +347,11 @@ func TestJobTimeout(t *testing.T) {
 	}
 }
 
-// TestDrainAndRecover is the graceful-shutdown contract: with job A held
-// running and job B queued, Shutdown finishes A, leaves B persisted on disk,
-// and a second daemon instance over the same data dir resumes B.
+// TestDrainAndRecover is the graceful-shutdown contract: with job A held at
+// its start hook (no cell dispatched yet) and job B queued, Shutdown requeues
+// A — its marker and request stay on disk in original FIFO position — leaves
+// B untouched, and a second daemon instance over the same data dir resumes
+// both in order.
 func TestDrainAndRecover(t *testing.T) {
 	dataDir := t.TempDir()
 	release := make(chan struct{})
@@ -376,40 +380,53 @@ func TestDrainAndRecover(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 
-	// A finished; B stayed queued and persisted.
+	// A was interrupted before any cell dispatched, so the drain requeued
+	// it; B never left the queue. Both persist on disk, A's marker first.
 	a := getStatus(t, ts, stA.ID)
-	if a.State != StateDone {
-		t.Fatalf("job A state = %s, want done", a.State)
+	if a.State != StateQueued {
+		t.Fatalf("job A state = %s, want queued (requeued by drain)", a.State)
 	}
-	if _, err := os.Stat(filepath.Join(dataDir, "jobs", stB.ID, "request.json")); err != nil {
-		t.Fatalf("job B request not persisted: %v", err)
+	for _, id := range []string{stA.ID, stB.ID} {
+		if _, err := os.Stat(filepath.Join(dataDir, "jobs", id, "request.json")); err != nil {
+			t.Fatalf("job %s request not persisted: %v", id, err)
+		}
 	}
 	markers, _ := os.ReadDir(filepath.Join(dataDir, "queue"))
-	if len(markers) != 1 || !strings.HasSuffix(markers[0].Name(), "-"+stB.ID) {
-		t.Fatalf("queue markers = %v, want exactly job B", markers)
+	if len(markers) != 2 || !strings.HasSuffix(markers[0].Name(), "-"+stA.ID) ||
+		!strings.HasSuffix(markers[1].Name(), "-"+stB.ID) {
+		t.Fatalf("queue markers = %v, want job A then job B", markerNames(markers))
 	}
 	ts.Close()
 
-	// A fresh instance over the same data dir recovers both: A terminal and
-	// queryable, B queued and then run to completion.
+	// A fresh instance over the same data dir recovers both in FIFO order
+	// and runs them to completion.
 	s2, err := New(Config{DataDir: dataDir, Concurrency: 1, Version: "test-v1"})
 	if err != nil {
 		t.Fatalf("New (recovery): %v", err)
 	}
 	ts2 := httptest.NewServer(s2)
 	defer ts2.Close()
-	if a2 := getStatus(t, ts2, stA.ID); a2.State != StateDone {
-		t.Fatalf("recovered job A state = %s, want done", a2.State)
+	if a2 := getStatus(t, ts2, stA.ID); a2.State != StateQueued {
+		t.Fatalf("recovered job A state = %s, want queued", a2.State)
 	}
 	s2.Start()
 	defer s2.Shutdown(shutdownCtx(t))
-	b := waitTerminal(t, ts2, stB.ID)
-	if b.State != StateDone {
-		t.Fatalf("recovered job B state = %s (err %q), want done", b.State, b.Error)
+	for _, id := range []string{stA.ID, stB.ID} {
+		if st := waitTerminal(t, ts2, id); st.State != StateDone {
+			t.Fatalf("recovered job %s state = %s (err %q), want done", id, st.State, st.Error)
+		}
 	}
 	if rest, _ := os.ReadDir(filepath.Join(dataDir, "queue")); len(rest) != 0 {
 		t.Fatalf("queue markers left after recovery run: %v", rest)
 	}
+}
+
+func markerNames(entries []os.DirEntry) []string {
+	var out []string
+	for _, e := range entries {
+		out = append(out, e.Name())
+	}
+	return out
 }
 
 func getStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
@@ -591,4 +608,367 @@ func TestBroadcaster(t *testing.T) {
 		t.Fatal("subscribe after close returned an open channel")
 	}
 	b.publish(0, []byte(`{"n":2}`+"\n")) // must not panic
+}
+
+// --- fleet / fault-tolerance coverage ------------------------------------
+
+// healthzField reads one numeric field from /healthz.
+func healthzField(t *testing.T, ts *httptest.Server, field string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("decoding healthz: %v\n%s", err, data)
+	}
+	v, ok := m[field].(float64)
+	if !ok {
+		t.Fatalf("healthz has no numeric %q: %s", field, data)
+	}
+	return v
+}
+
+// leaseAs is a hand-rolled fleet client for failure-injection tests: it
+// requests one lease for the named worker and returns the grant (nil on 204).
+func leaseAs(t *testing.T, ts *httptest.Server, worker string) *fleet.LeaseGrant {
+	t.Helper()
+	body, _ := json.Marshal(fleet.LeaseRequest{Worker: worker})
+	resp, err := http.Post(ts.URL+"/v1/leases", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var g fleet.LeaseGrant
+		if err := json.NewDecoder(resp.Body).Decode(&g); err != nil {
+			t.Fatalf("decoding grant: %v", err)
+		}
+		return &g
+	case http.StatusNoContent:
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	default:
+		t.Fatalf("lease request status = %d", resp.StatusCode)
+		return nil
+	}
+}
+
+func completeLease(t *testing.T, ts *httptest.Server, leaseID string, req fleet.CompleteRequest) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/leases/"+leaseID+"/complete", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestTmpSweep is the torn-write regression: a crash mid-run or
+// mid-promotion leaves partial directories under tmp/; a fresh daemon over
+// the same data dir must sweep them at startup (they can never be valid
+// artifacts — promotion is an atomic rename) and then operate normally.
+func TestTmpSweep(t *testing.T) {
+	dataDir := t.TempDir()
+	torn := filepath.Join(dataDir, "tmp", "deadbeefcafe")
+	if err := os.MkdirAll(torn, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated events file: the classic torn write of a crash mid-run.
+	if err := os.WriteFile(filepath.Join(torn, telemetry.EventsFile), []byte(`{"kind":"arr`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dataDir, "tmp", "upload-orphan42"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newTestServer(t, func(c *Config) { c.DataDir = dataDir })
+	entries, err := os.ReadDir(filepath.Join(dataDir, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("tmp not swept at startup: %v", markerNames(entries))
+	}
+
+	// And the daemon is fully functional over the swept tree.
+	s.Start()
+	defer s.Shutdown(shutdownCtx(t))
+	st, _ := submit(t, ts, testScenario)
+	if done := waitTerminal(t, ts, st.ID); done.State != StateDone {
+		t.Fatalf("job over swept data dir = %s (err %q), want done", done.State, done.Error)
+	}
+}
+
+// TestQueueFullRetryAfter pins the backpressure contract: the 503 carries a
+// Retry-After hint, and a client that honors it gets accepted once the
+// drainer frees a slot.
+func TestQueueFullRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.QueueDepth = 1 })
+
+	first := strings.Replace(testScenario, `"seed":1`, `"seed":21`, 1)
+	if _, resp := submit(t, ts, first); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", resp.StatusCode)
+	}
+	second := strings.Replace(testScenario, `"seed":1`, `"seed":22`, 1)
+	_, resp := submit(t, ts, second)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit = %d, want 503", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want delta-seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+
+	// Honor the hint: start the drainer, wait the advertised delay between
+	// retries, and the submission must land.
+	s.Start()
+	defer s.Shutdown(shutdownCtx(t))
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		time.Sleep(time.Duration(secs) * time.Second)
+		_, resp = submit(t, ts, second)
+		if resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("retry status = %d", resp.StatusCode)
+		}
+		if secs, err = strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+			t.Fatalf("retry 503 lost its Retry-After header")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("honoring client never got accepted")
+		}
+	}
+}
+
+// TestFleetWorkerLifecycle runs a real fleet.Worker against the coordinator:
+// the worker registers, the local fallback stands down, the cell is leased,
+// computed remotely, uploaded, and absorbed — and the absorbed artifact is
+// byte-identical to a fresh local run of the same cell.
+func TestFleetWorkerLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.LeaseTTL = 500 * time.Millisecond })
+	s.Start()
+	defer s.Shutdown(shutdownCtx(t))
+
+	w := fleet.NewWorker(fleet.WorkerConfig{
+		Coordinator: ts.URL,
+		ID:          "w-lifecycle",
+		Version:     "test-v1",
+		WorkDir:     t.TempDir(),
+		Poll:        10 * time.Millisecond,
+	})
+	wctx, wcancel := context.WithCancel(context.Background())
+	wdone := make(chan struct{})
+	go func() { defer close(wdone); w.Run(wctx) }()
+	defer func() { wcancel(); <-wdone }()
+
+	// Only submit once the worker is registered, so the cell cannot be
+	// grabbed by the local fallback in the gap.
+	waitFor(t, func() bool { return healthzField(t, ts, "workers_active") >= 1 })
+	st, _ := submit(t, ts, testScenario)
+	done := waitTerminal(t, ts, st.ID)
+	if done.State != StateDone {
+		t.Fatalf("state = %s (err %q), want done", done.State, done.Error)
+	}
+	cell := done.Cells[0]
+	if cell.Worker != "w-lifecycle" || cell.CacheHit {
+		t.Fatalf("cell = %+v, want fresh completion by w-lifecycle", cell)
+	}
+
+	// Cross-node byte identity: worker-computed, coordinator-absorbed bytes
+	// equal a fresh local run through the shared execution path.
+	fresh := filepath.Join(t.TempDir(), "fresh")
+	man := fleet.CellManifest("test-v1", done.ScenarioHash, cell.Scheme, cell.Seed, cell.CacheKey)
+	if _, err := fleet.RunCellTo(fresh, []byte(testScenario), cell.Scheme, cell.Seed, man, nil); err != nil {
+		t.Fatalf("fresh RunCellTo: %v", err)
+	}
+	diffDirs(t, cell.ArtifactDir, fresh)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "dynaqd_cells_remote_total 1") {
+		t.Error("metrics do not count the remote completion")
+	}
+}
+
+// TestDeadLetterQuarantineAndRequeue drives a cell to quarantine with a
+// saboteur worker that fails every attempt, checks the dead-letter listing,
+// then requeues it and watches the local pool (saboteur gone) finish the
+// job clean with a reset attempt budget.
+func TestDeadLetterQuarantineAndRequeue(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.LeaseTTL = 100 * time.Millisecond // saboteur fades fast once it stops polling
+		c.MaxAttempts = 2
+		c.RetryBase = time.Nanosecond // retries ready immediately
+		c.RetryCap = time.Microsecond
+	})
+	s.Start()
+	defer s.Shutdown(shutdownCtx(t))
+
+	if g := leaseAs(t, ts, "saboteur"); g != nil { // registers the worker; no work yet
+		t.Fatalf("unexpected grant before any submission: %+v", g)
+	}
+	st, _ := submit(t, ts, testScenario)
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		var g *fleet.LeaseGrant
+		waitFor(t, func() bool { g = leaseAs(t, ts, "saboteur"); return g != nil })
+		if g.Attempt != attempt {
+			t.Fatalf("grant attempt = %d, want %d", g.Attempt, attempt)
+		}
+		code := completeLease(t, ts, g.LeaseID, fleet.CompleteRequest{
+			Worker: "saboteur", CacheKey: g.CacheKey, Error: "injected fault",
+		})
+		if code != http.StatusOK {
+			t.Fatalf("failure completion status = %d", code)
+		}
+	}
+
+	done := waitTerminal(t, ts, st.ID)
+	if done.State != StateFailed || !strings.Contains(done.Error, "quarantined") {
+		t.Fatalf("job = %s (err %q), want failed by quarantine", done.State, done.Error)
+	}
+	if c := done.Cells[0]; c.State != StateQuarantined || c.Attempts != 2 || c.Worker != "saboteur" {
+		t.Fatalf("cell = %+v, want quarantined after 2 attempts by saboteur", c)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/deadletter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list fleet.DeadLetterList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Cells) != 1 {
+		t.Fatalf("deadletter = %+v, want 1 entry", list.Cells)
+	}
+	e := list.Cells[0]
+	if e.JobID != st.ID || e.Attempts != 2 || e.LastError != "injected fault" || e.LastWorker != "saboteur" {
+		t.Fatalf("deadletter entry = %+v", e)
+	}
+	if _, err := os.Stat(filepath.Join(s.cfg.DataDir, "deadletter.json")); err != nil {
+		t.Fatalf("dead-letter list not persisted: %v", err)
+	}
+
+	// Requeue everything: the job re-enters as a resubmission; with the
+	// saboteur no longer polling the local pool runs it successfully, and
+	// the attempt budget starts fresh.
+	resp, err = http.Post(ts.URL+"/v1/deadletter/requeue", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rq fleet.RequeueResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rq); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rq.Requeued) != 1 || rq.Requeued[0] != st.ID || len(rq.Dropped) != 0 {
+		t.Fatalf("requeue response = %+v", rq)
+	}
+	resp, err = http.Get(ts.URL + "/v1/deadletter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Cells) != 0 {
+		t.Fatalf("deadletter after requeue = %+v, want empty", list.Cells)
+	}
+
+	redone := waitTerminal(t, ts, st.ID)
+	if redone.State != StateDone {
+		t.Fatalf("requeued job = %s (err %q), want done", redone.State, redone.Error)
+	}
+	if c := redone.Cells[0]; c.Attempts != 0 || c.State != StateDone {
+		t.Fatalf("requeued cell = %+v, want done with fresh budget", c)
+	}
+}
+
+// TestRestartPreservesAttemptsAndFIFO is the restart persistence contract:
+// a coordinator stopped with a leased-but-unfinished cell (one failed
+// attempt already charged) comes back with the job queued, the attempt
+// counter intact, and the FIFO order of the backlog preserved.
+func TestRestartPreservesAttemptsAndFIFO(t *testing.T) {
+	dataDir := t.TempDir()
+	s, ts := newTestServer(t, func(c *Config) {
+		c.DataDir = dataDir
+		c.LeaseTTL = time.Minute  // the flaky worker stays "active"; local pool stands down
+		c.RetryBase = time.Minute // the requeued cell is not ready again before shutdown
+		c.RetryCap = 2 * time.Minute
+	})
+	s.Start()
+
+	if g := leaseAs(t, ts, "flaky"); g != nil {
+		t.Fatalf("unexpected grant before any submission: %+v", g)
+	}
+	stA, _ := submit(t, ts, testScenario)
+	var g *fleet.LeaseGrant
+	waitFor(t, func() bool { g = leaseAs(t, ts, "flaky"); return g != nil })
+	if code := completeLease(t, ts, g.LeaseID, fleet.CompleteRequest{
+		Worker: "flaky", CacheKey: g.CacheKey, Error: "transient fault",
+	}); code != http.StatusOK {
+		t.Fatalf("failure completion status = %d", code)
+	}
+	data, err := os.ReadFile(filepath.Join(dataDir, "jobs", stA.ID, "attempts.json"))
+	if err != nil || !strings.Contains(string(data), ":1") {
+		t.Fatalf("attempt counter not persisted after first failure: %v %s", err, data)
+	}
+	scenB := strings.Replace(testScenario, `"seed":1`, `"seed":2`, 1)
+	stB, _ := submit(t, ts, scenB)
+
+	if err := s.Shutdown(shutdownCtx(t)); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	markers, _ := os.ReadDir(filepath.Join(dataDir, "queue"))
+	if len(markers) != 2 || !strings.HasSuffix(markers[0].Name(), "-"+stA.ID) ||
+		!strings.HasSuffix(markers[1].Name(), "-"+stB.ID) {
+		t.Fatalf("queue markers = %v, want job A then job B", markerNames(markers))
+	}
+	ts.Close()
+
+	// Second life: no workers this time, so the local pool runs everything.
+	s2, err := New(Config{DataDir: dataDir, Concurrency: 1, Version: "test-v1"})
+	if err != nil {
+		t.Fatalf("New (recovery): %v", err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	a := getStatus(t, ts2, stA.ID)
+	if a.State != StateQueued {
+		t.Fatalf("recovered job A state = %s, want queued", a.State)
+	}
+	if a.Cells[0].Attempts != 1 {
+		t.Fatalf("recovered attempt counter = %d, want 1", a.Cells[0].Attempts)
+	}
+	s2.Start()
+	defer s2.Shutdown(shutdownCtx(t))
+	for _, id := range []string{stA.ID, stB.ID} {
+		if st := waitTerminal(t, ts2, id); st.State != StateDone {
+			t.Fatalf("recovered job %s = %s (err %q), want done", id, st.State, st.Error)
+		}
+	}
+	// The terminal status still records the pre-restart attempt: the retry
+	// budget survived the restart rather than resetting.
+	if got := getStatus(t, ts2, stA.ID).Cells[0].Attempts; got != 1 {
+		t.Fatalf("terminal attempt counter = %d, want 1", got)
+	}
 }
