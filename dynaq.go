@@ -60,6 +60,7 @@ type (
 
 // Common quantity constants.
 const (
+	Picosecond  = units.Picosecond
 	Nanosecond  = units.Nanosecond
 	Microsecond = units.Microsecond
 	Millisecond = units.Millisecond

@@ -83,7 +83,7 @@ func run(scheme dynaq.Scheme) (drops, evicted int64, avgMs float64, done int) {
 		})
 	}
 	var dropsBefore int64
-	s.At(dynaq.Time(dynaq.Second)-1, func() { dropsBefore = port.QueueDrops(1) })
+	s.At(dynaq.Time(dynaq.Second-dynaq.Picosecond), func() { dropsBefore = port.QueueDrops(1) })
 	s.RunUntil(dynaq.Time(3 * dynaq.Second))
 
 	return port.QueueDrops(1) - dropsBefore,

@@ -71,7 +71,7 @@ func ExtMicroburst(o Options) (*AblationResult, error) {
 			})
 		}
 		dropsBefore := int64(0)
-		s.At(units.Time(units.Second)-1, func() {
+		s.At(units.Time(units.Second-units.Picosecond), func() {
 			dropsBefore = star.Port(receiver).QueueDrops(1)
 		})
 		s.RunUntil(units.Time(3 * units.Second))

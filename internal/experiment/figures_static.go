@@ -226,7 +226,7 @@ func phasedRun(o Options, schemes []Scheme, ctrlFor func(class int) func() trans
 		for p := 0; p < 4; p++ {
 			from, to := out.Boundaries[p], out.Boundaries[p+1]
 			// Skip the convergence transient right after a stop.
-			from = from + units.Time(unit/5)
+			from = from.Add(unit / 5)
 			jain = append(jain, res.JainOver(activeIn[p], from, to))
 			agg = append(agg, res.AvgAggregate(from, to))
 		}
@@ -380,7 +380,7 @@ func highSpeedRun(o Options, rate units.Rate, buf units.ByteSize, rtt units.Dura
 			var xs []float64
 			for q := 0; q < 8; q++ {
 				stop := specs[q].StopAt
-				if stop == 0 || smp.At <= units.Time(stop)+units.Time(20*units.Millisecond) {
+				if stop == 0 || smp.At <= units.Time(stop).Add(20*units.Millisecond) {
 					xs = append(xs, float64(smp.PerQueue[q]))
 				}
 			}

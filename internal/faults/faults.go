@@ -165,7 +165,11 @@ func (r *Registry) Resolve(target string) ([]*netsim.Link, error) {
 // Totals sums the loss and corruption counters across every registered
 // link, for experiment summaries ("how many packets did the faults eat").
 func (r *Registry) Totals() (lost, corrupted int64) {
-	for _, l := range r.links {
+	// Iterate in sorted-name order: the sum is commutative, but walking the
+	// map directly would (correctly) look order-dependent to the
+	// determinism-taint analyzer, and deterministic order costs nothing here.
+	for _, n := range r.LinkNames() {
+		l := r.links[n]
 		lost += l.Lost()
 		corrupted += l.Corrupted()
 	}

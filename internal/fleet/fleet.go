@@ -62,8 +62,8 @@ func (WallClock) After(d time.Duration) <-chan time.Time {
 // happened between arming.
 type ManualClock struct {
 	mu      sync.Mutex
-	now     time.Time
-	waiters []manualWaiter
+	now     time.Time      // guarded by mu
+	waiters []manualWaiter // guarded by mu
 }
 
 type manualWaiter struct {

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is a checked-in snapshot of accepted findings. CI diffs the
+// current run against it and fails only on findings that are not in the
+// snapshot, which keeps legacy debt visible and auditable (unlike an allow
+// directive, a baseline entry does not touch the offending file).
+//
+// Entries are keyed by (file, analyzer, message) with an occurrence count —
+// deliberately no line numbers, so unrelated edits that shift a finding up
+// or down the file do not invalidate the baseline, while a *new* instance of
+// the same message in the same file (count exceeded) still fails.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func (e BaselineEntry) key() baselineKey {
+	return baselineKey{e.File, e.Analyzer, e.Message}
+}
+
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// NewBaseline aggregates diagnostics into a baseline, sorted for stable
+// serialization. File paths are slash-normalized so the file diffs cleanly
+// across platforms.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[baselineKey{filepath.ToSlash(d.Pos.Filename), d.Analyzer, d.Message}]++
+	}
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteFile serializes the baseline with a trailing newline.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline written by WriteFile.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// ApplyBaseline subtracts the baseline from a run's diagnostics. It returns
+// the findings NOT covered by the baseline (new findings, in input order)
+// and the baseline entries whose findings no longer occur at the recorded
+// count (stale — the debt was paid down and the baseline should be
+// regenerated to match).
+func ApplyBaseline(b *Baseline, diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	budget := make(map[baselineKey]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[e.key()] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{filepath.ToSlash(d.Pos.Filename), d.Analyzer, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Findings {
+		k := e.key()
+		if budget[k] > 0 {
+			left := e
+			left.Count = budget[k]
+			stale = append(stale, left)
+			budget[k] = 0 // attribute the remainder to the first duplicate entry
+		}
+	}
+	return fresh, stale
+}

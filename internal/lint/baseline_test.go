@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func bdiag(file, analyzer, message string, line int) Diagnostic {
+	d := Diagnostic{Analyzer: analyzer, Message: message}
+	d.Pos.Filename = file
+	d.Pos.Line = line
+	return d
+}
+
+// TestBaselineRoundTrip writes a baseline to disk, reloads it, and checks
+// the aggregation (counts, sort order) survives.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		bdiag("b.go", "determinism", "wall-clock read", 10),
+		bdiag("a.go", "units-consistency", "bare literal", 3),
+		bdiag("b.go", "determinism", "wall-clock read", 44), // same class, new line
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := NewBaseline(diags).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("want 2 aggregated entries, got %+v", b.Findings)
+	}
+	if b.Findings[0].File != "a.go" || b.Findings[1].File != "b.go" {
+		t.Errorf("entries not sorted by file: %+v", b.Findings)
+	}
+	if b.Findings[1].Count != 2 {
+		t.Errorf("duplicate finding not counted: %+v", b.Findings[1])
+	}
+}
+
+// TestApplyBaseline covers the three regimes: covered findings vanish, a
+// count overflow surfaces as new, and paid-down debt surfaces as stale.
+func TestApplyBaseline(t *testing.T) {
+	base := NewBaseline([]Diagnostic{
+		bdiag("a.go", "determinism", "wall-clock read", 1),
+		bdiag("a.go", "determinism", "wall-clock read", 2),
+		bdiag("gone.go", "float-eq", "exact compare", 9),
+	})
+
+	// Same two findings (lines moved): fully covered, but gone.go is stale.
+	fresh, stale := ApplyBaseline(base, []Diagnostic{
+		bdiag("a.go", "determinism", "wall-clock read", 7),
+		bdiag("a.go", "determinism", "wall-clock read", 8),
+	})
+	if len(fresh) != 0 {
+		t.Errorf("moved findings should be covered, got %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" || stale[0].Count != 1 {
+		t.Errorf("paid-down entry should be stale, got %+v", stale)
+	}
+
+	// A third instance of the same message exceeds the recorded count.
+	fresh, _ = ApplyBaseline(base, []Diagnostic{
+		bdiag("a.go", "determinism", "wall-clock read", 1),
+		bdiag("a.go", "determinism", "wall-clock read", 2),
+		bdiag("a.go", "determinism", "wall-clock read", 3),
+	})
+	if len(fresh) != 1 || fresh[0].Pos.Line != 3 {
+		t.Errorf("count overflow should surface as new (line 3), got %v", fresh)
+	}
+
+	// A brand-new finding class is never covered.
+	fresh, _ = ApplyBaseline(base, []Diagnostic{
+		bdiag("new.go", "lock-discipline", "guarded miss", 5),
+	})
+	if len(fresh) != 1 {
+		t.Errorf("new finding class must surface, got %v", fresh)
+	}
+}
+
+// TestLoadBaselineRejectsGarbage pins the error paths CI depends on.
+func TestLoadBaselineRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Error("malformed baseline must error")
+	}
+	wrongVersion := filepath.Join(dir, "v9.json")
+	if err := os.WriteFile(wrongVersion, []byte(`{"version":9,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(wrongVersion); err == nil {
+		t.Error("unsupported version must error")
+	}
+}

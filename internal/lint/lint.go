@@ -18,6 +18,18 @@
 //     RunTrials, RunSeeds) capturing a *sim.Simulator, *rand.Rand, or
 //     telemetry *Run from an enclosing scope — per-trial engine state must
 //     be built inside the trial (shared-nothing parallelism).
+//   - determinism-taint: interprocedural — nondeterminism sources (wall
+//     clock, global rand, map-iteration order, %p, os.Environ) flowing
+//     transitively, through any number of helper calls, into determinism
+//     sinks (server.CacheKey, telemetry artifact writers, event scheduling
+//     times). Values drawn through the injected fleet.Clock interface are
+//     clean by construction.
+//   - lock-discipline: fields annotated "guarded by <mu>" accessed without
+//     the named mutex held, and goroutine-spawning / lease-mutating
+//     functions missing a context.Context parameter.
+//   - units-consistency: arithmetic mixing internal/units dimensions
+//     (bytes vs sim-time vs rate) or comparing a dimensioned value against
+//     a raw non-zero literal.
 //
 // Everything is built on the stdlib go/parser, go/ast, go/types and
 // go/importer packages; dynaqlint adds no module dependencies.
@@ -63,7 +75,8 @@ type Analyzer struct {
 
 // All returns every analyzer dynaqlint ships, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, FloatEq, GuardInvariant, ParallelState}
+	return []*Analyzer{Determinism, MapOrder, FloatEq, GuardInvariant, ParallelState,
+		DeterminismTaint, LockDiscipline, UnitsConsistency}
 }
 
 // Config tunes the analyzers for the tree being linted.
@@ -84,6 +97,29 @@ type Config struct {
 	// decisions there must flow through the injected fleet.Clock to stay
 	// replayable under a manual clock.
 	StrictTimePackages []string
+	// TaintSources maps function keys ("time.Now",
+	// "(dynaq/internal/fleet.WallClock).Now") to source descriptions for
+	// determinism-taint. nil means the built-in default set.
+	TaintSources map[string]string
+	// TaintSinks maps function keys to sink descriptions; a tainted value
+	// reaching an argument of one of these calls is a finding. An empty
+	// map disables the analyzer.
+	TaintSinks map[string]string
+	// TaintSanitizers lists function keys whose return values are always
+	// considered clean regardless of inputs (e.g. a hash of a sorted copy).
+	TaintSanitizers []string
+	// LockCheckedPackages lists import paths where lock-discipline runs:
+	// "guarded by <mu>" field annotations are enforced, and functions that
+	// spawn goroutines or call lease/queue mutators must accept a
+	// context.Context.
+	LockCheckedPackages []string
+	// LockMutatorKeys lists function keys treated as lease/queue mutators
+	// by lock-discipline's context rule.
+	LockMutatorKeys []string
+	// UnitsPackages lists import paths declaring dimensioned numeric types
+	// (internal/units); units-consistency classifies those types into
+	// dimensions by name and flags cross-dimension arithmetic.
+	UnitsPackages []string
 }
 
 // DefaultConfig is the configuration for this repository: the packages that
@@ -104,10 +140,42 @@ func DefaultConfig() Config {
 			"dynaq/internal/fleet",
 			"dynaq/internal/server",
 		},
+		TaintSinks: map[string]string{
+			"dynaq/internal/server.CacheKey":               "content-addressed cache key",
+			"dynaq/internal/telemetry.Hash":                "scenario/artifact hash",
+			"(dynaq/internal/telemetry.Run).Event":         "events.jsonl artifact",
+			"(dynaq/internal/telemetry.Run).Summarize":     "manifest.json summary",
+			"(dynaq/internal/telemetry.EventWriter).Event": "events.jsonl artifact",
+			"(dynaq/internal/sim.Simulator).At":            "event scheduling time",
+			"(dynaq/internal/sim.Simulator).After":         "event scheduling time",
+			"(dynaq/internal/sim.Simulator).AtCall":        "event scheduling time",
+			"(dynaq/internal/sim.Simulator).AfterCall":     "event scheduling time",
+			"(dynaq/internal/sim.Simulator).Every":         "event scheduling time",
+			"(dynaq/internal/sim.Timer).Reset":             "event scheduling time",
+		},
+		LockCheckedPackages: []string{
+			"dynaq/internal/fleet",
+			"dynaq/internal/server",
+		},
+		LockMutatorKeys: []string{
+			"(dynaq/internal/fleet.Table).Grant",
+			"(dynaq/internal/fleet.Table).Renew",
+			"(dynaq/internal/fleet.Table).Complete",
+			"(dynaq/internal/fleet.Table).Expire",
+			"(dynaq/internal/fleet.Table).DropJob",
+			"(dynaq/internal/fleet.ReadyQueue).Push",
+			"(dynaq/internal/fleet.ReadyQueue).Pop",
+			"(dynaq/internal/fleet.ReadyQueue).Drain",
+		},
+		UnitsPackages: []string{
+			"dynaq/internal/units",
+		},
 	}
 }
 
-// Pass carries one analyzer's view of one type-checked package.
+// Pass carries one analyzer's view of one type-checked package. Prog, when
+// non-nil, is the whole-program function index the interprocedural analyzers
+// consult; per-package analyzers ignore it.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -115,6 +183,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Config    Config
+	Prog      *Program
 
 	diags *[]Diagnostic
 }
@@ -133,6 +202,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // sorted by position. Malformed directives are reported under the
 // "directive" pseudo-analyzer.
 func Run(pkg *Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	return RunWithProgram(pkg, nil, analyzers, cfg)
+}
+
+// RunWithProgram is Run with a whole-program function index attached, which
+// the interprocedural analyzers (determinism-taint) need to follow calls
+// across package boundaries. prog may be nil, degrading those analyzers to
+// intra-package resolution of whatever NewProgram indexed from pkg alone.
+func RunWithProgram(pkg *Package, prog *Program, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	if prog == nil {
+		prog = NewProgram([]*Package{pkg})
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -142,6 +222,7 @@ func Run(pkg *Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 			Config:    cfg,
+			Prog:      prog,
 			diags:     &diags,
 		}
 		a.Run(pass)

@@ -90,7 +90,16 @@ func TestGuardFixture(t *testing.T) {
 
 func checkFixture(t *testing.T, pkg *Package, cfg Config) {
 	t.Helper()
-	diags := Run(pkg, All(), cfg)
+	checkFixtureWith(t, pkg, cfg, All())
+}
+
+// checkFixtureWith runs only the given analyzers, so fixtures for one
+// analyzer need not annotate the (intentional) findings of every other —
+// the taint fixture's helper time.Now() calls would otherwise need
+// determinism wants on lines the taint analyzer must stay silent about.
+func checkFixtureWith(t *testing.T, pkg *Package, cfg Config, analyzers []*Analyzer) {
+	t.Helper()
+	diags := Run(pkg, analyzers, cfg)
 	wants, err := ParseWants(pkg.Fset, pkg.Files)
 	if err != nil {
 		t.Fatal(err)
@@ -98,6 +107,52 @@ func checkFixture(t *testing.T, pkg *Package, cfg Config) {
 	for _, problem := range CheckWants(wants, diags) {
 		t.Error(problem)
 	}
+}
+
+// TestTaintFixture runs the interprocedural determinism-taint analyzer over
+// its fixture: sources laundered through helpers must reach the configured
+// sinks, while sorted map keys, interface-clock draws, and parameters stay
+// silent.
+func TestTaintFixture(t *testing.T) {
+	pkg := loadFixtureDir(t, NewLoader(), "taintfix")
+	cfg := Config{
+		TaintSinks: map[string]string{
+			"taintfix.CacheKey":   "content-addressed cache key",
+			"taintfix.WriteEvent": "events artifact",
+		},
+	}
+	checkFixtureWith(t, pkg, cfg, []*Analyzer{DeterminismTaint})
+}
+
+// TestLockFixture runs lock-discipline over its fixture: guarded-field
+// misses, the *Locked and constructor exemptions, closures, and the ctx
+// rule for spawners and mutators.
+func TestLockFixture(t *testing.T) {
+	pkg := loadFixtureDir(t, NewLoader(), "lockfix")
+	cfg := Config{
+		LockCheckedPackages: []string{"lockfix"},
+		LockMutatorKeys:     []string{"(lockfix.Table).Grant"},
+	}
+	checkFixtureWith(t, pkg, cfg, []*Analyzer{LockDiscipline})
+}
+
+// TestUnitsFixture type-checks the two-package units fixture — the
+// dimension-declaring package and a consumer — and verifies both that mixed
+// arithmetic is flagged in the consumer and that the declaring package is
+// exempt.
+func TestUnitsFixture(t *testing.T) {
+	l := NewLoader()
+	def := loadFixtureDir(t, l, "unitsdef")
+	l.Importer = chainImporter{
+		known:    map[string]*types.Package{"unitsdef": def.Types},
+		fallback: l.Importer,
+	}
+	use := loadFixtureDir(t, l, "unitsfix")
+	cfg := Config{UnitsPackages: []string{"unitsdef"}}
+	if diags := Run(def, []*Analyzer{UnitsConsistency}, cfg); len(diags) != 0 {
+		t.Errorf("declaring package must be exempt, got %v", diags)
+	}
+	checkFixtureWith(t, use, cfg, []*Analyzer{UnitsConsistency})
 }
 
 // TestMalformedDirectives feeds in-memory sources with broken suppression

@@ -1,0 +1,387 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockDiscipline enforces the coordinator/fleet locking conventions in the
+// packages listed in Config.LockCheckedPackages:
+//
+//  1. Struct fields annotated "guarded by <mu>" (in the field's doc or line
+//     comment) may only be accessed in functions that visibly acquire the
+//     named mutex on the same root value (s.mu.Lock() / s.mu.RLock()), in
+//     functions whose name ends in "Locked" (the repo's caller-holds-the-lock
+//     convention), or in the function that constructs the value (composite
+//     literal in the same frame — initialization before publication). The
+//     check is flow-insensitive: it proves the lock is *mentioned*, not that
+//     it is held on every path, which is exactly the cheap invariant that
+//     catches fields added later without a lock site. Function literals are
+//     separate frames — a closure does not inherit its constructor's
+//     exemption, because closures outlive construction.
+//
+//  2. Any function that spawns a goroutine (a go statement at any depth) or
+//     calls one of the lease/queue mutators in Config.LockMutatorKeys must
+//     accept a context.Context (or *http.Request, whose Context() it can
+//     use) so cancellation reaches every path that mutates fleet state. The
+//     mutators themselves are exempt — they are pure bookkeeping under the
+//     caller's lock.
+var LockDiscipline = &Analyzer{
+	Name: "lock-discipline",
+	Doc:  "enforce 'guarded by mu' field annotations and context threading for goroutine-spawning / lease-mutating functions",
+	Run:  runLockDiscipline,
+}
+
+// guardedField records one annotated field: the struct type's key
+// ("path.TypeName"), the field name, and the guarding mutex's field name.
+type guardedField struct {
+	mu string
+}
+
+func runLockDiscipline(p *Pass) {
+	if p.Pkg == nil {
+		return
+	}
+	checked := false
+	for _, path := range p.Config.LockCheckedPackages {
+		if p.Pkg.Path() == path {
+			checked = true
+			break
+		}
+	}
+	if !checked {
+		return
+	}
+
+	guarded := collectGuardedFields(p)
+	mutators := make(map[string]bool, len(p.Config.LockMutatorKeys))
+	for _, k := range p.Config.LockMutatorKeys {
+		mutators[k] = true
+	}
+
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccess(p, fd, guarded)
+			checkContextRule(p, fd, mutators)
+		}
+	}
+}
+
+// collectGuardedFields scans the package's struct declarations for
+// "guarded by <name>" annotations and returns them keyed by
+// "TypeName.FieldName". A "guarded by" comment naming a field that does not
+// exist in the struct is reported as a broken annotation.
+func collectGuardedFields(p *Pass) map[string]guardedField {
+	out := make(map[string]guardedField)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				fieldNames := make(map[string]bool)
+				for _, field := range st.Fields.List {
+					for _, n := range field.Names {
+						fieldNames[n.Name] = true
+					}
+				}
+				for _, field := range st.Fields.List {
+					mu, pos, ok := guardAnnotation(field)
+					if !ok {
+						continue
+					}
+					if !fieldNames[mu] {
+						p.Reportf(pos, "guarded-by annotation names mutex %q, but struct %s has no such field", mu, ts.Name.Name)
+						continue
+					}
+					for _, n := range field.Names {
+						out[ts.Name.Name+"."+n.Name] = guardedField{mu: mu}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// guardAnnotation extracts "guarded by <name>" from a field's doc or line
+// comment.
+func guardAnnotation(field *ast.Field) (mu string, pos token.Pos, ok bool) {
+	scan := func(cg *ast.CommentGroup) (string, token.Pos, bool) {
+		if cg == nil {
+			return "", 0, false
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			idx := strings.Index(text, "guarded by ")
+			if idx < 0 {
+				continue
+			}
+			rest := strings.Fields(text[idx+len("guarded by "):])
+			if len(rest) == 0 {
+				continue
+			}
+			return strings.TrimRight(rest[0], ".,;"), c.Pos(), true
+		}
+		return "", 0, false
+	}
+	if mu, pos, ok := scan(field.Doc); ok {
+		return mu, pos, ok
+	}
+	return scan(field.Comment)
+}
+
+// frame is one function body level: the outer FuncDecl or one FuncLit.
+type frame struct {
+	body  *ast.BlockStmt
+	outer bool // true for the FuncDecl's own frame
+}
+
+// checkGuardedAccess verifies every access to a guarded field inside fd.
+func checkGuardedAccess(p *Pass, fd *ast.FuncDecl, guarded map[string]guardedField) {
+	if len(guarded) == 0 {
+		return
+	}
+	callerHolds := strings.HasSuffix(fd.Name.Name, "Locked")
+
+	var frames []frame
+	frames = append(frames, frame{body: fd.Body, outer: true})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			frames = append(frames, frame{body: fl.Body})
+		}
+		return true
+	})
+
+	// ownFrame maps each node back to its innermost frame body.
+	for _, fr := range frames {
+		locked := lockedRoots(p, fr.body)
+		constructed := constructedRoots(p, fr.body)
+		inspectFrame(fr.body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := p.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			fieldVar, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			typeName := lockRecvName(selection.Recv())
+			if typeName == "" {
+				return true
+			}
+			gf, isGuarded := guarded[typeName+"."+fieldVar.Name()]
+			if !isGuarded {
+				return true
+			}
+			root := rootIdent(sel.X)
+			if root == nil {
+				p.Reportf(sel.Pos(), "guarded field %s.%s accessed through a non-identifier base; hold %s and bind the value first", typeName, fieldVar.Name(), gf.mu)
+				return true
+			}
+			rootObj := p.TypesInfo.ObjectOf(root)
+			if rootObj == nil {
+				return true
+			}
+			if callerHolds && fr.outer {
+				return true
+			}
+			if locked[lockSite{rootObj, gf.mu}] {
+				return true
+			}
+			if fr.outer && constructed[rootObj] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "field %s.%s is guarded by %s, but %s.%s.Lock() is not visible in this function (name it *Locked if the caller holds the lock)",
+				typeName, fieldVar.Name(), gf.mu, root.Name, gf.mu)
+			return true
+		})
+	}
+}
+
+// inspectFrame walks body without descending into nested function literals
+// (each literal is its own frame).
+func inspectFrame(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// lockSite is one (value, mutex-field) pair the frame visibly locks.
+type lockSite struct {
+	root types.Object
+	mu   string
+}
+
+// lockedRoots collects root.mu.Lock() / root.mu.RLock() calls in the frame.
+func lockedRoots(p *Pass, body *ast.BlockStmt) map[lockSite]bool {
+	out := make(map[lockSite]bool)
+	inspectFrame(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		root := rootIdent(muSel.X)
+		if root == nil {
+			return true
+		}
+		if obj := p.TypesInfo.ObjectOf(root); obj != nil {
+			out[lockSite{obj, muSel.Sel.Name}] = true
+		}
+		return true
+	})
+	return out
+}
+
+// constructedRoots collects variables bound to a composite literal (possibly
+// &-addressed) in the frame: the value is private until published, so its
+// guarded fields may be initialized lock-free.
+func constructedRoots(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	isCompositeLit := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = ast.Unparen(u.X)
+		}
+		_, ok := e.(*ast.CompositeLit)
+		return ok
+	}
+	inspectFrame(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if !isCompositeLit(as.Rhs[i]) {
+				continue
+			}
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockRecvName renders the bare type name of a field selection's receiver.
+func lockRecvName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	name := named.Obj().Name()
+	if i := strings.IndexByte(name, '['); i >= 0 {
+		name = name[:i]
+	}
+	return name
+}
+
+// checkContextRule verifies goroutine-spawning and mutator-calling functions
+// accept a context.
+func checkContextRule(p *Pass, fd *ast.FuncDecl, mutators map[string]bool) {
+	if len(mutators) > 0 {
+		// The mutators themselves are bookkeeping under the caller's lock.
+		if obj, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok && mutators[FuncKey(obj)] {
+			return
+		}
+	}
+	var spawns bool
+	called := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			spawns = true
+		case *ast.CallExpr:
+			if key, ok := calleeKey(p.TypesInfo, x); ok && mutators[key] {
+				called[key] = true
+			}
+		}
+		return true
+	})
+	if !spawns && len(called) == 0 {
+		return
+	}
+	if hasContextParam(p, fd) {
+		return
+	}
+	var reasons []string
+	if spawns {
+		reasons = append(reasons, "spawns a goroutine")
+	}
+	if len(called) > 0 {
+		keys := make([]string, 0, len(called))
+		for k := range called {
+			keys = append(keys, shortFuncKey(k))
+		}
+		sort.Strings(keys)
+		reasons = append(reasons, "calls lease/queue mutator "+strings.Join(keys, ", "))
+	}
+	p.Reportf(fd.Name.Pos(), "function %s %s but has no context.Context parameter; thread ctx so cancellation reaches fleet state mutations",
+		fd.Name.Name, strings.Join(reasons, " and "))
+}
+
+// hasContextParam reports whether fd declares a context.Context or
+// *http.Request parameter (the request carries its context).
+func hasContextParam(p *Pass, fd *ast.FuncDecl) bool {
+	match := func(t types.Type) bool {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() + "." + obj.Name() {
+		case "context.Context", "net/http.Request":
+			return true
+		}
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := p.TypesInfo.TypeOf(field.Type); t != nil && match(t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,662 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DeterminismTaint is the interprocedural companion to the syntactic
+// determinism analyzer: instead of flagging nondeterminism sources where
+// they are called, it tracks their values through assignments, expressions,
+// and (statically resolvable) function calls across the whole program, and
+// reports only when a tainted value reaches a determinism sink — a cache
+// key, a telemetry artifact writer, or an event-scheduling time. This is
+// what catches a time.Now() laundered through two helper functions into
+// server.CacheKey, which the per-call-site pass cannot see.
+//
+// Sources: wall-clock reads, the global math/rand source, os.Environ/Getenv
+// and process identity, pointer formatting (%p), and map-iteration order
+// (the loop variables of a range over a map carry order taint until the
+// collected values are sorted).
+//
+// Propagation is flow-insensitive and summary-based: each function gets a
+// summary saying which sources can reach its return value and which
+// parameters flow to it, iterated to a fixpoint over the cross-package call
+// graph. Calls that cannot be resolved statically (interface methods,
+// function values) propagate taint from their receiver and arguments to
+// their result — a value computed from a nondeterministic value is
+// nondeterministic — with one deliberate exception: a call through an
+// interface with no taint on the receiver or arguments is clean, which is
+// exactly why values drawn from the injected fleet.Clock do not trip the
+// analyzer while raw time.Now() does.
+//
+// Sanitizers: sort.* / slices.Sort* calls mark their slice argument clean
+// (the canonical collect-then-sort idiom for map iteration), and functions
+// listed in Config.TaintSanitizers always return clean values.
+var DeterminismTaint = &Analyzer{
+	Name: "determinism-taint",
+	Doc:  "flag nondeterministic values flowing (transitively) into cache keys, telemetry artifacts, or event scheduling",
+	Run:  runDeterminismTaint,
+}
+
+// taintOrigin describes one way taint can arrive: from a concrete source
+// (param < 0) or from a parameter of the function under analysis
+// (param >= 0; -1 is the receiver... see recvParam).
+type taintOrigin struct {
+	desc  string   // source description, e.g. "time.Now"
+	via   []string // call chain from the source toward the current frame
+	param int      // >= 0: taint of parameter i; recvParam: receiver; sourceParam: a real source
+}
+
+const (
+	sourceParam = -2 // origin is a concrete nondeterminism source
+	recvParam   = -1 // origin is the method receiver
+)
+
+// maxOrigins bounds a taint set; maxVia bounds a reported call chain. Both
+// keep the fixpoint finite and the messages readable.
+const (
+	maxOrigins = 8
+	maxVia     = 6
+)
+
+// taintSummary is one function's converged summary.
+type taintSummary struct {
+	// returns holds the origins that can reach the function's return
+	// value(s): concrete sources and/or parameter indices.
+	returns []taintOrigin
+}
+
+// defaultTaintSources maps callee keys to source descriptions.
+func defaultTaintSources() map[string]string {
+	return map[string]string{
+		"time.Now":     "time.Now",
+		"time.Since":   "time.Since",
+		"time.Until":   "time.Until",
+		"os.Environ":   "os.Environ",
+		"os.Getenv":    "os.Getenv",
+		"os.LookupEnv": "os.LookupEnv",
+		"os.Getpid":    "os.Getpid",
+		"os.Getppid":   "os.Getppid",
+		"os.Hostname":  "os.Hostname",
+	}
+}
+
+// sliceSanitizers are functions whose call marks the (first) argument's
+// variable clean: sorting destroys map-iteration order taint.
+var sliceSanitizers = map[string]bool{
+	"sort.Strings":          true,
+	"sort.Ints":             true,
+	"sort.Float64s":         true,
+	"sort.Slice":            true,
+	"sort.SliceStable":      true,
+	"sort.Sort":             true,
+	"sort.Stable":           true,
+	"slices.Sort":           true,
+	"slices.SortFunc":       true,
+	"slices.SortStableFunc": true,
+}
+
+// taintEnv carries the per-function analysis state.
+type taintEnv struct {
+	prog      *Program
+	pf        *progFunc
+	sources   map[string]string
+	sanitize  map[string]bool
+	summaries map[string]*taintSummary
+
+	params map[types.Object]int // param object → index (recvParam for receiver)
+	taint  map[types.Object][]taintOrigin
+	clean  map[types.Object]bool // sanitized vars never re-taint
+}
+
+// buildTaintSummaries computes the fixpoint over every function body in the
+// program. Deterministic: functions are iterated in sorted key order.
+func buildTaintSummaries(prog *Program, cfg Config) map[string]*taintSummary {
+	if prog.summaries != nil {
+		return prog.summaries
+	}
+	sources := cfg.TaintSources
+	if sources == nil {
+		sources = defaultTaintSources()
+	}
+	sanitize := make(map[string]bool, len(cfg.TaintSanitizers))
+	for _, k := range cfg.TaintSanitizers {
+		sanitize[k] = true
+	}
+	sums := make(map[string]*taintSummary, prog.Len())
+	keys := prog.sortedKeys()
+	for _, k := range keys {
+		sums[k] = &taintSummary{}
+	}
+	for round := 0; round < 20; round++ {
+		changed := false
+		for _, k := range keys {
+			pf := prog.fns[k]
+			env := newTaintEnv(prog, pf, sources, sanitize, sums)
+			env.run()
+			ret := env.returnOrigins()
+			if mergeOrigins(&sums[k].returns, ret) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	prog.summaries = sums
+	return sums
+}
+
+func newTaintEnv(prog *Program, pf *progFunc, sources map[string]string, sanitize map[string]bool, sums map[string]*taintSummary) *taintEnv {
+	env := &taintEnv{
+		prog:      prog,
+		pf:        pf,
+		sources:   sources,
+		sanitize:  sanitize,
+		summaries: sums,
+		params:    make(map[types.Object]int),
+		taint:     make(map[types.Object][]taintOrigin),
+		clean:     make(map[types.Object]bool),
+	}
+	info := pf.pkg.TypesInfo
+	fd := pf.decl
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		if obj := info.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+			env.params[obj] = recvParam
+		}
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				env.params[obj] = idx
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	// Parameters start tainted by themselves, so a body that returns a
+	// parameter yields a summary with that parameter's index.
+	for obj, i := range env.params {
+		env.taint[obj] = []taintOrigin{{param: i}}
+	}
+	return env
+}
+
+// run iterates the body's assignments to a local fixpoint (flow-insensitive,
+// so ordering between statements does not matter).
+func (e *taintEnv) run() {
+	e.collectSanitized()
+	for i := 0; i < 10; i++ {
+		if !e.propagateOnce() {
+			break
+		}
+	}
+}
+
+// collectSanitized records variables passed to sort functions; they are
+// pinned clean for the whole body.
+func (e *taintEnv) collectSanitized() {
+	info := e.pf.pkg.TypesInfo
+	ast.Inspect(e.pf.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if key, ok := calleeKey(info, call); ok && sliceSanitizers[key] {
+			if id := rootIdent(call.Args[0]); id != nil {
+				if obj := info.ObjectOf(id); obj != nil {
+					e.clean[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagateOnce applies every assignment-like construct once; reports
+// whether any taint set grew.
+func (e *taintEnv) propagateOnce() bool {
+	info := e.pf.pkg.TypesInfo
+	changed := false
+	assign := func(lhs ast.Expr, origins []taintOrigin) {
+		if len(origins) == 0 {
+			return
+		}
+		id := rootIdent(lhs)
+		if id == nil {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || e.clean[obj] {
+			return
+		}
+		cur := e.taint[obj]
+		if mergeOrigins(&cur, origins) {
+			e.taint[obj] = cur
+			changed = true
+		}
+	}
+	ast.Inspect(e.pf.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					assign(lhs, e.exprOrigins(x.Rhs[i]))
+				}
+			} else if len(x.Rhs) == 1 {
+				origins := e.exprOrigins(x.Rhs[0])
+				for _, lhs := range x.Lhs {
+					assign(lhs, origins)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i, name := range x.Names {
+					assign(name, e.exprOrigins(x.Values[i]))
+				}
+			} else if len(x.Values) == 1 {
+				origins := e.exprOrigins(x.Values[0])
+				for _, name := range x.Names {
+					assign(name, origins)
+				}
+			}
+		case *ast.RangeStmt:
+			origins := e.exprOrigins(x.X)
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					origins = appendOrigin(origins, taintOrigin{
+						desc:  "map iteration order",
+						param: sourceParam,
+					})
+				}
+			}
+			if x.Key != nil {
+				assign(x.Key, origins)
+			}
+			if x.Value != nil {
+				assign(x.Value, origins)
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// exprOrigins computes the taint reaching an expression's value.
+func (e *taintEnv) exprOrigins(expr ast.Expr) []taintOrigin {
+	info := e.pf.pkg.TypesInfo
+	switch x := expr.(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		if obj := info.ObjectOf(x); obj != nil && !e.clean[obj] {
+			return e.taint[obj]
+		}
+		return nil
+	case *ast.BasicLit:
+		return nil
+	case *ast.FuncLit:
+		return nil // closures have no summaries; see package doc
+	case *ast.ParenExpr:
+		return e.exprOrigins(x.X)
+	case *ast.UnaryExpr:
+		return e.exprOrigins(x.X)
+	case *ast.StarExpr:
+		return e.exprOrigins(x.X)
+	case *ast.BinaryExpr:
+		return unionOrigins(e.exprOrigins(x.X), e.exprOrigins(x.Y))
+	case *ast.IndexExpr:
+		return unionOrigins(e.exprOrigins(x.X), e.exprOrigins(x.Index))
+	case *ast.SliceExpr:
+		return e.exprOrigins(x.X)
+	case *ast.SelectorExpr:
+		// A field of a tainted struct is tainted; a qualified identifier
+		// (pkg.Var) is not tracked.
+		if id := rootIdent(x); id != nil {
+			if obj := info.ObjectOf(id); obj != nil && !e.clean[obj] {
+				return e.taint[obj]
+			}
+		}
+		return nil
+	case *ast.CompositeLit:
+		var out []taintOrigin
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				out = unionOrigins(out, e.exprOrigins(kv.Value))
+			} else {
+				out = unionOrigins(out, e.exprOrigins(el))
+			}
+		}
+		return out
+	case *ast.TypeAssertExpr:
+		return e.exprOrigins(x.X)
+	case *ast.CallExpr:
+		return e.callOrigins(x)
+	}
+	return nil
+}
+
+// callOrigins computes the taint of a call's result.
+func (e *taintEnv) callOrigins(call *ast.CallExpr) []taintOrigin {
+	info := e.pf.pkg.TypesInfo
+	if isConversion(info, call) {
+		if len(call.Args) == 1 {
+			return e.exprOrigins(call.Args[0])
+		}
+		return nil
+	}
+	// Builtins: append/copy/min/max propagate, len/cap of a tainted value is
+	// a count, not a nondeterministic value.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append", "copy", "min", "max":
+				var out []taintOrigin
+				for _, a := range call.Args {
+					out = unionOrigins(out, e.exprOrigins(a))
+				}
+				return out
+			default:
+				return nil
+			}
+		}
+	}
+
+	key, resolved := calleeKey(info, call)
+	if resolved {
+		if e.sanitize[key] {
+			return nil
+		}
+		if desc, isSource := e.sources[key]; isSource {
+			return []taintOrigin{{desc: desc, param: sourceParam}}
+		}
+		if desc, isSource := globalRandSource(key); isSource {
+			return []taintOrigin{{desc: desc, param: sourceParam}}
+		}
+		if desc, isSource := pointerFormatSource(info, key, call); isSource {
+			return []taintOrigin{{desc: desc, param: sourceParam}}
+		}
+		if sum, known := e.summaries[key]; known {
+			return e.applySummary(key, sum, call)
+		}
+	}
+	// Unresolved or foreign callee: the result derives from whatever went
+	// in. Receiver taint flows too (t.Sub(u), d.String(), r.Intn(n)).
+	var out []taintOrigin
+	if recv := callReceiver(info, call); recv != nil {
+		out = unionOrigins(out, e.exprOrigins(recv))
+	}
+	for _, a := range call.Args {
+		out = unionOrigins(out, e.exprOrigins(a))
+	}
+	return out
+}
+
+// applySummary instantiates a callee summary at a call site: source origins
+// pass through (with the callee appended to the chain), parameter origins
+// are replaced by the corresponding argument's taint.
+func (e *taintEnv) applySummary(key string, sum *taintSummary, call *ast.CallExpr) []taintOrigin {
+	info := e.pf.pkg.TypesInfo
+	var out []taintOrigin
+	for _, o := range sum.returns {
+		switch {
+		case o.param == sourceParam:
+			out = appendOrigin(out, extendVia(o, key))
+		case o.param == recvParam:
+			if recv := callReceiver(info, call); recv != nil {
+				for _, ro := range e.exprOrigins(recv) {
+					out = appendOrigin(out, ro)
+				}
+			}
+		case o.param >= 0 && o.param < len(call.Args):
+			for _, ao := range e.exprOrigins(call.Args[o.param]) {
+				out = appendOrigin(out, ao)
+			}
+		case o.param >= 0 && len(call.Args) > 0:
+			// Variadic call with fewer apparent args: be conservative and
+			// use the last argument.
+			for _, ao := range e.exprOrigins(call.Args[len(call.Args)-1]) {
+				out = appendOrigin(out, ao)
+			}
+		}
+	}
+	return out
+}
+
+// returnOrigins collects the origins reaching the function's own return
+// statements. Returns inside nested function literals belong to the
+// closure, not this function, and are skipped.
+func (e *taintEnv) returnOrigins() []taintOrigin {
+	var out []taintOrigin
+	depth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			depth++
+			ast.Inspect(x.Body, walk)
+			depth--
+			return false
+		case *ast.ReturnStmt:
+			if depth == 0 {
+				for _, r := range x.Results {
+					out = unionOrigins(out, e.exprOrigins(r))
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(e.pf.decl.Body, walk)
+	return out
+}
+
+// globalRandSource reports whether key names a global math/rand draw. The
+// explicit constructors (New, NewSource, NewZipf) and the v2 PCG/ChaCha
+// constructors build seeded generators and are clean.
+func globalRandSource(key string) (string, bool) {
+	for _, prefix := range []string{"math/rand.", "math/rand/v2."} {
+		if name, ok := strings.CutPrefix(key, prefix); ok {
+			if randConstructors[name] || strings.HasPrefix(name, "New") {
+				return "", false
+			}
+			return "global math/rand." + name, true
+		}
+	}
+	return "", false
+}
+
+// pointerFormatSource reports whether the call formats a pointer address
+// (%p), whose rendering differs between runs.
+func pointerFormatSource(info *types.Info, key string, call *ast.CallExpr) (string, bool) {
+	if !strings.HasPrefix(key, "fmt.S") && !strings.HasPrefix(key, "fmt.F") && !strings.HasPrefix(key, "fmt.P") {
+		return "", false
+	}
+	for _, a := range call.Args {
+		tv, ok := info.Types[a]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			continue
+		}
+		if strings.Contains(constant.StringVal(tv.Value), "%p") {
+			return "%p pointer formatting", true
+		}
+	}
+	return "", false
+}
+
+// --- origin set plumbing --------------------------------------------------
+
+func originKey(o taintOrigin) string {
+	if o.param != sourceParam {
+		return "p" + string(rune('0'+o.param+2))
+	}
+	return o.desc + "|" + strings.Join(o.via, ">")
+}
+
+func appendOrigin(set []taintOrigin, o taintOrigin) []taintOrigin {
+	k := originKey(o)
+	for _, have := range set {
+		if originKey(have) == k {
+			return set
+		}
+	}
+	if len(set) >= maxOrigins {
+		return set
+	}
+	return append(set, o)
+}
+
+func unionOrigins(a, b []taintOrigin) []taintOrigin {
+	out := append([]taintOrigin(nil), a...)
+	for _, o := range b {
+		out = appendOrigin(out, o)
+	}
+	return out
+}
+
+// mergeOrigins unions src into *dst, reporting whether *dst grew.
+func mergeOrigins(dst *[]taintOrigin, src []taintOrigin) bool {
+	before := len(*dst)
+	*dst = unionOrigins(*dst, src)
+	return len(*dst) != before
+}
+
+func extendVia(o taintOrigin, key string) taintOrigin {
+	if len(o.via) >= maxVia {
+		return o
+	}
+	via := make([]string, 0, len(o.via)+1)
+	via = append(via, o.via...)
+	return taintOrigin{desc: o.desc, via: append(via, shortFuncKey(key)), param: o.param}
+}
+
+// shortFuncKey trims the module-path noise out of a key for messages:
+// "(dynaq/internal/server.Server).runJob" → "(server.Server).runJob".
+func shortFuncKey(key string) string {
+	shorten := func(path string) string {
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	if strings.HasPrefix(key, "(") {
+		if i := strings.LastIndexByte(key, ')'); i > 0 {
+			inner := key[1:i]
+			if j := strings.LastIndexByte(inner, '.'); j >= 0 {
+				return "(" + shorten(inner[:j]) + "." + inner[j+1:] + key[i:]
+			}
+		}
+		return key
+	}
+	if j := strings.LastIndexByte(key, '.'); j >= 0 {
+		return shorten(key[:j]) + "." + key[j+1:]
+	}
+	return key
+}
+
+// --- the analyzer pass ----------------------------------------------------
+
+func runDeterminismTaint(p *Pass) {
+	if p.Prog == nil || p.Pkg == nil {
+		return
+	}
+	sinks := p.Config.TaintSinks
+	if len(sinks) == 0 {
+		return
+	}
+	sums := buildTaintSummaries(p.Prog, p.Config)
+	sources := p.Config.TaintSources
+	if sources == nil {
+		sources = defaultTaintSources()
+	}
+	sanitize := make(map[string]bool, len(p.Config.TaintSanitizers))
+	for _, k := range p.Config.TaintSanitizers {
+		sanitize[k] = true
+	}
+
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.TypesInfo.Defs[fd.Name].(*types.Func)
+			key := FuncKey(obj)
+			pf := p.Prog.fns[key]
+			if pf == nil || pf.decl != fd {
+				// Injected or synthetic file not in the program index:
+				// analyze it standalone so self-tests still work.
+				pf = &progFunc{key: key, decl: fd, pkg: pkgForPass(p)}
+			}
+			env := newTaintEnv(p.Prog, pf, sources, sanitize, sums)
+			env.run()
+			reportSinkFlows(p, env, sinks)
+		}
+	}
+}
+
+// pkgForPass adapts a Pass back into the *Package shape taintEnv wants.
+func pkgForPass(p *Pass) *Package {
+	return &Package{Fset: p.Fset, Files: p.Files, Types: p.Pkg, TypesInfo: p.TypesInfo}
+}
+
+// reportSinkFlows walks one analyzed function and reports every sink call
+// receiving a tainted argument.
+func reportSinkFlows(p *Pass, env *taintEnv, sinks map[string]string) {
+	info := env.pf.pkg.TypesInfo
+	ast.Inspect(env.pf.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, resolved := calleeKey(info, call)
+		if !resolved {
+			return true
+		}
+		sinkDesc, isSink := sinks[key]
+		if !isSink {
+			return true
+		}
+		for i, arg := range call.Args {
+			origins := env.exprOrigins(arg)
+			reported := map[string]bool{}
+			for _, o := range origins {
+				if o.param != sourceParam || reported[o.desc] {
+					continue
+				}
+				reported[o.desc] = true
+				p.Reportf(arg.Pos(), "nondeterministic value from %s%s reaches determinism sink %s (arg %d); %s",
+					o.desc, viaClause(o.via), shortFuncKey(key), i+1, sinkDesc)
+			}
+		}
+		return true
+	})
+}
+
+func viaClause(via []string) string {
+	if len(via) == 0 {
+		return ""
+	}
+	// The chain is accumulated innermost-first; present it source → sink.
+	rev := make([]string, len(via))
+	for i, v := range via {
+		rev[len(via)-1-i] = v
+	}
+	return " (via " + strings.Join(rev, " -> ") + ")"
+}
+
+// sortedSinkKeys is a test helper guaranteeing deterministic sink listings.
+func sortedSinkKeys(sinks map[string]string) []string {
+	keys := make([]string, 0, len(sinks))
+	for k := range sinks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

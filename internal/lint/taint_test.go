@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/parser"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLaunderedWallClockCaught is the interprocedural acceptance drill:
+// plant, into the real internal/server package (in memory — the tree is
+// untouched), a time.Now() whose value travels through TWO helper functions
+// before landing in server.CacheKey, plus the same flow drawn from the
+// injected fleet.Clock seam. The taint analyzer must flag exactly the
+// laundered wall-clock flow and stay silent on the clock-interface flow —
+// the syntactic determinism analyzer cannot see either (the time.Now() site
+// itself carries an audited suppression to isolate the taint verdict).
+func TestLaunderedWallClockCaught(t *testing.T) {
+	moduleRoot, modulePath, err := ModuleInfo(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverDir := filepath.Join(moduleRoot, "internal", "server")
+
+	l := NewLoader()
+	pkg, err := l.LoadDir(serverDir, modulePath+"/internal/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkg, All(), DefaultConfig()); len(diags) != 0 {
+		t.Fatalf("internal/server should be clean before injection, got %v", diags)
+	}
+
+	injected := filepath.Join(serverDir, "zz_injected_taint.go")
+	src := `package server
+
+import (
+	"time"
+
+	"dynaq/internal/fleet"
+)
+
+// stampHelper is helper one: the wall-clock read, two frames from the sink.
+func stampHelper() time.Time {
+	return time.Now() //dynaqlint:allow determinism injected fixture isolates the taint analyzer
+}
+
+// renderHelper is helper two: taint rides through the parameter.
+func renderHelper(t time.Time) string { return t.String() }
+
+// launderedKey smuggles the wall clock into the cache key through both
+// helpers; the taint analyzer must flag the CacheKey argument below.
+func launderedKey() string {
+	return CacheKey("v1", renderHelper(stampHelper()), "dynaq", 1) // SINK LINE
+}
+
+// injectedClockKey draws the same flow from the audited fleet.Clock seam
+// instead; this must stay silent.
+func injectedClockKey(c fleet.Clock) string {
+	return CacheKey("v1", renderHelper(c.Now()), "dynaq", 1)
+}
+`
+	sinkLine := 0
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, "SINK LINE") {
+			sinkLine = i + 1
+		}
+	}
+
+	f, err := parser.ParseFile(l.Fset, injected, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg = l.LoadFiles(serverDir, modulePath+"/internal/server", append(pkg.Files, f))
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("injected package must still type-check: %v", terr)
+	}
+	diags := Run(pkg, All(), DefaultConfig())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic after injection (laundered flow only), got %v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "determinism-taint" || d.Pos.Filename != injected || d.Pos.Line != sinkLine {
+		t.Fatalf("want determinism-taint diagnostic at %s:%d, got %v", injected, sinkLine, d)
+	}
+	for _, part := range []string{"time.Now", "stampHelper", "CacheKey", "cache key"} {
+		if !strings.Contains(d.Message, part) {
+			t.Errorf("diagnostic message %q should mention %q", d.Message, part)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package lockfix exercises the lock-discipline analyzer: "guarded by mu"
+// field annotations, the *Locked naming convention, the
+// constructor-before-publication exemption (which deliberately does NOT
+// extend into closures), and the context rule for goroutine-spawning and
+// lease-mutating functions. Checked with LockCheckedPackages = [lockfix]
+// and LockMutatorKeys = [(lockfix.Table).Grant].
+package lockfix
+
+import (
+	"context"
+	"sync"
+)
+
+// Table mirrors fleet.Table: a lease-state mutator used by the ctx rule.
+type Table struct{ n int }
+
+// Grant is the configured mutator; as the mutator itself it is exempt from
+// the ctx rule (bookkeeping under the caller's lock).
+func (t *Table) Grant() { t.n++ }
+
+// Coord mirrors the coordinator: annotated state beside its mutex.
+type Coord struct {
+	mu   sync.Mutex
+	jobs map[string]int // guarded by mu
+	seq  int            // guarded by mu
+	free int            // unguarded on purpose: single-writer
+}
+
+// Broken carries an annotation naming a mutex field that does not exist.
+type Broken struct {
+	x int // guarded by nosuch // want `lock-discipline: guarded-by annotation names mutex "nosuch"`
+}
+
+// lockedRead holds mu across its guarded accesses: clean.
+func (c *Coord) lockedRead() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobs["a"] + c.seq
+}
+
+// unlockedRead reads guarded state without the lock.
+func (c *Coord) unlockedRead() int {
+	return c.seq // want `lock-discipline: field Coord.seq is guarded by mu`
+}
+
+// unlockedWrite mutates guarded state without the lock.
+func (c *Coord) unlockedWrite() {
+	c.jobs["a"] = 1 // want `lock-discipline: field Coord.jobs is guarded by mu`
+}
+
+// freeAccess touches the unannotated field: no lock needed.
+func (c *Coord) freeAccess() int { return c.free }
+
+// sizeLocked follows the naming convention: the caller holds mu.
+func (c *Coord) sizeLocked() int { return len(c.jobs) }
+
+// build initializes guarded fields before the value is published: exempt.
+func build() *Coord {
+	c := &Coord{jobs: make(map[string]int)}
+	c.seq = 1
+	return c
+}
+
+// leakClosure shows the constructor exemption stopping at a closure
+// boundary: the closure outlives construction, so it needs the lock.
+func leakClosure() func() int {
+	c := &Coord{}
+	return func() int {
+		return c.seq // want `lock-discipline: field Coord.seq is guarded by mu`
+	}
+}
+
+// lockedClosure takes the lock inside the closure frame: clean.
+func lockedClosure() func() int {
+	c := &Coord{}
+	return func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.seq
+	}
+}
+
+// spawnsNoCtx starts a goroutine without accepting a context.
+func (c *Coord) spawnsNoCtx() { // want `lock-discipline: function spawnsNoCtx spawns a goroutine`
+	go func() { _ = c }()
+}
+
+// spawnsWithCtx threads the context: clean.
+func (c *Coord) spawnsWithCtx(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+
+// mutatesNoCtx calls the lease mutator without a context.
+func mutatesNoCtx(t *Table) { // want `lock-discipline: function mutatesNoCtx calls lease/queue mutator`
+	t.Grant()
+}
+
+// mutatesWithCtx threads the context: clean.
+func mutatesWithCtx(ctx context.Context, t *Table) {
+	_ = ctx
+	t.Grant()
+}
+
+// suppressedSpawn shows the escape hatch with a written reason.
+//dynaqlint:allow lock-discipline fixture demonstrates an audited suppression
+func suppressedSpawn(c *Coord) {
+	go func() { _ = c }()
+}

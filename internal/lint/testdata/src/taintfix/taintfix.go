@@ -1,0 +1,103 @@
+// Package taintfix exercises the determinism-taint analyzer: nondeterminism
+// sources must not flow — through any number of helpers — into the
+// configured sinks (taintfix.CacheKey, taintfix.WriteEvent). The fixture is
+// checked with only the determinism-taint analyzer enabled, so the raw
+// time.Now() calls inside helpers carry no determinism wants.
+package taintfix
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CacheKey is the fixture's stand-in for server.CacheKey (a configured sink).
+func CacheKey(version, hash string, seed int64) string {
+	return version + "/" + hash + "/" + fmt.Sprint(seed)
+}
+
+// WriteEvent is the fixture's stand-in for a telemetry artifact writer.
+func WriteEvent(kind string, at int64) { _ = kind }
+
+// clock mirrors fleet.Clock: values drawn through an interface seam are
+// clean — the implementation behind it is the audited edge.
+type clock interface {
+	Now() time.Time
+}
+
+// stamp is helper one: the wall-clock read happens here, two frames away
+// from any sink.
+func stamp() time.Time { return time.Now() }
+
+// render is helper two: pure formatting; taint rides through the parameter.
+func render(t time.Time) string { return t.String() }
+
+// launderedThroughHelpers is the acceptance case: time.Now() laundered
+// through two helper calls into the cache key.
+func launderedThroughHelpers() string {
+	return CacheKey("v1", render(stamp()), 7) // want `determinism-taint: .*time\.Now.*reaches determinism sink`
+}
+
+// directSource feeds the sink straight from the source via a method chain.
+func directSource() string {
+	return CacheKey("v1", time.Now().String(), 1) // want `determinism-taint: .*time\.Now.*reaches determinism sink`
+}
+
+// environmentKey smuggles host state into the key.
+func environmentKey() string {
+	return CacheKey("v1", os.Getenv("HOME"), 1) // want `determinism-taint: .*os\.Getenv.*reaches determinism sink`
+}
+
+// pointerKey formats a pointer address, which differs between runs.
+func pointerKey(v *int) string {
+	return CacheKey("v1", fmt.Sprintf("%p", v), 1) // want `determinism-taint: .*%p pointer formatting.*reaches determinism sink`
+}
+
+// mapOrderKey folds map-iteration order into the key.
+func mapOrderKey(m map[string]int) string {
+	var parts []string
+	for k := range m {
+		parts = append(parts, k)
+	}
+	return CacheKey("v1", strings.Join(parts, ","), 1) // want `determinism-taint: .*map iteration order.*reaches determinism sink`
+}
+
+// eventAtWallClock schedules an artifact event off the wall clock, through a
+// helper that narrows it to int64.
+func nanos(t time.Time) int64 { return t.UnixNano() }
+
+func eventAtWallClock() {
+	WriteEvent("tick", nanos(stamp())) // want `determinism-taint: .*time\.Now.*reaches determinism sink`
+}
+
+// --- clean cases: none of these may diagnose ------------------------------
+
+// sortedKey is the canonical collect-then-sort idiom: sorting destroys the
+// iteration-order taint.
+func sortedKey(m map[string]int) string {
+	var parts []string
+	for k := range m {
+		parts = append(parts, k)
+	}
+	sort.Strings(parts)
+	return CacheKey("v1", strings.Join(parts, ","), 1)
+}
+
+// viaInjectedClock draws time through the interface seam — the fleet.Clock
+// pattern — and must stay silent even though the value reaches the sink.
+func viaInjectedClock(c clock) string {
+	return CacheKey("v1", render(c.Now()), 9)
+}
+
+// paramKey hashes caller-supplied data; parameters are not sources.
+func paramKey(scenario string, seed int64) string {
+	return CacheKey("v1", scenario, seed)
+}
+
+// suppressedKey shows the escape hatch: an allow directive with a reason.
+func suppressedKey() string {
+	//dynaqlint:allow determinism-taint fixture demonstrates an audited suppression
+	return CacheKey("v1", render(stamp()), 8)
+}

@@ -1,0 +1,32 @@
+// Package unitsdef mirrors internal/units for the units-consistency
+// fixture: the dimension-declaring package, which is exempt from the checks
+// (it builds its constants out of raw literals and its methods are the
+// sanctioned dimension crossings).
+package unitsdef
+
+// Time is an absolute sim-time in picoseconds since the epoch.
+type Time int64
+
+// Duration is a span of sim-time in picoseconds.
+type Duration int64
+
+// ByteSize is a data quantity in bytes.
+type ByteSize int64
+
+// Rate is a link rate in bits per second.
+type Rate int64
+
+// Raw-literal constant arithmetic: legal here, in the declaring package.
+const (
+	Picosecond  Duration = 1
+	Microsecond          = 1_000_000 * Picosecond
+	Millisecond          = 1000 * Microsecond
+)
+
+const KB ByteSize = 1000
+
+// Add offsets an absolute time by a span — the sanctioned crossing.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub yields the span between two absolute times.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }

@@ -1,0 +1,62 @@
+// Package unitsfix exercises the units-consistency analyzer over the
+// unitsdef dimensions: cross-dimension conversions, raw +/- on absolute
+// sim-times, and dimensioned-value-vs-bare-literal arithmetic. Checked with
+// UnitsPackages = [unitsdef].
+package unitsfix
+
+import "unitsdef"
+
+// bytesAsTime reinterprets a byte count as a sim-time: flagged.
+func bytesAsTime(b unitsdef.ByteSize) unitsdef.Time {
+	return unitsdef.Time(b) // want `units-consistency: conversion Time\(ByteSize\) crosses units dimensions`
+}
+
+// rateAsBytes reinterprets a rate as a byte count: flagged.
+func rateAsBytes(r unitsdef.Rate) unitsdef.ByteSize {
+	return unitsdef.ByteSize(r) // want `units-consistency: conversion ByteSize\(Rate\) crosses units dimensions`
+}
+
+// timePlusTime adds two absolute times: meaningless.
+func timePlusTime(a, b unitsdef.Time) unitsdef.Time {
+	return a + b // want `units-consistency: adding two absolute sim-times`
+}
+
+// timeMinusTime subtracts raw: should use Sub for an explicit Duration.
+func timeMinusTime(a, b unitsdef.Time) unitsdef.Duration {
+	return unitsdef.Duration(a - b) // want `units-consistency: subtracting two absolute sim-times`
+}
+
+// bareThreshold compares a duration against a unitless magnitude.
+func bareThreshold(d unitsdef.Duration) bool {
+	return d > 1500 // want `units-consistency: Duration value compared/combined \(>\) with bare literal 1500`
+}
+
+// bareOffset adds a unitless magnitude to a byte count.
+func bareOffset(b unitsdef.ByteSize) unitsdef.ByteSize {
+	return b + 64 // want `units-consistency: ByteSize value compared/combined \(\+\) with bare literal 64`
+}
+
+// --- clean cases: none of these may diagnose ------------------------------
+
+// zeroCompare against 0 is dimensionless and fine.
+func zeroCompare(d unitsdef.Duration) bool { return d > 0 }
+
+// scalarScale multiplies by a dimensionless factor: fine.
+func scalarScale(d unitsdef.Duration) unitsdef.Duration { return d * 2 }
+
+// namedConstant compares like against like.
+func namedConstant(d unitsdef.Duration) bool { return d > unitsdef.Millisecond }
+
+// sameClassConversion moves within the sim-time dimension.
+func sameClassConversion(d unitsdef.Duration) unitsdef.Time { return unitsdef.Time(d) }
+
+// methodCrossing uses the sanctioned Add/Sub methods.
+func methodCrossing(t unitsdef.Time, d unitsdef.Duration) unitsdef.Duration {
+	return t.Add(d).Sub(t)
+}
+
+// suppressedCast shows the escape hatch with a written reason.
+func suppressedCast(b unitsdef.ByteSize) unitsdef.Time {
+	//dynaqlint:allow units-consistency fixture demonstrates an audited suppression
+	return unitsdef.Time(b)
+}

@@ -29,8 +29,8 @@ const subBuffer = 256
 // lifecycle events; subscribers are /v1/jobs/{id}/events handlers.
 type broadcaster struct {
 	mu     sync.Mutex
-	subs   []chan []byte
-	closed bool
+	subs   []chan []byte // guarded by mu
+	closed bool          // guarded by mu
 }
 
 func newBroadcaster() *broadcaster { return &broadcaster{} }

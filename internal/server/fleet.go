@@ -156,6 +156,12 @@ func localWorkers(requested int) int {
 // worker liveness changes) or on the clock until the next requeued cell's
 // backoff elapses.
 func (s *Server) localExecutor(ctx context.Context, j *Job) {
+	// Snapshot this job's done channel once: dispatchCells swaps the field
+	// per job under mu, and this executor must keep waiting on the channel
+	// of the job it was started for.
+	s.mu.Lock()
+	jobDone := s.jobDone
+	s.mu.Unlock()
 	for {
 		if ctx.Err() != nil {
 			return
@@ -175,7 +181,7 @@ func (s *Server) localExecutor(ctx context.Context, j *Job) {
 		select {
 		case <-ctx.Done():
 			return
-		case <-s.jobDone:
+		case <-jobDone:
 			return
 		case <-s.kick:
 		case <-timer:
@@ -187,6 +193,8 @@ func (s *Server) localExecutor(ctx context.Context, j *Job) {
 // workers are active (they get the work via leases). wait < 0 means the job
 // has settled; wait > 0 is the delay until the next cell's backoff
 // readiness; wait == 0 means block until kicked.
+//
+//dynaqlint:allow lock-discipline called only from localExecutor, which owns the ctx; a claim is a non-blocking pop under s.mu with nothing to cancel
 func (s *Server) claimLocalCell(j *Job) (*Cell, time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -281,6 +289,8 @@ func (s *Server) settleCellDone(j *Job, c *Cell, cacheHit bool) {
 // cellFailed charges one failed attempt against a cell: requeue with capped
 // deterministic backoff, or quarantine to the dead-letter list once the
 // attempt budget is spent.
+//
+//dynaqlint:allow lock-discipline failure bookkeeping must run to completion even when the caller's ctx is already cancelled, or the attempt would be lost
 func (s *Server) cellFailed(j *Job, c *Cell, worker string, err error) {
 	s.mu.Lock()
 	c.Attempts++
@@ -377,6 +387,8 @@ func (s *Server) expiryLoop() {
 // tick is one maintenance pass: expire lapsed leases (requeueing their
 // cells), prune dead workers, and kick the local executors so they notice
 // a fleet that has gone quiet.
+//
+//dynaqlint:allow lock-discipline driven by expiryLoop, whose clock.After select already honors s.stop; one tick is bounded work under s.mu
 func (s *Server) tick() {
 	type expired struct {
 		j *Job
@@ -448,6 +460,8 @@ func (s *Server) loadDeadLetter() error {
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := json.Unmarshal(data, &s.dead); err != nil {
 		return fmt.Errorf("server: parsing deadletter.json: %w", err)
 	}

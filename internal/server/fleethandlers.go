@@ -250,7 +250,7 @@ func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
 		s.queue <- j // capacity pre-checked above
 		s.jobs[jobID] = j
 		s.jobsSubbed.Inc()
-		if err := s.persistRequest(j, body); err != nil {
+		if err := s.persistRequestLocked(j, body); err != nil {
 			s.logf("job %s: persisting request: %v", jobID, err)
 		}
 		resp.Requeued = append(resp.Requeued, jobID)

@@ -117,7 +117,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs[j.ID] = j
 	s.jobsSubbed.Inc()
-	if err := s.persistRequest(j, body); err != nil {
+	if err := s.persistRequestLocked(j, body); err != nil {
 		s.logf("job %s: persisting request: %v", j.ID, err)
 	}
 	st := s.statusLocked(j)

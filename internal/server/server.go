@@ -70,26 +70,26 @@ type Server struct {
 	mux     *http.ServeMux
 
 	mu        sync.Mutex
-	jobs      map[string]*Job
-	queue     chan *Job
-	seq       int
-	accepting bool
-	running   int64
+	jobs      map[string]*Job // guarded by mu
+	queue     chan *Job       // channel ops self-synchronize; field set once in New
+	seq       int             // guarded by mu
+	accepting bool            // guarded by mu
+	running   int64           // guarded by mu
 
 	// Fleet dispatch state: the job currently being dispatched, its cells
 	// awaiting (re)lease ordered by readiness, live leases, recently-seen
-	// workers, and the quarantine list. All guarded by mu.
-	current     *Job
-	ready       fleet.ReadyQueue[*Cell]
-	leases      *fleet.Table
-	workers     map[string]time.Time
-	outstanding int
-	jobDone     chan struct{}
+	// workers, and the quarantine list.
+	current     *Job                    // guarded by mu
+	ready       fleet.ReadyQueue[*Cell] // guarded by mu
+	leases      *fleet.Table            // guarded by mu
+	workers     map[string]time.Time    // guarded by mu
+	outstanding int                     // guarded by mu
+	jobDone     chan struct{}           // guarded by mu (field swap per job; channel ops self-synchronize)
 	kick        chan struct{}
-	dead        []fleet.DeadLetterEntry
+	dead        []fleet.DeadLetterEntry // guarded by mu
 
 	reg         *telemetry.Registry
-	simTotals   map[string]int64
+	simTotals   map[string]int64 // guarded by mu
 	jobsSubbed  *telemetry.Counter
 	jobsDeduped *telemetry.Counter
 	jobsDone    *telemetry.Counter
@@ -170,11 +170,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reg.Gauge("dynaqd_build_info", telemetry.L("version", cfg.Version)).Set(1)
 	s.reg.GaugeFunc("dynaqd_queue_depth", func() int64 { return int64(len(s.queue)) })
+	//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
 	s.reg.GaugeFunc("dynaqd_jobs_running", func() int64 { return s.running })
 	s.reg.GaugeFunc("dynaqd_workers_active", func() int64 {
 		return int64(s.activeWorkersLocked(s.clock.Now()))
 	})
+	//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
 	s.reg.GaugeFunc("dynaqd_leases_live", func() int64 { return int64(s.leases.Len()) })
+	//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
 	s.reg.GaugeFunc("dynaqd_deadletter_size", func() int64 { return int64(len(s.dead)) })
 
 	if n, err := s.sweepTmp(); err != nil {
@@ -222,6 +225,8 @@ func (s *Server) sweepTmp() (int, error) {
 // Start launches the drain loop (jobs leave the FIFO one at a time, their
 // cells fanned out to fleet workers or the local executor pool) and the
 // lease-expiry scanner.
+//
+//dynaqlint:allow lock-discipline lifecycle is channel-based: Shutdown closes s.stop, which both loops select on — a ctx here would duplicate it
 func (s *Server) Start() {
 	go s.drain()
 	go s.expiryLoop()
@@ -380,7 +385,7 @@ func (s *Server) jobDir(id string) string { return filepath.Join(s.cfg.DataDir, 
 // queue marker holds the FIFO position. Any stale attempt counters from an
 // earlier life of the same job id are cleared — a (re)submission starts
 // with a fresh retry budget.
-func (s *Server) persistRequest(j *Job, body []byte) error {
+func (s *Server) persistRequestLocked(j *Job, body []byte) error {
 	dir := s.jobDir(j.ID)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -477,6 +482,7 @@ func (s *Server) loadQueueMarkers() ([]string, error) {
 		names = append(names, e.Name())
 	}
 	sort.Strings(names)
+	s.mu.Lock()
 	for _, name := range names {
 		if seq, _, ok := strings.Cut(name, "-"); ok {
 			if n, err := strconv.Atoi(seq); err == nil && n > s.seq {
@@ -484,6 +490,7 @@ func (s *Server) loadQueueMarkers() ([]string, error) {
 			}
 		}
 	}
+	s.mu.Unlock()
 	return names, nil
 }
 
@@ -494,6 +501,8 @@ func (s *Server) recoverTerminal() error {
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, e := range entries {
 		data, err := os.ReadFile(filepath.Join(s.jobDir(e.Name()), "status.json"))
 		if err != nil {
@@ -535,8 +544,10 @@ func (s *Server) recoverQueued(markers []string) error {
 		}
 		j.ID = id // keep the persisted handle even if expansion rules evolve
 		s.loadAttempts(j)
+		s.mu.Lock()
 		s.jobs[id] = j
-		s.queue <- j
+		s.queue <- j // sized for the whole recovered backlog; cannot block
+		s.mu.Unlock()
 	}
 	return nil
 }
