@@ -12,9 +12,19 @@
 //	benchjson                          # all benchmarks, 1 iteration, BENCH_<date>.json
 //	benchjson -bench Engine -benchtime 100x
 //	benchjson -out perf.json -pkg ./internal/sim
+//	benchjson -out now.json -compare BENCH_baseline.json    # run, record, and gate
+//	benchjson -check now.json -compare BENCH_baseline.json  # gate a prior report, no rerun
 //
-// Exit status: 0 on success, 1 when `go test` fails or no benchmark lines
-// were found (a silent empty artifact would read as "all benchmarks gone").
+// With -compare, the current report's events/s throughput is gated against
+// the baseline report: any benchmark more than -tolerance (default 20%)
+// below its baseline events/s — or present in the baseline but missing from
+// the current run — fails the gate. -check loads a previously recorded
+// report instead of rerunning the benchmarks, so CI can record once and gate
+// as a separate step.
+//
+// Exit status: 0 on success, 1 when `go test` fails, no benchmark lines
+// were found (a silent empty artifact would read as "all benchmarks gone"),
+// or the -compare gate trips.
 package main
 
 import (
@@ -57,6 +67,9 @@ func main() {
 	benchRE := flag.String("bench", ".", "regexp selecting benchmarks (go test -bench)")
 	benchtime := flag.String("benchtime", "1x", "per-benchmark time or iteration count (go test -benchtime)")
 	out := flag.String("out", "", "output path (default BENCH_<utc-date>.json)")
+	check := flag.String("check", "", "load a previously recorded report instead of running benchmarks (use with -compare)")
+	compare := flag.String("compare", "", "baseline report to gate events/s throughput against")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional events/s drop below the -compare baseline")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	var pkgs multiFlag
 	flag.Var(&pkgs, "pkg", "package pattern to benchmark (repeatable; default ./...)")
@@ -67,6 +80,20 @@ func main() {
 	}
 	if len(pkgs) == 0 {
 		pkgs = []string{"./..."}
+	}
+
+	if *check != "" {
+		if *compare == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -check without -compare does nothing")
+			os.Exit(1)
+		}
+		current, err := loadReport(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		gate(*compare, current, *tolerance)
+		return
 	}
 
 	// Wall-clock here stamps the artifact filename and metadata; nothing
@@ -117,6 +144,71 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), path)
+
+	if *compare != "" {
+		gate(*compare, report, *tolerance)
+	}
+}
+
+// loadReport reads one recorded benchmark report.
+func loadReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// gate compares the current report's events/s throughput against a baseline
+// report and exits 1 on regression. Failures are loud and itemized; passing
+// prints one line per gated benchmark so the log shows what was checked.
+func gate(baselinePath string, current Report, tolerance float64) {
+	baseline, err := loadReport(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	curr := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		curr[r.Name] = r
+	}
+	gated, failed := 0, 0
+	for _, b := range baseline.Benchmarks {
+		base, ok := b.Metrics["events/s"]
+		if !ok || base <= 0 {
+			continue
+		}
+		gated++
+		c, found := curr[b.Name]
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: in baseline %s but missing from the current run\n", b.Name, baselinePath)
+			failed++
+			continue
+		}
+		got := c.Metrics["events/s"]
+		floor := base * (1 - tolerance)
+		if got < floor {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %.4g events/s is %.1f%% below baseline %.4g (floor %.4g at %.0f%% tolerance)\n",
+				b.Name, got, 100*(1-got/base), base, floor, tolerance*100)
+			failed++
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: ok   %s: %.4g events/s vs baseline %.4g (%+.1f%%)\n",
+			b.Name, got, base, 100*(got/base-1))
+	}
+	if gated == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL baseline %s has no events/s benchmarks to gate against\n", baselinePath)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d gated benchmark(s) regressed beyond %.0f%%\n", failed, gated, tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: throughput gate passed (%d benchmark(s), %.0f%% tolerance)\n", gated, tolerance*100)
 }
 
 // parseBenchLines extracts every benchmark result from go test output. The

@@ -12,6 +12,7 @@
 //	GET  /v1/jobs                     list known jobs
 //	GET  /v1/jobs/{id}                job status, per-cell cache keys, attempts, and artifact paths
 //	GET  /v1/jobs/{id}/events         live progress as chunked JSONL (replayed from cache for finished jobs)
+//	GET  /v1/jobs/{id}/trace          span tree as JSONL; ?format=chrome for chrome://tracing / Perfetto
 //	POST /v1/leases                   pull one cell of work (dynaqworker)
 //	POST /v1/leases/{id}/heartbeat    renew a held lease
 //	POST /v1/leases/{id}/complete     upload a finished cell's artifacts

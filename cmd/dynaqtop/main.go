@@ -1,0 +1,359 @@
+// Command dynaqtop is a live terminal view of a dynaqd coordinator: queue
+// depth, per-worker lease occupancy, cache and retry counters, rolling
+// latency percentiles derived from the service histograms, and the tail of
+// the most recent running job's event stream — all assembled from the same
+// /metrics, /healthz, /v1/jobs, and /v1/jobs/{id}/events endpoints any other
+// client sees, so pointing it at a production daemon is read-only and safe.
+//
+// Usage:
+//
+//	dynaqtop -coordinator http://127.0.0.1:8080 [-interval 2s] [-once]
+//
+// -once renders a single frame without ANSI clearing and exits — the mode CI
+// and scripts use.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"dynaq"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "http://127.0.0.1:8080", "dynaqd base URL")
+		interval    = flag.Duration("interval", 2*time.Second, "refresh interval")
+		once        = flag.Bool("once", false, "render one frame without clearing and exit")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("dynaqtop", dynaq.Version)
+		return
+	}
+
+	top := &top{
+		base:   strings.TrimRight(*coordinator, "/"),
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	if *once {
+		frame, err := top.render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynaqtop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(frame)
+		return
+	}
+
+	for {
+		frame, err := top.render()
+		if err != nil {
+			frame = fmt.Sprintf("dynaqtop: %s unreachable: %v\n", top.base, err)
+		}
+		// Home the cursor and clear to the end of the screen — less flicker
+		// than a full wipe, and a shrinking frame leaves no residue.
+		fmt.Print("\x1b[H\x1b[2J" + frame)
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// top holds the poller state: HTTP plumbing plus the event follower for the
+// most recent running job.
+type top struct {
+	base   string
+	client *http.Client
+
+	mu        sync.Mutex
+	following string   // job id the event follower is attached to
+	events    []string // ring of recent event lines, newest last
+	cancel    context.CancelFunc
+}
+
+const eventRing = 8
+
+// metrics is one parsed /metrics scrape: series id → value.
+type metrics map[string]float64
+
+func (t *top) render() (string, error) {
+	m, err := t.scrapeMetrics()
+	if err != nil {
+		return "", err
+	}
+	health, err := t.getJSON("/healthz")
+	if err != nil {
+		return "", err
+	}
+	t.followRunningJob()
+
+	var b strings.Builder
+	now := time.Now().Format("15:04:05") //dynaqlint:allow determinism dashboard frame timestamp, not simulation state
+	fmt.Fprintf(&b, "dynaqtop — %s — %s (daemon %v, %v)\n\n",
+		t.base, now, health["version"], health["state"])
+
+	fmt.Fprintf(&b, "  queue %-5.0f running %-3.0f workers %-3.0f leases %-3.0f deadletter %.0f\n",
+		m["dynaqd_queue_depth"], m["dynaqd_jobs_running"], m["dynaqd_workers_active"],
+		m["dynaqd_leases_live"], m["dynaqd_deadletter_size"])
+	fmt.Fprintf(&b, "  jobs: %.0f submitted, %.0f done, %.0f failed, %.0f deduped   cells: %.0f run (%.0f remote)\n",
+		m["dynaqd_jobs_submitted_total"], m["dynaqd_jobs_completed_total"],
+		m["dynaqd_jobs_failed_total"], m["dynaqd_jobs_deduped_total"],
+		m["dynaqd_cells_completed_total"], m["dynaqd_cells_remote_total"])
+	fmt.Fprintf(&b, "  cache: %.0f hits / %.0f misses   retries %.0f   lease grants %.0f renews %.0f expiries %.0f   events dropped %.0f\n\n",
+		m["dynaqd_cache_hits_total"], m["dynaqd_cache_misses_total"],
+		m["dynaqd_cell_retries_total"], m["dynaqd_leases_granted_total"],
+		m["dynaqd_leases_renewed_total"], m["dynaqd_leases_expired_total"],
+		m["dynaqd_events_dropped_total"])
+
+	b.WriteString("  workers (live leases)\n")
+	workers := workerOccupancy(m)
+	if len(workers) == 0 {
+		b.WriteString("    none registered yet\n")
+	}
+	for _, w := range workers {
+		bar := strings.Repeat("█", min(w.leases, 32))
+		if w.leases == 0 {
+			bar = "idle"
+		}
+		fmt.Fprintf(&b, "    %-20s %3d %s\n", w.id, w.leases, bar)
+	}
+	b.WriteString("\n  latency (ms, from histogram buckets: value is the bucket upper bound)\n")
+	for _, h := range []struct{ label, name string }{
+		{"queue wait", "dynaqd_job_queue_wait_ms"},
+		{"lease duration", "dynaqd_lease_duration_ms"},
+		{"cell execution", "dynaqd_cell_execution_ms"},
+		{"job end-to-end", "dynaqd_job_e2e_ms"},
+	} {
+		count := m[h.name+"_count"]
+		if count < 1 {
+			fmt.Fprintf(&b, "    %-16s no observations\n", h.label)
+			continue
+		}
+		fmt.Fprintf(&b, "    %-16s p50≤%-8s p90≤%-8s p99≤%-8s (%.0f obs)\n", h.label,
+			quantile(m, h.name, 0.50), quantile(m, h.name, 0.90), quantile(m, h.name, 0.99), count)
+	}
+
+	t.mu.Lock()
+	following, events := t.following, append([]string(nil), t.events...)
+	t.mu.Unlock()
+	if following != "" {
+		fmt.Fprintf(&b, "\n  events — job %s\n", following)
+		for _, line := range events {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String(), nil
+}
+
+type workerRow struct {
+	id     string
+	leases int
+}
+
+// workerOccupancy extracts the dynaqd_worker_leases{worker="..."} series.
+func workerOccupancy(m metrics) []workerRow {
+	var out []workerRow
+	for id, v := range m {
+		rest, ok := strings.CutPrefix(id, `dynaqd_worker_leases{worker="`)
+		if !ok {
+			continue
+		}
+		name, ok := strings.CutSuffix(rest, `"}`)
+		if !ok {
+			continue
+		}
+		out = append(out, workerRow{id: name, leases: int(v)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// quantile reads a cumulative-bucket histogram out of the scrape and reports
+// the upper bound of the first bucket covering quantile q.
+func quantile(m metrics, name string, q float64) string {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	prefix := name + `_bucket{le="`
+	for id, v := range m {
+		rest, ok := strings.CutPrefix(id, prefix)
+		if !ok {
+			continue
+		}
+		leStr, ok := strings.CutSuffix(rest, `"}`)
+		if !ok {
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil { // the +Inf bucket
+			le = 1e18
+		}
+		buckets = append(buckets, bucket{le: le, cum: v})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := m[name+"_count"]
+	if total < 1 || len(buckets) == 0 {
+		return "-"
+	}
+	target := q * total
+	for _, bk := range buckets {
+		if bk.cum >= target {
+			if bk.le >= 1e18 {
+				return "+Inf"
+			}
+			return strconv.FormatFloat(bk.le, 'f', -1, 64)
+		}
+	}
+	return "+Inf"
+}
+
+// scrapeMetrics fetches and parses /metrics (Prometheus text format).
+func (t *top) scrapeMetrics() (metrics, error) {
+	resp, err := t.client.Get(t.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	out := make(metrics)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The series id may itself contain spaces inside quoted label
+		// values, so split on the LAST space.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out, sc.Err()
+}
+
+// getJSON fetches one endpoint into a generic map.
+func (t *top) getJSON(path string) (map[string]any, error) {
+	resp, err := t.client.Get(t.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// followRunningJob points the event follower at the most recent running (or,
+// failing that, queued) job, restarting the stream goroutine on change.
+func (t *top) followRunningJob() {
+	resp, err := t.client.Get(t.base + "/v1/jobs")
+	if err != nil {
+		return
+	}
+	var jobs []struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&jobs)
+	resp.Body.Close()
+	if err != nil {
+		return
+	}
+	target := ""
+	for _, j := range jobs {
+		if j.State == "running" {
+			target = j.ID
+			break
+		}
+		if j.State == "queued" && target == "" {
+			target = j.ID
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if target == "" || target == t.following {
+		return
+	}
+	if t.cancel != nil {
+		t.cancel()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.following = target
+	t.events = nil
+	t.cancel = cancel
+	go t.streamEvents(ctx, target)
+}
+
+// streamEvents tails one job's event stream into the ring buffer.
+func (t *top) streamEvents(ctx context.Context, id string) {
+	req, err := http.NewRequestWithContext(ctx, "GET", t.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return
+	}
+	// The stream client must not inherit the poller's timeout: event
+	// streams are long-lived by design.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 64<<20))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) > 160 {
+			line = line[:157] + "..."
+		}
+		t.mu.Lock()
+		if t.following != id {
+			t.mu.Unlock()
+			return
+		}
+		t.events = append(t.events, line)
+		if len(t.events) > eventRing {
+			t.events = t.events[len(t.events)-eventRing:]
+		}
+		t.mu.Unlock()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -12,6 +12,7 @@ import (
 	"dynaq/internal/pias"
 	"dynaq/internal/sim"
 	"dynaq/internal/telemetry"
+	ttrace "dynaq/internal/telemetry/trace"
 	"dynaq/internal/topology"
 	"dynaq/internal/transport"
 	"dynaq/internal/units"
@@ -89,6 +90,12 @@ type DynamicConfig struct {
 	// Progress, when non-nil, receives human-readable wall-clock progress
 	// lines (typically os.Stderr); it never feeds the artifacts.
 	Progress io.Writer
+
+	// Spans, when non-nil, receives a retroactive sim-time "sim" span for
+	// the run, parented under SpanParent. Sim spans carry simulated time
+	// only — wall-clock values must never reach them.
+	Spans      *ttrace.Tracer
+	SpanParent string
 }
 
 // DynamicResult is the outcome of an FCT run.
@@ -375,6 +382,11 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 	}
 	if stopHB != nil {
 		stopHB()
+	}
+	if cfg.Spans != nil {
+		cfg.Spans.SimSpan("sim", cfg.SpanParent, 0, s.Now(),
+			ttrace.A("kind", "fct"),
+			ttrace.AInt("flows_completed", int64(res.FCT.Len())))
 	}
 	res.Generated = int(flowID)
 	res.Completed = res.FCT.Len()

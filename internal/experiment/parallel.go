@@ -38,6 +38,20 @@ func RunTrials[T any](n, workers int, run func(trial int) (T, error)) ([]T, erro
 // RunTrials, so results stay independent of worker count and cancellation
 // timing races.
 func RunTrialsCtx[T any](ctx context.Context, n, workers int, run func(trial int) (T, error)) ([]T, error) {
+	return RunTrialsHooked(ctx, n, workers, nil, run)
+}
+
+// TrialHook observes the trial lifecycle inside the pool: Begin fires on the
+// trial's worker goroutine immediately before run(trial), and the returned
+// end function immediately after, with run's error. It exists so callers can
+// open and close per-trial trace spans (or any other bracketed bookkeeping)
+// without the pool depending on the trace layer; the hook itself must be
+// safe for concurrent calls and must not capture engine state (the same
+// parallel-state rules as the trial function apply).
+type TrialHook func(trial int) (end func(err error))
+
+// RunTrialsHooked is RunTrialsCtx with an optional per-trial lifecycle hook.
+func RunTrialsHooked[T any](ctx context.Context, n, workers int, hook TrialHook, run func(trial int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiment: RunTrials needs n > 0")
 	}
@@ -45,13 +59,24 @@ func RunTrialsCtx[T any](ctx context.Context, n, workers int, run func(trial int
 		return nil, fmt.Errorf("experiment: RunTrials needs a trial function")
 	}
 	workers = Workers(workers, n)
+	runOne := func(i int) (T, error) {
+		if hook == nil {
+			return run(i)
+		}
+		end := hook(i)
+		v, err := run(i)
+		if end != nil {
+			end(err)
+		}
+		return v, err
+	}
 	results := make([]T, n)
 	if workers == 1 {
 		for i := range results {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("experiment: cancelled before trial %d: %w", i, err)
 			}
-			v, err := run(i)
+			v, err := runOne(i)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: trial %d: %w", i, err)
 			}
@@ -74,7 +99,7 @@ func RunTrialsCtx[T any](ctx context.Context, n, workers int, run func(trial int
 				if i >= n {
 					return
 				}
-				v, err := run(i)
+				v, err := runOne(i)
 				if err != nil {
 					errs[i] = err
 					stop.Store(true)

@@ -11,6 +11,7 @@ import (
 	"dynaq/internal/packet"
 	"dynaq/internal/sim"
 	"dynaq/internal/telemetry"
+	ttrace "dynaq/internal/telemetry/trace"
 	"dynaq/internal/topology"
 	"dynaq/internal/trace"
 	"dynaq/internal/transport"
@@ -90,6 +91,14 @@ type StaticConfig struct {
 	// Progress, when non-nil, receives human-readable wall-clock progress
 	// lines (typically os.Stderr); it never feeds the artifacts.
 	Progress io.Writer
+
+	// Spans, when non-nil, receives retroactive sim-time phase spans for
+	// the run (a "sim" root with "warmup"/"measure" children), parented
+	// under SpanParent. Sim spans carry simulated time only — wall-clock
+	// values must never reach them (dynaqlint enforces this at the
+	// SimSpan sink).
+	Spans      *ttrace.Tracer
+	SpanParent string
 }
 
 // StaticResult is the outcome of a static-flow run.
@@ -279,6 +288,18 @@ func RunStatic(cfg StaticConfig) (*StaticResult, error) {
 	ts.Stop()
 	if stopHB != nil {
 		stopHB()
+	}
+	if cfg.Spans != nil {
+		end := units.Time(cfg.Duration)
+		simRoot := cfg.Spans.SimSpan("sim", cfg.SpanParent, 0, end, ttrace.A("kind", "static"))
+		warm := units.Time(startJitterSpan)
+		if warm > end {
+			warm = end
+		}
+		cfg.Spans.SimSpan("warmup", simRoot, 0, warm)
+		if end > warm {
+			cfg.Spans.SimSpan("measure", simRoot, warm, end)
+		}
 	}
 
 	res := &StaticResult{

@@ -418,7 +418,7 @@ func TestStaleUploadAbsorbed(t *testing.T) {
 	// never heartbeats.
 	work := filepath.Join(t.TempDir(), "ghost-cell")
 	man := fleet.CellManifest(g.Version, g.ScenarioHash, g.Scheme, g.Seed, g.CacheKey)
-	if _, err := fleet.RunCellTo(work, g.Scenario, g.Scheme, g.Seed, man, nil); err != nil {
+	if _, err := fleet.RunCellTo(work, g.Scenario, g.Scheme, g.Seed, man, nil, nil); err != nil {
 		t.Fatalf("ghost RunCellTo: %v", err)
 	}
 	files := readDirBytes(t, work)

@@ -143,6 +143,16 @@ func (t *Table) NextExpiry() (time.Time, bool) {
 // Len returns the number of live leases.
 func (t *Table) Len() int { return len(t.byID) }
 
+// PerWorker counts live leases by worker id — the occupancy view dynaqtop
+// renders per worker.
+func (t *Table) PerWorker() map[string]int {
+	out := make(map[string]int, len(t.byID))
+	for _, l := range t.byID {
+		out[l.Worker]++
+	}
+	return out
+}
+
 func (t *Table) drop(l *Lease) {
 	delete(t.byID, l.ID)
 	delete(t.byKey, l.Key)

@@ -6,6 +6,7 @@ import (
 	"dynaq/internal/metrics"
 	"dynaq/internal/scenario"
 	"dynaq/internal/telemetry"
+	"dynaq/internal/telemetry/trace"
 	"dynaq/internal/units"
 )
 
@@ -29,26 +30,48 @@ func CellManifest(version, scenarioHash, scheme string, seed int64, key string) 
 // coordinator's local fallback, cmd/dynaqworker, and the byte-diff tests
 // that prove a cached artifact equals a fresh sequential run. The returned
 // registry stays readable after the run for server-level aggregation.
-func RunCellTo(dir string, scenarioBytes []byte, scheme string, seed int64, man telemetry.Manifest, tee func(line []byte)) (*telemetry.Registry, error) {
+//
+// span, when non-nil, receives wall-time child spans for the execution
+// phases (scenario-load, run, artifact-write) plus the engine's sim-time
+// spans parented under the run phase. Spans never touch the artifact
+// directory, so tracing cannot perturb the byte-identical cache contract.
+func RunCellTo(dir string, scenarioBytes []byte, scheme string, seed int64, man telemetry.Manifest, tee func(line []byte), span *trace.SpanRef) (*telemetry.Registry, error) {
+	load := span.Child("scenario-load")
 	r, err := scenario.LoadWith(scenarioBytes, scenario.Overrides{Scheme: scheme, Seed: &seed})
 	if err != nil {
+		load.End(trace.A("error", err.Error()))
 		return nil, err
 	}
 	run, err := telemetry.NewRun(dir, man)
 	if err != nil {
+		load.End(trace.A("error", err.Error()))
 		return nil, err
 	}
+	load.End()
 	if tee != nil {
 		run.Tee(tee)
 	}
 	r.SetTelemetry(run)
+	exec := span.Child("run")
+	if exec != nil {
+		r.SetSpans(exec.Tracer(), exec.ID())
+	}
 	res, err := r.Run()
 	if err != nil {
+		exec.End(trace.A("error", err.Error()))
 		run.Close()
 		return nil, err
 	}
+	exec.End()
+	write := span.Child("artifact-write")
 	summarize(run, res)
-	return run.Registry(), run.Close()
+	err = run.Close()
+	if err != nil {
+		write.End(trace.A("error", err.Error()))
+	} else {
+		write.End()
+	}
+	return run.Registry(), err
 }
 
 // summarize records the result headline into the manifest summary, the same

@@ -36,6 +36,12 @@ type LeaseGrant struct {
 	Version      string          `json:"version"`
 	ScenarioHash string          `json:"scenario_hash"`
 	Scenario     json.RawMessage `json:"scenario"`
+	// TraceID/ParentSpan propagate the job's trace across the lease
+	// boundary: the worker parents its execution spans under ParentSpan
+	// (the coordinator's span for this cell attempt) and ships them back
+	// in CompleteRequest.Spans. Empty when the job carries no trace.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
 }
 
 // HeartbeatResponse acknowledges a renewal and restates the TTL the worker
@@ -55,6 +61,12 @@ type CompleteRequest struct {
 	CacheKey string            `json:"cache_key"`
 	Error    string            `json:"error,omitempty"`
 	Files    map[string][]byte `json:"files,omitempty"`
+	// Spans is the worker's span log for this lease in trace JSONL form.
+	// It rides beside Files — never inside — because spans carry wall
+	// time: the coordinator absorbs them into the job's trace, while
+	// Files alone feed the content-addressed cache, keeping cached
+	// artifacts byte-identical whether or not tracing was on.
+	Spans []byte `json:"spans_jsonl,omitempty"`
 }
 
 // DeadLetterEntry is one quarantined cell: it exhausted the coordinator's

@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"time"
+
+	"dynaq/internal/telemetry/trace"
 )
 
 // WorkerConfig parameterizes one pull worker.
@@ -176,10 +178,25 @@ func (w *Worker) runLease(ctx context.Context, g LeaseGrant) {
 		close(hbDone)
 	}
 
+	// The worker's spans ride back in the completion payload, parented
+	// under the coordinator's span for this cell attempt. If the worker
+	// dies here the spans die with it — the coordinator's side of the
+	// trace shows the truncated lease.
+	var tr *trace.Tracer
+	var sp *trace.SpanRef
+	if g.TraceID != "" {
+		tr = trace.New(g.TraceID, "worker-"+w.cfg.ID, w.cfg.Clock)
+		sp = tr.Start("execute", g.ParentSpan,
+			trace.AInt("cell", int64(g.CellIndex)),
+			trace.A("lease", g.LeaseID),
+			trace.A("worker", w.cfg.ID),
+			trace.AInt("attempt", int64(g.Attempt)))
+	}
+
 	dir := filepath.Join(w.cfg.WorkDir, "lease-"+g.LeaseID)
 	os.RemoveAll(dir)
 	man := CellManifest(g.Version, g.ScenarioHash, g.Scheme, g.Seed, g.CacheKey)
-	_, runErr := RunCellTo(dir, g.Scenario, g.Scheme, g.Seed, man, nil)
+	_, runErr := RunCellTo(dir, g.Scenario, g.Scheme, g.Seed, man, nil, sp)
 	hbStop()
 	<-hbDone
 
@@ -189,6 +206,12 @@ func (w *Worker) runLease(ctx context.Context, g LeaseGrant) {
 	} else if req.Files, runErr = readArtifacts(dir); runErr != nil {
 		req.Error, req.Files = runErr.Error(), nil
 	}
+	if runErr != nil {
+		sp.End(trace.A("error", runErr.Error()))
+	} else {
+		sp.End()
+	}
+	req.Spans = tr.JSONL()
 	if w.cfg.BeforeComplete != nil {
 		w.cfg.BeforeComplete(g)
 	}

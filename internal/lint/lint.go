@@ -139,23 +139,27 @@ func DefaultConfig() Config {
 		StrictTimePackages: []string{
 			"dynaq/internal/fleet",
 			"dynaq/internal/server",
+			"dynaq/internal/telemetry/trace",
 		},
 		TaintSinks: map[string]string{
-			"dynaq/internal/server.CacheKey":               "content-addressed cache key",
-			"dynaq/internal/telemetry.Hash":                "scenario/artifact hash",
-			"(dynaq/internal/telemetry.Run).Event":         "events.jsonl artifact",
-			"(dynaq/internal/telemetry.Run).Summarize":     "manifest.json summary",
-			"(dynaq/internal/telemetry.EventWriter).Event": "events.jsonl artifact",
-			"(dynaq/internal/sim.Simulator).At":            "event scheduling time",
-			"(dynaq/internal/sim.Simulator).After":         "event scheduling time",
-			"(dynaq/internal/sim.Simulator).AtCall":        "event scheduling time",
-			"(dynaq/internal/sim.Simulator).AfterCall":     "event scheduling time",
-			"(dynaq/internal/sim.Simulator).Every":         "event scheduling time",
-			"(dynaq/internal/sim.Timer).Reset":             "event scheduling time",
+			"dynaq/internal/server.CacheKey":                   "content-addressed cache key",
+			"dynaq/internal/telemetry.Hash":                    "scenario/artifact hash",
+			"(dynaq/internal/telemetry.Run).Event":             "events.jsonl artifact",
+			"(dynaq/internal/telemetry.Run).Summarize":         "manifest.json summary",
+			"(dynaq/internal/telemetry.EventWriter).Event":     "events.jsonl artifact",
+			"(dynaq/internal/sim.Simulator).At":                "event scheduling time",
+			"(dynaq/internal/sim.Simulator).After":             "event scheduling time",
+			"(dynaq/internal/sim.Simulator).AtCall":            "event scheduling time",
+			"(dynaq/internal/sim.Simulator).AfterCall":         "event scheduling time",
+			"(dynaq/internal/sim.Simulator).Every":             "event scheduling time",
+			"(dynaq/internal/sim.Timer).Reset":                 "event scheduling time",
+			"(dynaq/internal/telemetry/trace.Tracer).SimSpan":  "sim-time span timestamp",
+			"(dynaq/internal/telemetry/trace.SpanRef).SimSpan": "sim-time span timestamp",
 		},
 		LockCheckedPackages: []string{
 			"dynaq/internal/fleet",
 			"dynaq/internal/server",
+			"dynaq/internal/telemetry/trace",
 		},
 		LockMutatorKeys: []string{
 			"(dynaq/internal/fleet.Table).Grant",

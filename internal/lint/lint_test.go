@@ -124,6 +124,20 @@ func TestTaintFixture(t *testing.T) {
 	checkFixtureWith(t, pkg, cfg, []*Analyzer{DeterminismTaint})
 }
 
+// TestTraceFixture runs determinism-taint over the span-layer fixture: a
+// wall-clock read laundered through a narrowing helper into a sim-domain
+// span timestamp must be flagged, while engine-supplied sim time and
+// interface-clock wall spans stay silent.
+func TestTraceFixture(t *testing.T) {
+	pkg := loadFixtureDir(t, NewLoader(), "tracefix")
+	cfg := Config{
+		TaintSinks: map[string]string{
+			"(tracefix.Tracer).SimSpan": "sim-time span timestamp",
+		},
+	}
+	checkFixtureWith(t, pkg, cfg, []*Analyzer{DeterminismTaint})
+}
+
 // TestLockFixture runs lock-discipline over its fixture: guarded-field
 // misses, the *Locked and constructor exemptions, closures, and the ctx
 // rule for spawners and mutators.

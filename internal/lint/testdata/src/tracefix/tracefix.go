@@ -1,0 +1,47 @@
+// Package tracefix exercises the determinism-taint analyzer over the span
+// layer's sim-time seam: a Tracer.SimSpan timestamp is simulation state, so
+// wall-clock reads must never reach it — sim spans replay byte-identically
+// only if their timestamps come from the engine. The fixture is checked with
+// only determinism-taint enabled and (tracefix.Tracer).SimSpan configured as
+// the sink, mirroring the real (trace.Tracer).SimSpan entry in DefaultConfig.
+package tracefix
+
+import "time"
+
+// Tracer is the fixture's stand-in for trace.Tracer.
+type Tracer struct{}
+
+// SimSpan is the configured sink: start/end are sim-domain picoseconds.
+func (t *Tracer) SimSpan(name string, start, end int64) string { return name }
+
+// WallSpan is NOT a sink — wall-clock spans are supposed to carry wall time.
+func (t *Tracer) WallSpan(name string, start, end time.Time) string { return name }
+
+// clock mirrors the injected wall-clock seam; values drawn through it are
+// clean because the implementation behind the interface is the audited edge.
+type clock interface {
+	Now() time.Time
+}
+
+// picos is a pure narrowing helper; taint rides through the parameter.
+func picos(t time.Time) int64 { return t.UnixNano() * 1000 }
+
+// wallIntoSimSpan is the acceptance case: a raw wall-clock read laundered
+// through a helper into a sim-domain span timestamp.
+func wallIntoSimSpan(tr *Tracer) string {
+	return tr.SimSpan("run", 0, picos(time.Now())) // want `determinism-taint: .*time\.Now.*reaches determinism sink`
+}
+
+// --- clean cases: none of these may diagnose ------------------------------
+
+// engineTime stands in for sim.Simulator.Now(): caller-supplied sim time is
+// not a source.
+func engineTime(tr *Tracer, now int64) string {
+	return tr.SimSpan("run", 0, now)
+}
+
+// wallIntoWallSpan reads the clock through the interface seam and feeds a
+// wall span — the intended pattern, and not a sink at all.
+func wallIntoWallSpan(tr *Tracer, c clock) string {
+	return tr.WallSpan("upload", c.Now(), c.Now())
+}

@@ -19,6 +19,7 @@ import (
 	"dynaq/internal/experiment"
 	"dynaq/internal/faults"
 	"dynaq/internal/telemetry"
+	"dynaq/internal/telemetry/trace"
 	"dynaq/internal/transport"
 	"dynaq/internal/units"
 	"dynaq/internal/workload"
@@ -155,6 +156,19 @@ func (r *Runner) SetProgress(w io.Writer) {
 	}
 	if r.dynamic != nil {
 		r.dynamic.Progress = w
+	}
+}
+
+// SetSpans attaches a span tracer for retroactive sim-time phase spans,
+// parented under the given wall-time span id (empty for a root sim span).
+func (r *Runner) SetSpans(tr *trace.Tracer, parent string) {
+	if r.static != nil {
+		r.static.Spans = tr
+		r.static.SpanParent = parent
+	}
+	if r.dynamic != nil {
+		r.dynamic.Spans = tr
+		r.dynamic.SpanParent = parent
 	}
 }
 

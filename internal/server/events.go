@@ -31,6 +31,7 @@ type broadcaster struct {
 	mu     sync.Mutex
 	subs   []chan []byte // guarded by mu
 	closed bool          // guarded by mu
+	drops  int64         // guarded by mu; lines discarded on full subscriber buffers
 }
 
 func newBroadcaster() *broadcaster { return &broadcaster{} }
@@ -69,9 +70,17 @@ func (b *broadcaster) publish(cell int, line []byte) {
 		select {
 		case ch <- msg:
 		default:
+			b.drops++
 		}
 	}
 	b.mu.Unlock()
+}
+
+// dropped reports how many lines were discarded on stalled subscribers.
+func (b *broadcaster) dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.drops
 }
 
 // close marks the stream terminal and closes every subscriber channel.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dynaq/internal/fleet"
+	"dynaq/internal/telemetry/trace"
 )
 
 // This file is the coordinator side of the worker fleet: cells of the job
@@ -39,6 +40,7 @@ func (s *Server) dispatchCells(ctx context.Context, j *Job) (error, bool) {
 			c.CacheHit = true
 			c.Dir = s.cellDir(c.Key)
 			s.cacheHits.Inc()
+			j.rootSpan.Event("cell-cache-hit", trace.AInt("cell", int64(c.Index)))
 			hits = append(hits, c)
 			continue
 		}
@@ -216,6 +218,7 @@ func (s *Server) claimLocalCell(j *Job) (*Cell, time.Duration) {
 	}
 	c.State = StateRunning
 	c.Worker = ""
+	s.cellSpanLocked(j, c, "local", "", c.Attempts+1)
 	if s.ready.Len() > 0 {
 		s.kickLocked() // wake a sibling executor for the next ready cell
 	}
@@ -247,15 +250,19 @@ func (s *Server) executeLocalCell(j *Job, c *Cell) {
 	man := fleet.CellManifest(s.cfg.Version, j.ScenarioHash, c.Scheme, c.Seed, c.Key)
 	reg, err := fleet.RunCellTo(tmp, j.Scenario, c.Scheme, c.Seed, man, func(line []byte) {
 		j.bc.publish(c.Index, line)
-	})
+	}, c.span)
 	if err != nil {
 		os.RemoveAll(tmp)
 		s.cellFailed(j, c, "local", err)
 		return
 	}
+	promoteStart := s.clock.Now()
 	if err := s.promote(tmp, final); err != nil {
 		s.cellFailed(j, c, "local", err)
 		return
+	}
+	if j.tr != nil {
+		j.tr.WallSpan("promote", c.span.ID(), promoteStart, s.clock.Now())
 	}
 
 	s.mu.Lock()
@@ -277,6 +284,17 @@ func (s *Server) settleCellDone(j *Job, c *Cell, cacheHit bool) {
 	c.CacheHit = cacheHit
 	c.Dir = s.cellDir(c.Key)
 	c.Err = ""
+	if c.span != nil {
+		now := s.clock.Now()
+		if !cacheHit {
+			s.hCellExecution.Observe(now.Sub(c.leasedAt).Milliseconds())
+		}
+		if c.Worker != "" && c.Worker != "local" {
+			s.hLeaseDuration.Observe(now.Sub(c.leasedAt).Milliseconds())
+		}
+		c.span.End(trace.A("cache_hit", strconv.FormatBool(cacheHit)))
+		c.span = nil
+	}
 	s.outstanding--
 	settled := s.outstanding == 0
 	s.mu.Unlock()
@@ -297,6 +315,10 @@ func (s *Server) cellFailed(j *Job, c *Cell, worker string, err error) {
 	c.Err = err.Error()
 	c.Worker = worker
 	s.persistAttemptsLocked(j)
+	if c.span != nil {
+		c.span.End(trace.A("error", c.Err))
+		c.span = nil
+	}
 	if c.Attempts >= s.cfg.MaxAttempts {
 		c.State = StateQuarantined
 		s.quarantined.Inc()
@@ -310,6 +332,9 @@ func (s *Server) cellFailed(j *Job, c *Cell, worker string, err error) {
 			LastError:  c.Err,
 			LastWorker: worker,
 		})
+		j.rootSpan.Event("cell-quarantined",
+			trace.AInt("cell", int64(c.Index)),
+			trace.AInt("attempts", int64(c.Attempts)))
 		s.outstanding--
 		settled := s.outstanding == 0
 		s.mu.Unlock()
@@ -325,6 +350,10 @@ func (s *Server) cellFailed(j *Job, c *Cell, worker string, err error) {
 	c.State = StateQueued
 	s.ready.Push(c, readyAt)
 	s.cellRetries.Inc()
+	j.rootSpan.Event("cell-requeued",
+		trace.AInt("cell", int64(c.Index)),
+		trace.AInt("attempt", int64(c.Attempts)),
+		trace.AInt("backoff_ms", delay.Milliseconds()))
 	s.kickLocked()
 	s.mu.Unlock()
 	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"requeued","attempt":`+strconv.Itoa(c.Attempts)+`,"backoff_ms":`+strconv.FormatInt(delay.Milliseconds(), 10)+`,"error":`+strconv.Quote(c.Err)+`}`+"\n"))
@@ -401,6 +430,10 @@ func (s *Server) tick() {
 	for _, l := range s.leases.Expire(now) {
 		s.leaseExpiry.Inc()
 		if j, c := s.cellByKeyLocked(l.Key); c != nil && c.State == StateLeased {
+			if c.span != nil {
+				c.span.Event("lease-expired", trace.A("lease", l.ID))
+				s.hLeaseDuration.Observe(now.Sub(c.leasedAt).Milliseconds())
+			}
 			lapsed = append(lapsed, expired{j: j, c: c, l: l})
 		}
 	}

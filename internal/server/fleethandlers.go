@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,8 @@ import (
 	"time"
 
 	"dynaq/internal/fleet"
+	"dynaq/internal/telemetry"
+	"dynaq/internal/telemetry/trace"
 )
 
 // maxCompleteBytes bounds a completion upload body: the artifact byte cap
@@ -32,6 +35,14 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	now := s.clock.Now()
 	s.workers[req.Worker] = now
+	if !s.workerSeries[req.Worker] {
+		s.workerSeries[req.Worker] = true
+		worker := req.Worker
+		s.reg.GaugeFunc("dynaqd_worker_leases", func() int64 {
+			//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
+			return int64(s.leases.PerWorker()[worker])
+		}, telemetry.L("worker", worker))
+	}
 	j := s.current
 	if j == nil {
 		s.mu.Unlock()
@@ -51,6 +62,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	c.State = StateLeased
 	c.Worker = req.Worker
 	s.leaseGrants.Inc()
+	s.cellSpanLocked(j, c, req.Worker, l.ID, l.Attempt)
 	grant := fleet.LeaseGrant{
 		LeaseID:      l.ID,
 		JobID:        j.ID,
@@ -63,6 +75,10 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		Version:      s.cfg.Version,
 		ScenarioHash: j.ScenarioHash,
 		Scenario:     json.RawMessage(j.Scenario),
+	}
+	if j.tr != nil {
+		grant.TraceID = j.tr.TraceID()
+		grant.ParentSpan = c.span.ID()
 	}
 	s.mu.Unlock()
 	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"leased","worker":`+strconv.Quote(req.Worker)+`,"attempt":`+strconv.Itoa(grant.Attempt)+`}`+"\n"))
@@ -113,11 +129,14 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var absorbErr error
+	var absorbStart, absorbEnd time.Time
 	if req.Error == "" && len(req.Files) > 0 {
 		if req.CacheKey == "" {
 			absorbErr = errors.New("completion upload lacks a cache key")
 		} else {
+			absorbStart = s.clock.Now()
 			absorbErr = s.absorbUpload(req.CacheKey, req.Files)
+			absorbEnd = s.clock.Now()
 		}
 		if absorbErr != nil {
 			s.logf("lease %s: rejecting artifact upload: %v", id, absorbErr)
@@ -136,6 +155,24 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		j, c = s.cellByKeyLocked(l.Key)
 		if c == nil || c.State != StateLeased {
 			ok = false
+		}
+	}
+	// Graft the worker's span log onto the job trace while the cell is still
+	// identifiable. Spans riding a dead lease are dropped with it — the
+	// retry attempt owns the cell's story from here.
+	if ok && j.tr != nil {
+		if len(req.Spans) > 0 {
+			if spans, perr := trace.ParseJSONL(bytes.NewReader(req.Spans)); perr == nil {
+				j.tr.Absorb(spans)
+			} else {
+				s.logf("lease %s: unparseable worker spans: %v", id, perr)
+			}
+		}
+		if !absorbStart.IsZero() {
+			j.tr.WallSpan("absorb-upload", c.span.ID(), absorbStart, absorbEnd)
+		}
+		if absorbErr == nil && len(req.Files) > 0 {
+			c.span.Event("uploaded")
 		}
 	}
 	s.mu.Unlock()
@@ -253,6 +290,7 @@ func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
 		if err := s.persistRequestLocked(j, body); err != nil {
 			s.logf("job %s: persisting request: %v", jobID, err)
 		}
+		s.startTraceLocked(j, "")
 		resp.Requeued = append(resp.Requeued, jobID)
 		requeued[jobID] = true
 		s.logf("deadletter: job %s requeued (%d quarantined cell(s) back in play)", jobID, len(jobs[jobID]))

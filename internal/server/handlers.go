@@ -26,6 +26,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /v1/leases", s.handleLease)
 	s.mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.handleHeartbeat)
 	s.mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleComplete)
@@ -96,6 +97,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobsDeduped.Inc()
 		st := s.statusLocked(existing)
 		s.mu.Unlock()
+		if tid := existing.tr.TraceID(); tid != "" {
+			w.Header().Set("X-Dynaq-Trace", tid)
+		}
 		w.Header().Set("Location", "/v1/jobs/"+st.ID)
 		writeJSON(w, http.StatusAccepted, st)
 		return
@@ -120,9 +124,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.persistRequestLocked(j, body); err != nil {
 		s.logf("job %s: persisting request: %v", j.ID, err)
 	}
+	s.startTraceLocked(j, r.Header.Get("X-Dynaq-Trace"))
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 	s.logf("job %s: queued (%d cells)", st.ID, len(st.Cells))
+	w.Header().Set("X-Dynaq-Trace", j.tr.TraceID())
 	w.Header().Set("Location", "/v1/jobs/"+st.ID)
 	writeJSON(w, http.StatusAccepted, st)
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"time"
 
 	"dynaq/internal/scenario"
 	"dynaq/internal/telemetry"
+	"dynaq/internal/telemetry/trace"
 )
 
 // Job states. A job is terminal in StateDone or StateFailed; StateQueued
@@ -76,6 +78,13 @@ type Cell struct {
 	Err      string
 	Attempts int    // failed attempts charged so far (persisted across restarts)
 	Worker   string // last worker to touch the cell ("local" for the fallback pool)
+
+	// span is the wall-time span of the cell attempt currently in flight
+	// (nil between attempts or when the job carries no trace); leasedAt is
+	// when that attempt was granted/claimed. Both are accessed under s.mu
+	// except by the local executor that owns the running attempt.
+	span     *trace.SpanRef
+	leasedAt time.Time
 }
 
 // Job is one submission: a scenario body plus its expanded cells.
@@ -90,6 +99,16 @@ type Job struct {
 
 	bc   *broadcaster
 	done chan struct{} // closed on terminal state
+
+	// tr collects the job's spans; rootSpan/queueSpan are the job and
+	// queue-wait spans, queuedAt the accept time. All are set once before
+	// the job is enqueued (nil tr for jobs recovered terminal, whose trace
+	// is served from the persisted trace.jsonl) and never reassigned, so
+	// reads need no lock; the tracer itself is internally synchronized.
+	tr        *trace.Tracer
+	rootSpan  *trace.SpanRef
+	queueSpan *trace.SpanRef
+	queuedAt  time.Time
 }
 
 // buildJob validates a request and expands its cells under the given build

@@ -16,6 +16,7 @@ import (
 
 	"dynaq/internal/fleet"
 	"dynaq/internal/telemetry"
+	"dynaq/internal/telemetry/trace"
 )
 
 // Config parameterizes a daemon instance.
@@ -79,14 +80,15 @@ type Server struct {
 	// Fleet dispatch state: the job currently being dispatched, its cells
 	// awaiting (re)lease ordered by readiness, live leases, recently-seen
 	// workers, and the quarantine list.
-	current     *Job                    // guarded by mu
-	ready       fleet.ReadyQueue[*Cell] // guarded by mu
-	leases      *fleet.Table            // guarded by mu
-	workers     map[string]time.Time    // guarded by mu
-	outstanding int                     // guarded by mu
-	jobDone     chan struct{}           // guarded by mu (field swap per job; channel ops self-synchronize)
-	kick        chan struct{}
-	dead        []fleet.DeadLetterEntry // guarded by mu
+	current      *Job                    // guarded by mu
+	ready        fleet.ReadyQueue[*Cell] // guarded by mu
+	leases       *fleet.Table            // guarded by mu
+	workers      map[string]time.Time    // guarded by mu
+	workerSeries map[string]bool         // guarded by mu; workers with a registered occupancy gauge
+	outstanding  int                     // guarded by mu
+	jobDone      chan struct{}           // guarded by mu (field swap per job; channel ops self-synchronize)
+	kick         chan struct{}
+	dead         []fleet.DeadLetterEntry // guarded by mu
 
 	reg         *telemetry.Registry
 	simTotals   map[string]int64 // guarded by mu
@@ -104,6 +106,14 @@ type Server struct {
 	cellRetries *telemetry.Counter
 	quarantined *telemetry.Counter
 	rejected    map[string]*telemetry.Counter
+
+	// Service latency histograms (milliseconds, shared fixed buckets). The
+	// registry is not thread-safe; every Observe runs under s.mu, like the
+	// counters above.
+	hQueueWait     *telemetry.Histogram
+	hLeaseDuration *telemetry.Histogram
+	hCellExecution *telemetry.Histogram
+	hJobE2E        *telemetry.Histogram
 
 	stop    chan struct{}
 	drained chan struct{}
@@ -135,19 +145,20 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:       cfg,
-		clock:     cfg.Clock,
-		backoff:   fleet.Backoff{Base: cfg.RetryBase, Cap: cfg.RetryCap},
-		jobs:      make(map[string]*Job),
-		accepting: true,
-		leases:    fleet.NewTable(),
-		workers:   make(map[string]time.Time),
-		kick:      make(chan struct{}, 1),
-		reg:       telemetry.NewRegistry(),
-		simTotals: make(map[string]int64),
-		rejected:  make(map[string]*telemetry.Counter),
-		stop:      make(chan struct{}),
-		drained:   make(chan struct{}),
+		cfg:          cfg,
+		clock:        cfg.Clock,
+		backoff:      fleet.Backoff{Base: cfg.RetryBase, Cap: cfg.RetryCap},
+		jobs:         make(map[string]*Job),
+		accepting:    true,
+		leases:       fleet.NewTable(),
+		workers:      make(map[string]time.Time),
+		workerSeries: make(map[string]bool),
+		kick:         make(chan struct{}, 1),
+		reg:          telemetry.NewRegistry(),
+		simTotals:    make(map[string]int64),
+		rejected:     make(map[string]*telemetry.Counter),
+		stop:         make(chan struct{}),
+		drained:      make(chan struct{}),
 	}
 	if s.clock == nil {
 		s.clock = fleet.WallClock{}
@@ -168,6 +179,38 @@ func New(cfg Config) (*Server, error) {
 	for _, reason := range []string{"draining", "invalid", "queue_full"} {
 		s.rejected[reason] = s.reg.Counter("dynaqd_jobs_rejected_total", telemetry.L("reason", reason))
 	}
+	s.hQueueWait = s.reg.Histogram("dynaqd_job_queue_wait_ms", latencyBucketsMs)
+	s.hLeaseDuration = s.reg.Histogram("dynaqd_lease_duration_ms", latencyBucketsMs)
+	s.hCellExecution = s.reg.Histogram("dynaqd_cell_execution_ms", latencyBucketsMs)
+	s.hJobE2E = s.reg.Histogram("dynaqd_job_e2e_ms", latencyBucketsMs)
+	for name, help := range map[string]string{
+		"dynaqd_jobs_submitted_total":  "Jobs accepted by POST /v1/jobs.",
+		"dynaqd_jobs_deduped_total":    "Submissions coalesced onto an in-flight or finished job.",
+		"dynaqd_jobs_completed_total":  "Jobs that reached the done state.",
+		"dynaqd_jobs_failed_total":     "Jobs that reached the failed state.",
+		"dynaqd_jobs_rejected_total":   "Submissions rejected, by reason.",
+		"dynaqd_cells_completed_total": "Cells executed to completion (local or remote).",
+		"dynaqd_cells_remote_total":    "Cells completed by fleet workers.",
+		"dynaqd_cache_hits_total":      "Cells served from the content-addressed cache.",
+		"dynaqd_cache_misses_total":    "Cells that required a fresh run.",
+		"dynaqd_leases_granted_total":  "Cell leases granted to fleet workers.",
+		"dynaqd_leases_renewed_total":  "Lease heartbeats accepted.",
+		"dynaqd_leases_expired_total":  "Leases expired for missed heartbeats.",
+		"dynaqd_cell_retries_total":    "Failed cell attempts requeued with backoff.",
+		"dynaqd_deadletter_total":      "Cells quarantined after exhausting their attempt budget.",
+		"dynaqd_events_dropped_total":  "Event-stream lines dropped on stalled subscribers.",
+		"dynaqd_queue_depth":           "Jobs waiting in the FIFO queue.",
+		"dynaqd_jobs_running":          "Jobs currently executing.",
+		"dynaqd_workers_active":        "Fleet workers seen within the liveness window.",
+		"dynaqd_leases_live":           "Leases currently held by workers.",
+		"dynaqd_deadletter_size":       "Cells currently quarantined.",
+		"dynaqd_job_queue_wait_ms":     "Wall time jobs spend queued before dispatch.",
+		"dynaqd_lease_duration_ms":     "Wall time from lease grant/claim to settlement or expiry.",
+		"dynaqd_cell_execution_ms":     "Wall time of successful cell executions.",
+		"dynaqd_job_e2e_ms":            "Wall time from job accept to terminal state.",
+	} {
+		s.reg.SetHelp(name, help)
+	}
 	s.reg.Gauge("dynaqd_build_info", telemetry.L("version", cfg.Version)).Set(1)
 	s.reg.GaugeFunc("dynaqd_queue_depth", func() int64 { return int64(len(s.queue)) })
 	//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
@@ -179,6 +222,14 @@ func New(cfg Config) (*Server, error) {
 	s.reg.GaugeFunc("dynaqd_leases_live", func() int64 { return int64(s.leases.Len()) })
 	//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
 	s.reg.GaugeFunc("dynaqd_deadletter_size", func() int64 { return int64(len(s.dead)) })
+	s.reg.CounterFunc("dynaqd_events_dropped_total", func() int64 {
+		var n int64
+		//dynaqlint:allow lock-discipline counter closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
+		for _, j := range s.jobs {
+			n += j.bc.dropped()
+		}
+		return n
+	})
 
 	if n, err := s.sweepTmp(); err != nil {
 		return nil, err
@@ -301,6 +352,7 @@ func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	j.State = StateRunning
 	s.running++
+	s.traceJobRunningLocked(j)
 	s.mu.Unlock()
 	s.logf("job %s: running %d cell(s)", j.ID, len(j.Cells))
 	j.bc.publish(-1, []byte(`{"kind":"job","state":"running"}`+"\n"))
@@ -321,6 +373,7 @@ func (s *Server) runJob(j *Job) {
 		j.State = StateQueued
 		s.running--
 		s.persistAttemptsLocked(j)
+		j.rootSpan.Event("job-requeued", trace.A("reason", "daemon draining"))
 		s.mu.Unlock()
 		j.bc.publish(-1, []byte(`{"kind":"job","state":"queued","reason":"daemon draining"}`+"\n"))
 		s.logf("job %s: requeued for the next daemon instance (drain)", j.ID)
@@ -338,11 +391,17 @@ func (s *Server) runJob(j *Job) {
 		j.CacheHit = allCached(j.Cells)
 		s.jobsDone.Inc()
 	}
+	s.traceJobTerminalLocked(j)
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 
 	if perr := s.persistStatus(st); perr != nil {
 		s.logf("job %s: persisting status: %v", j.ID, perr)
+	}
+	if j.tr != nil {
+		if terr := s.writeJobTrace(j); terr != nil {
+			s.logf("job %s: persisting trace: %v", j.ID, terr)
+		}
 	}
 	s.removeQueueMarker(j.ID)
 	j.bc.publish(-1, finalStatusLine(st))
@@ -546,6 +605,8 @@ func (s *Server) recoverQueued(markers []string) error {
 		s.loadAttempts(j)
 		s.mu.Lock()
 		s.jobs[id] = j
+		s.startTraceLocked(j, "")
+		j.rootSpan.Event("recovered")
 		s.queue <- j // sized for the whole recovered backlog; cannot block
 		s.mu.Unlock()
 	}

@@ -137,7 +137,7 @@ func TestEndToEnd(t *testing.T) {
 	// execution path must produce exactly the cached bytes.
 	fresh := filepath.Join(t.TempDir(), "fresh")
 	man := fleet.CellManifest("test-v1", done.ScenarioHash, cell.Scheme, cell.Seed, cell.CacheKey)
-	if _, err := fleet.RunCellTo(fresh, []byte(testScenario), cell.Scheme, cell.Seed, man, nil); err != nil {
+	if _, err := fleet.RunCellTo(fresh, []byte(testScenario), cell.Scheme, cell.Seed, man, nil, nil); err != nil {
 		t.Fatalf("fresh RunCellTo: %v", err)
 	}
 	diffDirs(t, cell.ArtifactDir, fresh)
@@ -602,6 +602,9 @@ func TestBroadcaster(t *testing.T) {
 	if n := len(ch); n != subBuffer {
 		t.Fatalf("buffered = %d, want %d", n, subBuffer)
 	}
+	if d := b.dropped(); d != 10 {
+		t.Fatalf("dropped = %d, want 10", d)
+	}
 
 	b.close()
 	if _, open := <-b.subscribe(); open {
@@ -790,7 +793,7 @@ func TestFleetWorkerLifecycle(t *testing.T) {
 	// equal a fresh local run through the shared execution path.
 	fresh := filepath.Join(t.TempDir(), "fresh")
 	man := fleet.CellManifest("test-v1", done.ScenarioHash, cell.Scheme, cell.Seed, cell.CacheKey)
-	if _, err := fleet.RunCellTo(fresh, []byte(testScenario), cell.Scheme, cell.Seed, man, nil); err != nil {
+	if _, err := fleet.RunCellTo(fresh, []byte(testScenario), cell.Scheme, cell.Seed, man, nil, nil); err != nil {
 		t.Fatalf("fresh RunCellTo: %v", err)
 	}
 	diffDirs(t, cell.ArtifactDir, fresh)

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"dynaq/internal/telemetry/trace"
+)
+
+// This file is the coordinator side of distributed cell tracing: every job
+// carries a trace whose spans follow the cell lifecycle (accepted → queued →
+// leased → executed → uploaded → promoted → terminal), with worker-side
+// spans absorbed from completion uploads and engine sim-time spans emitted
+// by the experiment layer. The trace is persisted as trace.jsonl in the
+// job's directory — deliberately OUTSIDE the content-addressed cache, whose
+// artifacts must stay byte-identical whether or not tracing ran.
+
+// traceFileName is the per-job trace artifact under jobs/<id>/.
+const traceFileName = "trace.jsonl"
+
+// latencyBucketsMs is the shared fixed-bucket shape of the service latency
+// histograms (milliseconds).
+var latencyBucketsMs = []int64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// sanitizeTraceID accepts a caller-proposed trace id (X-Dynaq-Trace): short
+// and shell/log-safe, or rejected to "".
+func sanitizeTraceID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// startTraceLocked attaches a tracer to a job at accept time and opens the
+// root job span plus the queue-wait child. requested is the caller's
+// X-Dynaq-Trace proposal (may be empty). The caller holds s.mu; s.seq makes
+// the default id unique per submission of the same job id.
+func (s *Server) startTraceLocked(j *Job, requested string) {
+	traceID := sanitizeTraceID(requested)
+	if traceID == "" {
+		traceID = fmt.Sprintf("%s-%d", j.ID, s.seq)
+	}
+	j.tr = trace.New(traceID, "coordinator", s.clock)
+	j.queuedAt = s.clock.Now()
+	j.rootSpan = j.tr.Start("job",
+		"",
+		trace.A("job", j.ID),
+		trace.AInt("cells", int64(len(j.Cells))))
+	j.rootSpan.Event("accepted")
+	j.queueSpan = j.rootSpan.Child("queue-wait")
+}
+
+// traceJobRunningLocked closes the queue-wait span as the job leaves the
+// FIFO and feeds the queue-wait histogram. The caller holds s.mu.
+func (s *Server) traceJobRunningLocked(j *Job) {
+	if j.tr == nil {
+		return
+	}
+	j.queueSpan.End()
+	s.hQueueWait.Observe(s.clock.Now().Sub(j.queuedAt).Milliseconds())
+}
+
+// traceJobTerminalLocked ends the root span (and force-ends anything a dead
+// worker left open, stamping it truncated) and feeds the end-to-end
+// histogram. The caller holds s.mu.
+func (s *Server) traceJobTerminalLocked(j *Job) {
+	if j.tr == nil {
+		return
+	}
+	j.rootSpan.End(
+		trace.A("state", j.State),
+		trace.A("cache_hit", strconv.FormatBool(j.CacheHit)))
+	j.tr.EndOpen()
+	s.hJobE2E.Observe(s.clock.Now().Sub(j.queuedAt).Milliseconds())
+}
+
+// cellSpanLocked opens the span for one cell attempt (remote lease or local
+// claim). The caller holds s.mu.
+func (s *Server) cellSpanLocked(j *Job, c *Cell, worker, leaseID string, attempt int) {
+	if j.tr == nil {
+		return
+	}
+	attrs := []trace.Attr{
+		trace.AInt("cell", int64(c.Index)),
+		trace.A("scheme", c.Scheme),
+		trace.AInt("seed", c.Seed),
+		trace.AInt("attempt", int64(attempt)),
+		trace.A("worker", worker),
+	}
+	if leaseID != "" {
+		attrs = append(attrs, trace.A("lease", leaseID))
+	}
+	c.span = j.rootSpan.Child("cell", attrs...)
+	c.leasedAt = s.clock.Now()
+}
+
+// writeJobTrace persists the job's span log beside its status — NOT in the
+// cache: trace bytes carry wall time and must never influence (or live
+// under) a content-addressed artifact.
+func (s *Server) writeJobTrace(j *Job) error {
+	data := j.tr.JSONL()
+	if data == nil {
+		return nil
+	}
+	dir := s.jobDir(j.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, traceFileName), data, 0o644)
+}
+
+// handleTrace serves GET /v1/jobs/{id}/trace: the job's span log as raw
+// trace JSONL, or as a chrome://tracing / Perfetto-loadable JSON object with
+// ?format=chrome (or perfetto). Live jobs serve the tracer's current
+// snapshot (open spans have end=0); terminal jobs serve the persisted
+// trace.jsonl, which also survives daemon restarts.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var isTerminal bool
+	if ok {
+		isTerminal = terminal(j.State)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+
+	var raw []byte
+	if !isTerminal && j.tr != nil {
+		raw = j.tr.JSONL()
+	} else {
+		var err error
+		raw, err = os.ReadFile(filepath.Join(s.jobDir(id), traceFileName))
+		if err != nil && j.tr != nil {
+			raw = j.tr.JSONL()
+		}
+	}
+	if len(raw) == 0 {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no trace recorded for job " + id})
+		return
+	}
+	if tid := j.tr.TraceID(); tid != "" {
+		w.Header().Set("X-Dynaq-Trace", tid)
+	}
+
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "jsonl", "raw":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(raw)
+	case "chrome", "perfetto":
+		spans, err := trace.ParseJSONL(bytes.NewReader(raw))
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: "parsing stored trace: " + err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChrome(w, spans)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unknown format " + strconv.Quote(format) + " (want jsonl or chrome)"})
+	}
+}

@@ -144,11 +144,26 @@ type series struct {
 // Registry is a set of labeled series with a deterministic dump order.
 type Registry struct {
 	series map[string]*series
+	help   map[string]string // metric name → # HELP text
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{series: make(map[string]*series)}
+	return &Registry{
+		series: make(map[string]*series),
+		help:   make(map[string]string),
+	}
+}
+
+// SetHelp registers the # HELP text WritePrometheus emits for a metric name
+// (shared by every labeled series of that name). Empty text removes it;
+// names without help text emit only their # TYPE line.
+func (r *Registry) SetHelp(name, text string) {
+	if text == "" {
+		delete(r.help, name)
+		return
+	}
+	r.help[name] = text
 }
 
 // register adds or fetches a series, panicking on a kind clash: two call

@@ -63,30 +63,59 @@ func (r *Registry) Snapshot() []SeriesValue {
 // format. Series ids are already name{label="value",...}, so counters and
 // gauges emit verbatim; histograms expand into cumulative _bucket series
 // plus _sum and _count, splicing the le label after any existing labels.
-// Output is sorted by series id and byte-stable across renders with no
-// intervening writes — the same determinism contract as WriteJSONL.
+// Series are grouped by metric name (names sorted, series within a name in
+// id order) with one # HELP line (when registered via SetHelp) and one
+// # TYPE line per name, as the exposition format requires. Output is
+// byte-stable across renders with no intervening writes — the same
+// determinism contract as WriteJSONL.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Group by metric name rather than streaming the id-sorted snapshot:
+	// a name that strictly prefixes another can interleave in id order
+	// ("x" < "x2" < `x{...}`, since '{' sorts above alphanumerics), and the
+	// exposition format requires all samples of one metric contiguous
+	// under a single # TYPE header.
+	snap := r.Snapshot()
+	byName := make(map[string][]SeriesValue, len(snap))
+	names := make([]string, 0, len(snap))
+	for _, sv := range snap {
+		name, _ := splitSeriesID(sv.ID)
+		if _, ok := byName[name]; !ok {
+			names = append(names, name)
+		}
+		byName[name] = append(byName[name], sv)
+	}
+	sort.Strings(names)
 	var b []byte
-	for _, sv := range r.Snapshot() {
-		name, labels := splitSeriesID(sv.ID)
+	for _, name := range names {
+		group := byName[name]
 		b = b[:0]
+		if help, ok := r.help[name]; ok {
+			b = append(b, "# HELP "...)
+			b = append(b, name...)
+			b = append(b, ' ')
+			b = append(b, helpEscaper.Replace(help)...)
+			b = append(b, '\n')
+		}
 		b = append(b, "# TYPE "...)
 		b = append(b, name...)
 		b = append(b, ' ')
-		b = append(b, sv.Kind...)
+		b = append(b, group[0].Kind...)
 		b = append(b, '\n')
-		if sv.Kind == "histogram" {
-			var cum int64
-			for i, bound := range sv.Bounds {
-				cum += sv.Counts[i]
-				b = appendBucket(b, name, labels, strconv.FormatInt(bound, 10), cum)
+		for _, sv := range group {
+			_, labels := splitSeriesID(sv.ID)
+			if sv.Kind == "histogram" {
+				var cum int64
+				for i, bound := range sv.Bounds {
+					cum += sv.Counts[i]
+					b = appendBucket(b, name, labels, strconv.FormatInt(bound, 10), cum)
+				}
+				cum += sv.Counts[len(sv.Bounds)]
+				b = appendBucket(b, name, labels, "+Inf", cum)
+				b = appendSample(b, name+"_sum", labels, sv.Sum)
+				b = appendSample(b, name+"_count", labels, sv.Value)
+			} else {
+				b = appendSample(b, name, labels, sv.Value)
 			}
-			cum += sv.Counts[len(sv.Bounds)]
-			b = appendBucket(b, name, labels, "+Inf", cum)
-			b = appendSample(b, name+"_sum", labels, sv.Sum)
-			b = appendSample(b, name+"_count", labels, sv.Value)
-		} else {
-			b = appendSample(b, name, labels, sv.Value)
 		}
 		if _, err := w.Write(b); err != nil {
 			return err
@@ -94,6 +123,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	return nil
 }
+
+// helpEscaper escapes # HELP text per the exposition format: backslashes
+// and newlines only.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
 
 // splitSeriesID separates a canonical series id into its metric name and
 // the inner label list (without braces), either of which may be empty.

@@ -18,6 +18,8 @@ func buildSnapshotRegistry() *Registry {
 	h.Observe(5)
 	h.Observe(50)
 	h.Observe(5000)
+	reg.SetHelp("drops_total", "Enqueue drops per queue.")
+	reg.SetHelp("lat_us", "Latency in microseconds.")
 	return reg
 }
 
@@ -82,10 +84,11 @@ func TestWritePrometheusFormat(t *testing.T) {
 depth -2
 # TYPE derived gauge
 derived 42
+# HELP drops_total Enqueue drops per queue.
 # TYPE drops_total counter
 drops_total{queue="0"} 5
-# TYPE drops_total counter
 drops_total{queue="1"} 7
+# HELP lat_us Latency in microseconds.
 # TYPE lat_us histogram
 lat_us_bucket{le="10"} 1
 lat_us_bucket{le="100"} 2
@@ -97,6 +100,52 @@ z_total 3
 `
 	if got != want {
 		t.Fatalf("render:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusGroupsPrefixedNames: a metric whose name strictly
+// prefixes another must still render its labeled series contiguously under
+// a single # TYPE header, even though id order interleaves them.
+func TestWritePrometheusGroupsPrefixedNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Add(1)
+	reg.Counter("x", L("q", "0")).Add(2)
+	reg.Counter("x2").Add(3)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE x counter
+x 1
+x{q="0"} 2
+# TYPE x2 counter
+x2 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("render:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHelpEscaping: backslashes and newlines in help text must be escaped
+// per the exposition format, and clearing help removes the line.
+func TestHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(1)
+	reg.SetHelp("c", "line one\nback\\slash")
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# HELP c line one\nback\\slash`) {
+		t.Fatalf("help not escaped:\n%s", b.String())
+	}
+	reg.SetHelp("c", "")
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "# HELP") {
+		t.Fatalf("cleared help still rendered:\n%s", b.String())
 	}
 }
 

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome tracing / Perfetto JSON array
+// format ("trace event format"). Wall spans become "X" complete events in
+// microseconds; sim spans are mapped picoseconds -> microseconds of
+// simulated time on a separate "<service>/sim" process row so the two clock
+// domains never share an axis.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// processKey groups spans into Chrome "processes": one per (service, domain).
+func processKey(s *Span) string {
+	if s.Domain == DomainSim {
+		return s.Service + "/sim"
+	}
+	return s.Service
+}
+
+// attrValue returns the value of attribute key on s, or "".
+func attrValue(s *Span, key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// chromeTid maps a span to a Chrome thread row. Cells carry a "cell"
+// attribute and get row cell+1; everything else (job root, queue-wait)
+// renders on row 0.
+func chromeTid(s *Span) int {
+	if v := attrValue(s, "cell"); v != "" {
+		n := 0
+		for _, c := range v {
+			if c < '0' || c > '9' {
+				return 0
+			}
+			n = n*10 + int(c-'0')
+		}
+		return n + 1
+	}
+	return 0
+}
+
+// WriteChrome renders spans as a chrome://tracing / Perfetto-loadable JSON
+// object. Timestamps are normalised so the earliest wall span starts at 0,
+// keeping the viewer away from epoch-scale offsets.
+func WriteChrome(w io.Writer, spans []Span) error {
+	pids := map[string]int{}
+	var keys []string
+	for i := range spans {
+		k := processKey(&spans[i])
+		if _, ok := pids[k]; !ok {
+			pids[k] = 0
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		pids[k] = i + 1
+	}
+
+	var wallBase int64 = -1
+	for i := range spans {
+		if spans[i].Domain == DomainWall && (wallBase == -1 || spans[i].Start < wallBase) {
+			wallBase = spans[i].Start
+		}
+	}
+	if wallBase == -1 {
+		wallBase = 0
+	}
+
+	// ts converts a span-domain timestamp to viewer microseconds.
+	ts := func(s *Span, v int64) float64 {
+		if s.Domain == DomainSim {
+			return float64(v) / 1e6 // ps -> µs of simulated time
+		}
+		return float64(v - wallBase)
+	}
+
+	events := make([]chromeEvent, 0, 2*len(spans)+len(keys))
+	for _, k := range keys {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pids[k], Tid: 0,
+			Args: map[string]any{"name": k},
+		})
+	}
+	for i := range spans {
+		s := &spans[i]
+		pid := pids[processKey(s)]
+		tid := chromeTid(s)
+		args := map[string]any{"span": s.ID}
+		if s.Parent != "" {
+			args["parent"] = s.Parent
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		end := s.End
+		if end < s.Start {
+			end = s.Start
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Domain, Ph: "X",
+			Ts: ts(s, s.Start), Dur: ts(s, end) - ts(s, s.Start),
+			Pid: pid, Tid: tid, Args: args,
+		})
+		for _, ev := range s.Events {
+			events = append(events, chromeEvent{
+				Name: ev.Name, Cat: s.Domain, Ph: "i", S: "t",
+				Ts: ts(s, ev.At), Pid: pid, Tid: tid,
+				Args: map[string]any{"span": s.ID},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     events,
+	})
+}
+
+// Validate checks the span invariants the trace endpoint promises:
+// unique ids, every span ended, End >= Start, and children fully nested
+// within their parents when both live in the same clock domain (cross-domain
+// and cross-service nesting is exempt: sim time does not embed in wall time,
+// and distinct services may have skewed clocks).
+func Validate(spans []Span) error {
+	byID := make(map[string]*Span, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		if s.ID == "" {
+			return fmt.Errorf("span %d (%q): empty id", i, s.Name)
+		}
+		if _, dup := byID[s.ID]; dup {
+			return fmt.Errorf("duplicate span id %q", s.ID)
+		}
+		byID[s.ID] = s
+	}
+	for i := range spans {
+		s := &spans[i]
+		if s.End == 0 {
+			return fmt.Errorf("span %s (%q) never ended", s.ID, s.Name)
+		}
+		if s.End < s.Start {
+			return fmt.Errorf("span %s (%q) ends before it starts", s.ID, s.Name)
+		}
+		if s.Parent == "" {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			return fmt.Errorf("span %s (%q) references unknown parent %q", s.ID, s.Name, s.Parent)
+		}
+		if p.Domain != s.Domain || p.Service != s.Service {
+			continue
+		}
+		if s.Start < p.Start || s.End > p.End {
+			return fmt.Errorf("span %s (%q) [%d,%d] escapes parent %s (%q) [%d,%d]",
+				s.ID, s.Name, s.Start, s.End, p.ID, p.Name, p.Start, p.End)
+		}
+	}
+	return nil
+}
