@@ -14,13 +14,14 @@
 //	benchjson -out perf.json -pkg ./internal/sim
 //	benchjson -out now.json -compare BENCH_baseline.json    # run, record, and gate
 //	benchjson -check now.json -compare BENCH_baseline.json  # gate a prior report, no rerun
+//	benchjson -check core.json -check flowsim.json -compare BENCH_baseline.json  # merge reports, one gate
 //
-// With -compare, the current report's events/s throughput is gated against
-// the baseline report: any benchmark more than -tolerance (default 20%)
-// below its baseline events/s — or present in the baseline but missing from
-// the current run — fails the gate. -check loads a previously recorded
-// report instead of rerunning the benchmarks, so CI can record once and gate
-// as a separate step.
+// With -compare, the current report's throughput metrics (events/s, flows/s,
+// recomputes/s, flowfills/s) are gated against the baseline report: any
+// benchmark more than -tolerance (default 20%) below a baseline throughput —
+// or present in the baseline but missing from the current run — fails the
+// gate. -check loads a previously recorded report instead of rerunning the
+// benchmarks, so CI can record once and gate as a separate step.
 //
 // Exit status: 0 on success, 1 when `go test` fails, no benchmark lines
 // were found (a silent empty artifact would read as "all benchmarks gone"),
@@ -67,7 +68,8 @@ func main() {
 	benchRE := flag.String("bench", ".", "regexp selecting benchmarks (go test -bench)")
 	benchtime := flag.String("benchtime", "1x", "per-benchmark time or iteration count (go test -benchtime)")
 	out := flag.String("out", "", "output path (default BENCH_<utc-date>.json)")
-	check := flag.String("check", "", "load a previously recorded report instead of running benchmarks (use with -compare)")
+	var checks multiFlag
+	flag.Var(&checks, "check", "previously recorded report to gate instead of running benchmarks (repeatable; reports are merged, use with -compare)")
 	compare := flag.String("compare", "", "baseline report to gate events/s throughput against")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional events/s drop below the -compare baseline")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
@@ -82,15 +84,22 @@ func main() {
 		pkgs = []string{"./..."}
 	}
 
-	if *check != "" {
+	if len(checks) > 0 {
 		if *compare == "" {
 			fmt.Fprintln(os.Stderr, "benchjson: -check without -compare does nothing")
 			os.Exit(1)
 		}
-		current, err := loadReport(*check)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+		// Merge all -check reports: CI records core and flowsim benchmarks
+		// in separate runs (they need very different -benchtime budgets)
+		// but gates them against one baseline.
+		var current Report
+		for _, path := range checks {
+			r, err := loadReport(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			current.Benchmarks = append(current.Benchmarks, r.Benchmarks...)
 		}
 		gate(*compare, current, *tolerance)
 		return
@@ -163,9 +172,15 @@ func loadReport(path string) (Report, error) {
 	return r, nil
 }
 
-// gate compares the current report's events/s throughput against a baseline
+// throughputUnits are the higher-is-better metrics the gate compares. Other
+// units (ns/op, B/op) are recorded but not gated: wall-time noise on shared
+// CI runners would make them flaky, while throughput over a fixed workload
+// is stable enough to hold a 20% line.
+var throughputUnits = []string{"events/s", "flows/s", "recomputes/s", "demotions/s", "flowfills/s"}
+
+// gate compares the current report's throughput metrics against a baseline
 // report and exits 1 on regression. Failures are loud and itemized; passing
-// prints one line per gated benchmark so the log shows what was checked.
+// prints one line per gated metric so the log shows what was checked.
 func gate(baselinePath string, current Report, tolerance float64) {
 	baseline, err := loadReport(baselinePath)
 	if err != nil {
@@ -178,30 +193,32 @@ func gate(baselinePath string, current Report, tolerance float64) {
 	}
 	gated, failed := 0, 0
 	for _, b := range baseline.Benchmarks {
-		base, ok := b.Metrics["events/s"]
-		if !ok || base <= 0 {
-			continue
+		for _, unit := range throughputUnits {
+			base, ok := b.Metrics[unit]
+			if !ok || base <= 0 {
+				continue
+			}
+			gated++
+			c, found := curr[b.Name]
+			if !found {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: in baseline %s but missing from the current run\n", b.Name, baselinePath)
+				failed++
+				continue
+			}
+			got := c.Metrics[unit]
+			floor := base * (1 - tolerance)
+			if got < floor {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %.4g %s is %.1f%% below baseline %.4g (floor %.4g at %.0f%% tolerance)\n",
+					b.Name, got, unit, 100*(1-got/base), base, floor, tolerance*100)
+				failed++
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: ok   %s: %.4g %s vs baseline %.4g (%+.1f%%)\n",
+				b.Name, got, unit, base, 100*(got/base-1))
 		}
-		gated++
-		c, found := curr[b.Name]
-		if !found {
-			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: in baseline %s but missing from the current run\n", b.Name, baselinePath)
-			failed++
-			continue
-		}
-		got := c.Metrics["events/s"]
-		floor := base * (1 - tolerance)
-		if got < floor {
-			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %.4g events/s is %.1f%% below baseline %.4g (floor %.4g at %.0f%% tolerance)\n",
-				b.Name, got, 100*(1-got/base), base, floor, tolerance*100)
-			failed++
-			continue
-		}
-		fmt.Fprintf(os.Stderr, "benchjson: ok   %s: %.4g events/s vs baseline %.4g (%+.1f%%)\n",
-			b.Name, got, base, 100*(got/base-1))
 	}
 	if gated == 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: FAIL baseline %s has no events/s benchmarks to gate against\n", baselinePath)
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL baseline %s has no throughput benchmarks to gate against\n", baselinePath)
 		os.Exit(1)
 	}
 	if failed > 0 {

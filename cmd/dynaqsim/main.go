@@ -49,6 +49,7 @@ func main() {
 		faultsF  = flag.String("faults", "", "JSON file with a fault schedule (array of fault specs; targets tor:<i>, host<i>:nic, group tor)")
 		guard    = flag.Bool("guard", false, "arm the invariant guardrail on every switch port")
 		config   = flag.String("config", "", "run a JSON scenario file instead of flags (see internal/scenario)")
+		engineF  = flag.String("engine", "", "override the scenario's simulation engine: packet | flow | hybrid (-config fct scenarios only)")
 		teleDir  = flag.String("telemetry", "", "write run artifacts (manifest, metrics, events) into this directory")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -68,8 +69,11 @@ func main() {
 	defer stopProf()
 
 	if *config != "" {
-		runConfig(*config, *teleDir, *progress)
+		runConfig(*config, *engineF, *teleDir, *progress)
 		return
+	}
+	if *engineF != "" {
+		fatalf("-engine selects an fct scenario's fidelity; it needs -config")
 	}
 
 	ws := make([]int64, *queues)
@@ -281,12 +285,15 @@ func printViolations(total int64, recorded []faults.Violation) {
 
 // runConfig executes a JSON scenario document, optionally writing run
 // artifacts (manifest hashed over the scenario file bytes) and progress.
-func runConfig(path, teleDir string, progress bool) {
+// engine, when non-empty, overrides the document's simulation engine; since
+// the scenario bytes (and so the hash) don't change, the override is carried
+// by the manifest's engine field instead.
+func runConfig(path, engine, teleDir string, progress bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	r, err := scenario.Load(data)
+	r, err := scenario.LoadWith(data, scenario.Overrides{Engine: engine})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -298,6 +305,7 @@ func runConfig(path, teleDir string, progress bool) {
 			ScenarioHash: telemetry.Hash(data),
 			Seed:         r.Seed(),
 			Scheme:       r.Scheme(),
+			Engine:       r.Engine(),
 			Args:         os.Args[1:],
 		})
 		if err != nil {
@@ -329,8 +337,12 @@ func runConfig(path, teleDir string, progress bool) {
 		reportFaults(r.Guarded(), len(st.FaultTimeline), st.LinkLost, st.LinkCorrupted, st.ViolationTotal, st.Violations)
 	case res.Dynamic != nil:
 		d := res.Dynamic
-		fmt.Printf("%s scenario (%s, load %.0f%%): %d/%d flows\n",
-			r.Kind(), d.Scheme, d.Load*100, d.Completed, d.Generated)
+		fmt.Printf("%s scenario (%s, load %.0f%%, engine %s): %d/%d flows\n",
+			r.Kind(), d.Scheme, d.Load*100, r.Engine(), d.Completed, d.Generated)
+		if fl := d.Fluid; fl != nil {
+			fmt.Printf("engine events %d  rate recomputes %d  demotions %d  promotions %d\n",
+				d.Events, fl.Recomputes, fl.Demotions, fl.Promotions)
+		}
 		fmt.Printf("avg FCT overall %.2fms  small %.2fms  large %.2fms  p99 small %.2fms\n",
 			d.FCT.Avg(metrics.AllFlows).Seconds()*1e3,
 			d.FCT.Avg(metrics.SmallFlows).Seconds()*1e3,
@@ -353,6 +365,11 @@ func runConfig(path, teleDir string, progress bool) {
 			run.Summarize("flows_completed", strconv.Itoa(res.Dynamic.Completed))
 			run.Summarize("avg_fct_us_overall",
 				strconv.FormatInt(int64(res.Dynamic.FCT.Avg(metrics.AllFlows)/units.Microsecond), 10))
+			if fl := res.Dynamic.Fluid; fl != nil {
+				run.Summarize("events", strconv.FormatInt(res.Dynamic.Events, 10))
+				run.Summarize("recomputes", strconv.FormatInt(fl.Recomputes, 10))
+				run.Summarize("demotions", strconv.FormatInt(fl.Demotions, 10))
+			}
 		}
 		if err := run.Close(); err != nil {
 			fatalf("%v", err)

@@ -65,6 +65,7 @@ func wrap[T renderer](f func(experiment.Options) (T, error)) func(experiment.Opt
 func main() {
 	fig := flag.String("fig", "all", "comma-separated figure ids, or 'all'")
 	scale := flag.String("scale", "standard", "quick | standard | full")
+	engineF := flag.String("engine", "", "simulation engine for the FCT figures: packet (default) | flow | hybrid; static figures always run at packet level")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent simulation cells (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	list := flag.Bool("list", false, "list available figures")
@@ -106,7 +107,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	opts := experiment.Options{Scale: lvl, Seed: *seed, Parallel: *parallel}
+	engine, err := experiment.ParseEngineMode(*engineF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	opts := experiment.Options{Scale: lvl, Seed: *seed, Parallel: *parallel, Engine: engine}
 
 	want := map[string]bool{}
 	if *fig != "all" {
@@ -133,7 +139,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *teleDir != "" {
-			if err := writeFigureArtifacts(*teleDir, f.name, lvl.String(), *seed, res); err != nil {
+			if err := writeFigureArtifacts(*teleDir, f.name, lvl.String(), string(engine), *seed, res); err != nil {
 				fmt.Fprintf(os.Stderr, "figure %s: telemetry: %v\n", f.name, err)
 				os.Exit(1)
 			}
@@ -206,15 +212,16 @@ func startTicker(enabled bool, name string, start time.Time) func() {
 // manifest (hashing the figure/scale/seed tuple that fully determines the
 // run) and the figure's result rendered as JSON. Struct field order keeps
 // result.json byte-stable across identical runs.
-func writeFigureArtifacts(dir, figure, scale string, seed int64, res renderer) error {
+func writeFigureArtifacts(dir, figure, scale, engine string, seed int64, res renderer) error {
 	sub := filepath.Join(dir, figure)
-	canonical := fmt.Sprintf("fig=%s scale=%s seed=%d", figure, scale, seed)
+	canonical := fmt.Sprintf("fig=%s scale=%s engine=%s seed=%d", figure, scale, engine, seed)
 	man := telemetry.Manifest{
 		Tool:         "experiments",
 		Version:      dynaq.Version,
 		ScenarioHash: telemetry.Hash([]byte(canonical)),
 		Seed:         seed,
 		Scheme:       figure,
+		Engine:       engine,
 		Args:         os.Args[1:],
 	}
 	if err := os.MkdirAll(sub, 0o755); err != nil {

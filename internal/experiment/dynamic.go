@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"dynaq/internal/faults"
+	"dynaq/internal/flowsim"
 	"dynaq/internal/metrics"
 	"dynaq/internal/netsim"
 	"dynaq/internal/packet"
@@ -26,6 +27,10 @@ type TopoKind string
 const (
 	TopoStar      TopoKind = "star"
 	TopoLeafSpine TopoKind = "leafspine"
+	// TopoFatTree is a k-ary fat tree. It exists only at flow level (the
+	// Engine must be flow or hybrid): its scale is exactly what the fluid
+	// fast path is for.
+	TopoFatTree TopoKind = "fattree"
 )
 
 // DynamicConfig assembles an FCT experiment: Poisson flow arrivals with
@@ -34,6 +39,18 @@ const (
 type DynamicConfig struct {
 	Scheme Scheme
 	Params SchemeParams
+
+	// Engine selects the fidelity: EnginePacket (the default) runs the
+	// per-packet discrete-event engine; EngineFlow runs the fluid fast
+	// path; EngineHybrid adds selective packetization of congested ports
+	// (see internal/flowsim).
+	Engine EngineMode
+	// FlowCutoff is the fluid engines' short/long flow classification
+	// boundary (default: the PIAS Demotion threshold). Ignored by the
+	// packet engine.
+	FlowCutoff units.ByteSize
+	// FatTreeK is the fat-tree arity (TopoFatTree only).
+	FatTreeK int
 
 	Topo TopoKind
 	// Star parameters: Servers sender hosts plus one client (the
@@ -115,10 +132,26 @@ type DynamicResult struct {
 	// ViolationTotal counts all of them, recorded or not.
 	Violations     []faults.Violation
 	ViolationTotal int64
+
+	// Events counts the discrete events the simulator processed — the
+	// basis for comparing engine fidelities' costs.
+	Events int64
+	// Fluid holds the flow-engine counters (nil under the packet engine).
+	Fluid *flowsim.Stats
 }
 
-// RunDynamic executes an FCT scenario.
+// RunDynamic executes an FCT scenario, dispatching on cfg.Engine.
 func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
+	switch cfg.Engine {
+	case EngineFlow, EngineHybrid:
+		return runDynamicFluid(cfg)
+	case "", EnginePacket:
+		if cfg.Topo == TopoFatTree {
+			return nil, fmt.Errorf("experiment: the fat-tree topology needs the flow or hybrid engine")
+		}
+	default:
+		return nil, fmt.Errorf("experiment: unknown engine %q", cfg.Engine)
+	}
 	if cfg.Flows <= 0 {
 		return nil, fmt.Errorf("experiment: dynamic run needs flows > 0")
 	}
@@ -390,6 +423,7 @@ func RunDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 	}
 	res.Generated = int(flowID)
 	res.Completed = res.FCT.Len()
+	res.Events = int64(s.Processed())
 	if eng != nil {
 		res.FaultTimeline = eng.Timeline()
 		res.LinkLost, res.LinkCorrupted = reg.Totals()

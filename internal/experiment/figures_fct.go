@@ -170,6 +170,7 @@ func fctLoads(o Options) []float64 {
 // testbed rack: SPQ(1)+DRR(4), PIAS at 100KB, web-search traffic.
 func Fig8(o Options) (*FCTResult, error) {
 	base := DynamicConfig{
+		Engine:    o.Engine,
 		Params:    SchemeParams{Weights: equalWeights(5)},
 		Topo:      TopoStar,
 		Servers:   4,
@@ -192,6 +193,7 @@ func Fig8(o Options) (*FCTResult, error) {
 // (TCN, PMSB, Per-Queue ECN) running DCTCP, on the same rack as Fig8.
 func Fig9(o Options) (*FCTResult, error) {
 	base := DynamicConfig{
+		Engine: o.Engine,
 		Params: SchemeParams{
 			Weights: equalWeights(5),
 			// Thresholds tuned like the testbed: DCTCP K = 30KB,
@@ -224,6 +226,7 @@ func Fig13(o Options) (*FCTResult, error) {
 	spines := pick(o, 2, 4, 12)
 	hostsPerLeaf := pick(o, 2, 4, 12)
 	base := DynamicConfig{
+		Engine:       o.Engine,
 		Params:       SchemeParams{Weights: equalWeights(8)},
 		Topo:         TopoLeafSpine,
 		Leaves:       leaves,

@@ -1,0 +1,284 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynaq/internal/buffer"
+	"dynaq/internal/flowsim"
+	"dynaq/internal/metrics"
+	"dynaq/internal/packet"
+	"dynaq/internal/pias"
+	"dynaq/internal/sim"
+	"dynaq/internal/telemetry"
+	ttrace "dynaq/internal/telemetry/trace"
+	"dynaq/internal/transport"
+	"dynaq/internal/units"
+	"dynaq/internal/workload"
+)
+
+// EngineMode selects the fidelity of a dynamic-flow run: the per-packet
+// discrete-event engine, the flow-level fluid engine, or the hybrid that
+// packetizes individual ports only while buffer precision matters.
+type EngineMode string
+
+// Engine modes.
+const (
+	EnginePacket EngineMode = "packet"
+	EngineFlow   EngineMode = "flow"
+	EngineHybrid EngineMode = "hybrid"
+)
+
+// ParseEngineMode maps a flag/scenario string to an EngineMode; the empty
+// string is the packet default.
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch m := EngineMode(s); m {
+	case "", EnginePacket:
+		return EnginePacket, nil
+	case EngineFlow, EngineHybrid:
+		return m, nil
+	default:
+		return "", fmt.Errorf("experiment: unknown engine %q (want packet, flow or hybrid)", s)
+	}
+}
+
+// runDynamicFluid is the flow/hybrid counterpart of RunDynamic: the same
+// arrival processes, source/destination draws and class striping (so a given
+// seed describes the same offered traffic), but flows are fluid rate
+// processes in a flowsim.Engine instead of per-packet transfers.
+func runDynamicFluid(cfg DynamicConfig) (*DynamicResult, error) {
+	if cfg.Flows <= 0 {
+		return nil, fmt.Errorf("experiment: dynamic run needs flows > 0")
+	}
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("experiment: dynamic run needs at least one workload")
+	}
+	if cfg.Queues < 2 {
+		return nil, fmt.Errorf("experiment: dynamic run needs an SPQ queue plus DRR queues")
+	}
+	if len(cfg.Faults) > 0 || cfg.Guard || cfg.FailureAware {
+		return nil, fmt.Errorf("experiment: faults, guardrails and failure-aware routing need the packet engine")
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = 1500
+	}
+	if cfg.Demotion == 0 {
+		cfg.Demotion = pias.DefaultDemotionThreshold
+	}
+	if cfg.FlowCutoff == 0 {
+		// The PIAS demotion threshold doubles as the short/long cutoff: a
+		// flow the packet engine would keep in the high-priority queues is
+		// exactly a flow that lives inside slow start.
+		cfg.FlowCutoff = cfg.Demotion
+	}
+	if cfg.MaxRuntime == 0 {
+		cfg.MaxRuntime = 10 * units.Second
+	}
+	if cfg.Params.Rate == 0 {
+		cfg.Params.Rate = cfg.Rate
+	}
+	mss := cfg.MTU - transport.HeaderSize
+
+	var (
+		topo   *flowsim.Topology
+		err    error
+		hosts  int
+		genCap units.Rate
+	)
+	switch cfg.Topo {
+	case TopoStar:
+		if cfg.Servers <= 0 {
+			cfg.Servers = 4
+		}
+		hosts = cfg.Servers + 1
+		if cfg.Params.BaseRTT == 0 {
+			cfg.Params.BaseRTT = 4 * cfg.Delay
+		}
+		topo, err = flowsim.NewStar(hosts, cfg.Rate)
+		genCap = cfg.Rate
+	case TopoLeafSpine:
+		if cfg.Leaves == 0 || cfg.Spines == 0 || cfg.HostsPerLeaf == 0 {
+			return nil, fmt.Errorf("experiment: leaf-spine needs leaves/spines/hostsPerLeaf")
+		}
+		hosts = cfg.Leaves * cfg.HostsPerLeaf
+		if cfg.Params.BaseRTT == 0 {
+			cfg.Params.BaseRTT = 8 * cfg.Delay
+		}
+		topo, err = flowsim.NewLeafSpine(cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf, cfg.Rate)
+		genCap = cfg.Rate * units.Rate(hosts)
+	case TopoFatTree:
+		if cfg.FatTreeK == 0 {
+			return nil, fmt.Errorf("experiment: fat tree needs k")
+		}
+		if cfg.Params.BaseRTT == 0 {
+			// Worst case 6 store-and-forward hops each way.
+			cfg.Params.BaseRTT = 12 * cfg.Delay
+		}
+		topo, err = flowsim.NewFatTree(cfg.FatTreeK, cfg.Rate)
+		if err == nil {
+			hosts = topo.Hosts()
+			genCap = cfg.Rate * units.Rate(hosts)
+		}
+	default:
+		return nil, fmt.Errorf("experiment: unknown topology %q", cfg.Topo)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	weights := cfg.Params.Weights
+	if len(weights) == 0 {
+		weights = make([]int64, cfg.Queues)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != cfg.Queues {
+		return nil, fmt.Errorf("experiment: %d weights for %d queues", len(weights), cfg.Queues)
+	}
+
+	s := sim.New()
+	fcfg := flowsim.Config{
+		Topo:       topo,
+		Queues:     cfg.Queues,
+		Weights:    weights,
+		Buffer:     cfg.Buffer,
+		MTU:        cfg.MTU,
+		MSS:        mss,
+		RTT:        cfg.Params.BaseRTT,
+		FlowCutoff: cfg.FlowCutoff,
+		Spans:      cfg.Spans,
+		SpanParent: cfg.SpanParent,
+	}
+	if cfg.Engine == EngineHybrid {
+		fcfg.Hybrid = true
+		scheme, params := cfg.Scheme, cfg.Params
+		queues := cfg.Queues
+		bufB := cfg.Buffer
+		fcfg.NewAdmission = func() (buffer.Admission, error) {
+			return scheme.NewAdmission(params, bufB, queues)
+		}
+	}
+	fe, err := flowsim.New(s, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer fe.Close()
+
+	gens := make([]*workload.FlowGen, len(cfg.Workloads))
+	for i, cdf := range cfg.Workloads {
+		g, err := workload.NewFlowGen(cfg.Seed+int64(i), cdf, genCap, cfg.Load/float64(len(cfg.Workloads)))
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = g
+	}
+
+	res := &DynamicResult{Scheme: cfg.Scheme, Load: cfg.Load, FCT: metrics.NewFCTCollector()}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	serviceQueues := cfg.Queues - 1
+	var flowID packet.FlowID
+
+	var fctHist *telemetry.Histogram
+	if cfg.Telemetry != nil {
+		treg := cfg.Telemetry.Registry()
+		instrumentSim(treg, s)
+		fe.Instrument(treg)
+		treg.CounterFunc("flows_generated_total", func() int64 { return int64(flowID) })
+		treg.CounterFunc("flows_completed_total", func() int64 { return int64(res.FCT.Len()) })
+		fctHist = treg.Histogram("fct_us", fctBounds)
+	}
+
+	// The arrival/striping structure mirrors RunDynamic exactly: one arrival
+	// process per workload, workload w striped over DRR queues w, w+len, ...,
+	// identical rng draw order — only the flow execution differs.
+	var schedule func(gi int, at units.Time)
+	launch := func(gi int, at units.Time) {
+		g := gens[gi]
+		flowID++
+		id := flowID
+		size := g.NextSize()
+		var src, dst int
+		if cfg.Topo == TopoStar {
+			dst = hosts - 1
+			src = rng.Intn(hosts - 1)
+		} else {
+			src = rng.Intn(hosts)
+			dst = rng.Intn(hosts - 1)
+			if dst >= src {
+				dst++
+			}
+		}
+		qChoices := 0
+		for q := gi; q < serviceQueues; q += len(gens) {
+			qChoices++
+		}
+		pick := gi
+		if qChoices > 1 {
+			pick = gi + len(gens)*rng.Intn(qChoices)
+		}
+		class := 1 + pick
+		fe.ScheduleArrival(at, flowsim.FlowSpec{
+			ID:    id,
+			Src:   src,
+			Dst:   dst,
+			Class: class,
+			Size:  size,
+			OnComplete: func(fct units.Duration) {
+				res.FCT.Add(size, fct)
+				if fctHist != nil {
+					fctHist.Observe(int64(fct / units.Microsecond))
+				}
+			},
+		})
+	}
+	perGen := cfg.Flows / len(gens)
+	var left []int
+	for range gens {
+		left = append(left, perGen)
+	}
+	left[0] += cfg.Flows - perGen*len(gens)
+	schedule = func(gi int, at units.Time) {
+		if left[gi] <= 0 {
+			return
+		}
+		left[gi]--
+		s.At(at, func() {
+			launch(gi, at)
+			schedule(gi, at.Add(gens[gi].NextInterarrival()))
+		})
+	}
+	for gi, g := range gens {
+		schedule(gi, units.Time(g.NextInterarrival()))
+	}
+
+	var stopHB func()
+	if cfg.Telemetry != nil || cfg.Progress != nil {
+		var ew telemetry.EventWriter
+		if cfg.Telemetry != nil {
+			ew = cfg.Telemetry
+		}
+		stopHB = startHeartbeat(s, cfg.MaxRuntime, ew, cfg.Progress)
+	}
+
+	deadline := units.Time(cfg.MaxRuntime)
+	for res.FCT.Len() < cfg.Flows && s.Pending() > 0 && s.Now() < deadline {
+		s.Step()
+	}
+	if stopHB != nil {
+		stopHB()
+	}
+	fe.Finish()
+	if cfg.Spans != nil {
+		cfg.Spans.SimSpan("sim", cfg.SpanParent, 0, s.Now(),
+			ttrace.A("kind", "fct"),
+			ttrace.A("engine", string(cfg.Engine)),
+			ttrace.AInt("flows_completed", int64(res.FCT.Len())))
+	}
+	res.Generated = int(flowID)
+	res.Completed = res.FCT.Len()
+	res.Events = int64(s.Processed())
+	stats := fe.Stats()
+	res.Fluid = &stats
+	return res, nil
+}

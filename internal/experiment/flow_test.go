@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"testing"
+
+	"dynaq/internal/metrics"
+	"dynaq/internal/units"
+	"dynaq/internal/workload"
+)
+
+// fatTreeFlowCfg is the fat-tree stress case: the topology only the fluid
+// engines can afford. k=4 keeps the test fast; the shipped scenario uses
+// k=8.
+func fatTreeFlowCfg(engine EngineMode, flows int, seed int64) DynamicConfig {
+	return DynamicConfig{
+		Scheme:   DynaQ,
+		Engine:   engine,
+		Params:   SchemeParams{Weights: equalWeights(8)},
+		Topo:     TopoFatTree,
+		FatTreeK: 4,
+		Rate:     10 * units.Gbps,
+		Delay:    10 * units.Microsecond,
+		Buffer:   192 * units.KB,
+		Queues:   8,
+		MTU:      1500,
+		Load:     0.6,
+		Flows:    flows,
+		Workloads: []*workload.CDF{
+			workload.WebSearch(), workload.DataMining(),
+		},
+		Seed: seed,
+	}
+}
+
+// starFlowCfg mirrors the Fig8 quick grid so the fluid engines can be
+// compared against the packet engine on identical offered traffic.
+func starFlowCfg(engine EngineMode, flows int, load float64, seed int64) DynamicConfig {
+	return DynamicConfig{
+		Scheme:    DynaQ,
+		Engine:    engine,
+		Params:    SchemeParams{Weights: equalWeights(5)},
+		Topo:      TopoStar,
+		Servers:   4,
+		Rate:      testbedRate,
+		Delay:     testbedDelay,
+		Buffer:    testbedBuffer,
+		Queues:    5,
+		MTU:       testbedMTU,
+		Load:      load,
+		Flows:     flows,
+		Workloads: []*workload.CDF{workload.WebSearch()},
+		MinRTO:    testbedMinRTO,
+		Seed:      seed,
+	}
+}
+
+// TestFlowEngineEventBudget is the perf acceptance gate: the flow engine
+// must finish the fat-tree stress case in at least 50x fewer discrete
+// events than the projected per-packet cost of the same traffic. The
+// projection is deliberately conservative: every flow's packets crossing an
+// average path (4 store-and-forward hops on a k-ary fat tree, against the
+// true worst case of 6), at ~4 events per packet per hop (enqueue, dequeue,
+// propagate, ack-side traffic).
+func TestFlowEngineEventBudget(t *testing.T) {
+	const flows = 2000
+	res, err := RunDynamic(fatTreeFlowCfg(EngineFlow, flows, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed < flows*99/100 {
+		t.Fatalf("only %d/%d flows completed", res.Completed, flows)
+	}
+	// Projected packet-engine cost from the analytic workload means.
+	meanSize := (workload.WebSearch().Mean() + workload.DataMining().Mean()) / 2
+	packetsPerFlow := int64((meanSize + 1499) / 1500)
+	const hops, eventsPerHop = 4, 4
+	projected := int64(flows) * packetsPerFlow * hops * eventsPerHop
+	if res.Events <= 0 {
+		t.Fatal("flow engine did not report an event count")
+	}
+	if speedup := projected / res.Events; speedup < 50 {
+		t.Fatalf("flow engine used %d events vs %d projected packet events: %dx, want >= 50x",
+			res.Events, projected, speedup)
+	}
+	if res.Fluid == nil || res.Fluid.Recomputes == 0 {
+		t.Fatal("flow engine reported no rate recomputations")
+	}
+}
+
+// TestFlowEngineParallelParity proves trial results do not depend on the
+// worker count: the same seeds through RunTrials at 1 and 4 workers must
+// produce identical FCT distributions, the property that lets dynaqd fan
+// cells out to any fleet shape.
+func TestFlowEngineParallelParity(t *testing.T) {
+	run := func(workers int) []string {
+		out, err := RunTrials(3, workers, func(trial int) (string, error) {
+			res, err := RunDynamic(fatTreeFlowCfg(EngineFlow, 500, int64(trial+1)))
+			if err != nil {
+				return "", err
+			}
+			return fctSignature(res), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := run(1), run(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("trial %d diverged across worker counts:\n  1 worker: %s\n  4 workers: %s",
+				i, seq[i], par[i])
+		}
+	}
+}
+
+// fctSignature summarizes a run's FCT distribution precisely enough that
+// any nondeterminism shows up as a string mismatch.
+func fctSignature(res *DynamicResult) string {
+	sig := ""
+	for _, b := range []metrics.Bucket{metrics.AllFlows, metrics.SmallFlows, metrics.LargeFlows} {
+		sig += res.FCT.Avg(b).String() + "/" +
+			res.FCT.Percentile(b, 0.99).String() + " "
+	}
+	return sig
+}
+
+// TestFlowEngineFidelity is the shape-fidelity golden test: on the Fig8
+// quick grid the fluid engine's FCT percentiles must land within a
+// committed band of the packet engine's. The fluid model abstracts away
+// retransmission timing and per-packet queueing noise, so the band is
+// generous — what it pins down is the *shape*: small flows finish in
+// hundreds of microseconds, large flows in the same order of magnitude as
+// the packet engine, and load ordering is preserved.
+func TestFlowEngineFidelity(t *testing.T) {
+	type point struct{ pkt, fluid *DynamicResult }
+	runBoth := func(load float64) point {
+		pkt, err := RunDynamic(starFlowCfg(EnginePacket, 200, load, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, err := RunDynamic(starFlowCfg(EngineFlow, 200, load, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return point{pkt, fl}
+	}
+	ratio := func(a, b units.Duration) float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	for _, load := range []float64{0.4, 0.6} {
+		p := runBoth(load)
+		// Committed tolerance: fluid average FCT within 4x of packet on
+		// both sides, small-flow p99 within 5x. The fluid model has no
+		// per-packet queueing jitter or retransmission tails, so it runs
+		// faster; what must not happen is an order-of-magnitude drift.
+		if r := ratio(p.fluid.FCT.Avg(metrics.AllFlows), p.pkt.FCT.Avg(metrics.AllFlows)); r < 0.25 || r > 4 {
+			t.Errorf("load %.1f: fluid avg FCT %v vs packet %v (ratio %.2f, want within [0.25,4])",
+				load, p.fluid.FCT.Avg(metrics.AllFlows), p.pkt.FCT.Avg(metrics.AllFlows), r)
+		}
+		if r := ratio(p.fluid.FCT.Percentile(metrics.SmallFlows, 0.99), p.pkt.FCT.Percentile(metrics.SmallFlows, 0.99)); r < 0.2 || r > 5 {
+			t.Errorf("load %.1f: fluid small p99 %v vs packet %v (ratio %.2f, want within [0.2,5])",
+				load, p.fluid.FCT.Percentile(metrics.SmallFlows, 0.99), p.pkt.FCT.Percentile(metrics.SmallFlows, 0.99), r)
+		}
+	}
+	// Load ordering: higher load must not make fluid FCTs faster.
+	lo := runBoth(0.4)
+	hi := runBoth(0.8)
+	if hi.fluid.FCT.Avg(metrics.AllFlows) < lo.fluid.FCT.Avg(metrics.AllFlows) {
+		t.Errorf("fluid avg FCT at load 0.8 (%v) below load 0.4 (%v): load ordering broken",
+			hi.fluid.FCT.Avg(metrics.AllFlows), lo.fluid.FCT.Avg(metrics.AllFlows))
+	}
+}
+
+// TestHybridEngineDemotes checks the hybrid path end to end on the star
+// bottleneck: an overloaded downlink must demote at least once, packetize
+// real traffic through the scheme admission, and still complete every flow.
+func TestHybridEngineDemotes(t *testing.T) {
+	cfg := starFlowCfg(EngineHybrid, 300, 0.9, 1)
+	res, err := RunDynamic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Generated {
+		t.Fatalf("hybrid run completed %d/%d flows", res.Completed, res.Generated)
+	}
+	if res.Fluid == nil {
+		t.Fatal("hybrid run reported no fluid stats")
+	}
+	if res.Fluid.Demotions == 0 {
+		t.Error("hybrid run at 90% load never demoted the bottleneck")
+	}
+	if res.Fluid.Demotions > 0 && res.Fluid.PacketizedPackets == 0 {
+		t.Error("demoted episodes moved no packetized traffic")
+	}
+}

@@ -40,6 +40,9 @@ type Options struct {
 	// sequentially. Results are merged in deterministic cell order, so the
 	// output is identical at any setting (see RunTrials).
 	Parallel int
+	// Engine selects the FCT figures' simulation fidelity (packet by
+	// default); see EngineMode. Static figures always run at packet level.
+	Engine EngineMode
 }
 
 // pick returns the value for the chosen scale.

@@ -42,6 +42,9 @@ func RunCellTo(dir string, scenarioBytes []byte, scheme string, seed int64, man 
 		load.End(trace.A("error", err.Error()))
 		return nil, err
 	}
+	// The engine fidelity comes from the scenario document itself, so it is
+	// still a pure function of the cell's identity (the scenario hash).
+	man.Engine = r.Engine()
 	run, err := telemetry.NewRun(dir, man)
 	if err != nil {
 		load.End(trace.A("error", err.Error()))
@@ -86,5 +89,10 @@ func summarize(run *telemetry.Run, res *scenario.Result) {
 		run.Summarize("flows_completed", strconv.Itoa(res.Dynamic.Completed))
 		run.Summarize("avg_fct_us_overall",
 			strconv.FormatInt(int64(res.Dynamic.FCT.Avg(metrics.AllFlows)/units.Microsecond), 10))
+		if fl := res.Dynamic.Fluid; fl != nil {
+			run.Summarize("events", strconv.FormatInt(res.Dynamic.Events, 10))
+			run.Summarize("recomputes", strconv.FormatInt(fl.Recomputes, 10))
+			run.Summarize("demotions", strconv.FormatInt(fl.Demotions, 10))
+		}
 	}
 }

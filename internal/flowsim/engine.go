@@ -1,0 +1,667 @@
+package flowsim
+
+import (
+	"fmt"
+
+	"dynaq/internal/buffer"
+	"dynaq/internal/packet"
+	"dynaq/internal/sim"
+	"dynaq/internal/telemetry"
+	ttrace "dynaq/internal/telemetry/trace"
+	"dynaq/internal/units"
+)
+
+// Config assembles a flow-level engine over a Topology.
+type Config struct {
+	Topo *Topology
+
+	// Queues counts service queues per port (queue 0 is the SPQ queue,
+	// 1..Queues-1 the DRR queues, exactly like the packet engine); Weights
+	// are the per-queue scheduler weights used by the hybrid drain.
+	Queues  int
+	Weights []int64
+
+	// Buffer is the per-port buffer B: the fluid backlog of a link is
+	// clamped to it, and the hybrid demote/promote thresholds default to
+	// fractions of it.
+	Buffer units.ByteSize
+	MTU    units.ByteSize
+	MSS    units.ByteSize
+	// RTT is the base round-trip time: the slow-start epoch length and the
+	// fixed handshake term of every FCT.
+	RTT units.Duration
+
+	// InitWindow is the slow-start initial window (default 10 MSS).
+	InitWindow units.ByteSize
+	// Quantum bounds how stale rate allocations may get: the engine
+	// recomputes the water-filling at most once per quantum (default
+	// RTT/4). Smaller is more faithful and slower.
+	Quantum units.Duration
+
+	// Hybrid enables selective packetization: a link whose fluid backlog
+	// crosses DemoteBytes is demoted to packet granularity through the
+	// scheme admission NewAdmission builds, and promoted back once its
+	// queue drains to PromoteBytes (see hybrid.go).
+	Hybrid bool
+	// NewAdmission builds the buffer-management scheme for one demoted
+	// port. The instance persists across that port's episodes so stateful
+	// schemes (DynaQ thresholds) keep their state. Required when Hybrid.
+	NewAdmission func() (buffer.Admission, error)
+	// DemoteBytes / PromoteBytes override the episode thresholds
+	// (defaults: B/2 and B/10).
+	DemoteBytes, PromoteBytes units.ByteSize
+
+	// FlowCutoff classifies flows: size <= cutoff is "short" (never exits
+	// slow start — it finishes inside it) while long flows converge to
+	// their max-min share. Default 100KB, the PIAS demotion threshold.
+	FlowCutoff units.ByteSize
+
+	// Spans, when non-nil, receives sim-time spans: one summary span per
+	// run (Finish) and one span per demote episode, parented under
+	// SpanParent.
+	Spans      *ttrace.Tracer
+	SpanParent string
+}
+
+// FlowSpec describes one flow handed to the engine.
+type FlowSpec struct {
+	ID         packet.FlowID
+	Src, Dst   int
+	Class      int
+	Size       units.ByteSize
+	OnComplete func(fct units.Duration)
+}
+
+// Stats are the engine's run counters.
+type Stats struct {
+	Recomputes         int64
+	Demotions          int64
+	Promotions         int64
+	PacketizedPackets  int64
+	PacketizedDrops    int64
+	PacketizedMarks    int64
+	FluidDropBytes     int64
+	ThresholdCrossings int64
+	Started            int64
+	Completed          int64
+	MaxActive          int
+}
+
+// fflow is one flow's engine state.
+type fflow struct {
+	spec      FlowSpec
+	path      []int32
+	remaining units.ByteSize
+	started   units.Time
+	rate      units.Rate // current max-min allocation
+	peak      units.Rate // min link capacity along the path
+	short     bool
+
+	// Slow start: the source blasts min(peak, IW<<epoch / RTT) until one
+	// RTT after it first observes an allocation below its cap (feedback
+	// delay — the overshoot in that window is what builds fluid queues).
+	ssDone   bool
+	ssExitAt units.Time
+
+	// Loss penalty: a packetized drop (or mark) halves the flow's cap
+	// until penaltyUntil and charges one RTT of recovery to the FCT.
+	penaltyRate  units.Rate
+	penaltyUntil units.Time
+	extraDelay   units.Duration
+
+	// epLinks counts demoted links on the path; while > 0 the flow's bytes
+	// are delivered by the episode pump of its owner link, not the fluid
+	// advance. inflight is the byte total sitting in episode queues.
+	epLinks  int32
+	epOwner  int32
+	inflight units.ByteSize
+
+	activeIdx int32 // index into e.active, -1 once completed
+}
+
+// linkState is one directed link's fluid (and episode) state.
+type linkState struct {
+	cap     units.Rate
+	inRate  units.Rate     // source send rate currently offered to the link
+	backlog units.ByteSize // fluid queue, clamped to [0, Buffer]
+
+	demoted bool
+	ep      episode // hybrid episode state, allocated on first demotion
+}
+
+// Engine is the flow-level engine. It shares the discrete-event core with
+// the packet engine — its events are just coarser: rate recomputations,
+// completions, threshold crossings and episode pump ticks.
+type Engine struct {
+	s    *sim.Simulator
+	cfg  Config
+	topo *Topology
+
+	flows  []fflow
+	active []int32
+	links  []linkState
+
+	wf     waterfiller
+	caps   []units.Rate
+	rates  []units.Rate
+	paths  [][]int32
+	wfCaps []units.Rate
+
+	lastAdvance units.Time
+	dirty       bool // topology of active flows changed since last fill
+	ssCount     int  // flows still in slow start (caps grow every epoch)
+
+	completion *sim.Timer
+	crossing   *sim.Timer
+	stopTick   func()
+
+	demoteB, promoteB units.ByteSize
+	stats             Stats
+}
+
+// New builds an engine on s. The caller schedules arrivals (ScheduleArrival)
+// and steps s; the engine keeps itself consistent through its own events.
+func New(s *sim.Simulator, cfg Config) (*Engine, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("flowsim: config needs a topology")
+	}
+	if cfg.Queues < 2 {
+		return nil, fmt.Errorf("flowsim: need an SPQ queue plus DRR queues, got %d", cfg.Queues)
+	}
+	if len(cfg.Weights) != cfg.Queues {
+		return nil, fmt.Errorf("flowsim: %d weights for %d queues", len(cfg.Weights), cfg.Queues)
+	}
+	if cfg.Buffer <= 0 || cfg.MTU <= 0 || cfg.RTT <= 0 {
+		return nil, fmt.Errorf("flowsim: buffer, MTU and RTT must be positive")
+	}
+	if cfg.MSS <= 0 {
+		cfg.MSS = cfg.MTU
+	}
+	if cfg.InitWindow <= 0 {
+		cfg.InitWindow = 10 * cfg.MSS
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = cfg.RTT / 4
+		if cfg.Quantum <= 0 {
+			cfg.Quantum = cfg.RTT
+		}
+	}
+	if cfg.FlowCutoff <= 0 {
+		cfg.FlowCutoff = 100 * units.KB
+	}
+	if cfg.Hybrid {
+		if cfg.NewAdmission == nil {
+			return nil, fmt.Errorf("flowsim: hybrid mode needs an admission factory")
+		}
+		// Pre-validate so a factory error surfaces here, not mid-run.
+		if _, err := cfg.NewAdmission(); err != nil {
+			return nil, fmt.Errorf("flowsim: admission factory: %w", err)
+		}
+	}
+	e := &Engine{s: s, cfg: cfg, topo: cfg.Topo}
+	e.links = make([]linkState, cfg.Topo.NumLinks())
+	for i := range e.links {
+		e.links[i].cap = cfg.Topo.Capacity(i)
+	}
+	e.demoteB = cfg.DemoteBytes
+	if e.demoteB <= 0 {
+		e.demoteB = cfg.Buffer / 2
+	}
+	e.promoteB = cfg.PromoteBytes
+	if e.promoteB <= 0 {
+		e.promoteB = cfg.Buffer / 10
+	}
+	if e.promoteB >= e.demoteB {
+		return nil, fmt.Errorf("flowsim: promote threshold %v must sit below demote threshold %v", e.promoteB, e.demoteB)
+	}
+	e.completion = s.NewTimer(e.onCompletionTimer)
+	e.crossing = s.NewTimer(e.onCrossingTimer)
+	e.stopTick = s.Every(cfg.Quantum, e.onTick)
+	return e, nil
+}
+
+// Close releases the engine's recurring events (the quantum ticker and any
+// episode pumps); the run loop owns calling it once the flow count is
+// reached.
+func (e *Engine) Close() {
+	e.stopTick()
+	e.completion.Stop()
+	e.crossing.Stop()
+	for i := range e.links {
+		if p := e.links[i].ep.pump; p != nil {
+			p.Stop()
+		}
+	}
+}
+
+// Stats returns the run counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Active returns the number of in-flight flows.
+func (e *Engine) Active() int { return len(e.active) }
+
+// Instrument registers the engine's counters on reg.
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("flowsim_recomputes_total", func() int64 { return e.stats.Recomputes })
+	reg.CounterFunc("flowsim_demotions_total", func() int64 { return e.stats.Demotions })
+	reg.CounterFunc("flowsim_promotions_total", func() int64 { return e.stats.Promotions })
+	reg.CounterFunc("flowsim_packetized_packets_total", func() int64 { return e.stats.PacketizedPackets })
+	reg.CounterFunc("flowsim_packetized_drops_total", func() int64 { return e.stats.PacketizedDrops })
+	reg.CounterFunc("flowsim_packetized_marks_total", func() int64 { return e.stats.PacketizedMarks })
+	reg.CounterFunc("flowsim_fluid_drop_bytes_total", func() int64 { return e.stats.FluidDropBytes })
+	reg.CounterFunc("flowsim_threshold_crossings_total", func() int64 { return e.stats.ThresholdCrossings })
+}
+
+// Finish emits the run's summary span. Call once after the run loop.
+func (e *Engine) Finish() {
+	if e.cfg.Spans != nil {
+		e.cfg.Spans.SimSpan("flow-engine", e.cfg.SpanParent, 0, e.s.Now(),
+			ttrace.A("engine", "flow"),
+			ttrace.AInt("recomputes", e.stats.Recomputes),
+			ttrace.AInt("demotions", e.stats.Demotions),
+			ttrace.AInt("flows_completed", e.stats.Completed))
+	}
+}
+
+// ScheduleArrival schedules spec to start at the given simulated time. The
+// arrival time feeds the event heap, so tainted wall-clock values must
+// never reach it (enforced by dynaqlint's determinism-taint pass).
+func (e *Engine) ScheduleArrival(at units.Time, spec FlowSpec) {
+	e.s.At(at, func() { e.startFlow(spec) })
+}
+
+// startFlow admits one flow into the fluid state. Its rate stays zero until
+// the next recomputation event (at most one quantum away).
+func (e *Engine) startFlow(spec FlowSpec) {
+	if spec.Size <= 0 {
+		panic("flowsim: flow size must be positive")
+	}
+	if spec.Class < 0 || spec.Class >= e.cfg.Queues {
+		panic(fmt.Sprintf("flowsim: class %d out of range", spec.Class))
+	}
+	e.advance()
+	idx := int32(len(e.flows))
+	e.flows = append(e.flows, fflow{
+		spec:      spec,
+		path:      e.topo.Path(spec.Src, spec.Dst, ecmpHash(uint64(spec.ID)), make([]int32, 0, 6)),
+		remaining: spec.Size,
+		started:   e.s.Now(),
+		short:     spec.Size <= e.cfg.FlowCutoff,
+		epOwner:   -1,
+		activeIdx: int32(len(e.active)),
+	})
+	f := &e.flows[idx]
+	f.peak = e.links[f.path[0]].cap
+	for _, l := range f.path[1:] {
+		if c := e.links[l].cap; c < f.peak {
+			f.peak = c
+		}
+	}
+	for _, l := range f.path {
+		if ls := &e.links[l]; ls.demoted {
+			f.epLinks++
+			if f.epOwner < 0 {
+				f.epOwner = l
+			}
+			ls.ep.flows = append(ls.ep.flows, idx)
+			ls.ep.credit = append(ls.ep.credit, 0)
+		}
+	}
+	e.active = append(e.active, idx)
+	if len(e.active) > e.stats.MaxActive {
+		e.stats.MaxActive = len(e.active)
+	}
+	e.stats.Started++
+	e.ssCount++
+	e.dirty = true
+}
+
+// baseWindowRate returns IW/RTT, the slow-start epoch-zero send rate.
+func (e *Engine) baseWindowRate() units.Rate {
+	return units.Throughput(e.cfg.InitWindow, e.cfg.RTT)
+}
+
+// sendCap returns the flow's current source-side rate cap: the slow-start
+// window over the RTT (doubling each epoch) clamped by the path peak and
+// any standing loss penalty. Monotone within an epoch, so allocations only
+// need refreshing at recompute events.
+func (e *Engine) sendCap(f *fflow, now units.Time) units.Rate {
+	c := f.peak
+	if !f.ssDone {
+		epoch := int64(now.Sub(f.started) / e.cfg.RTT)
+		if epoch > 62 {
+			epoch = 62
+		}
+		base := e.baseWindowRate()
+		if base < units.BitPerSecond {
+			base = units.BitPerSecond
+		}
+		if base < f.peak>>uint(epoch) {
+			c = base << uint(epoch)
+		}
+	}
+	if f.penaltyRate > 0 && now < f.penaltyUntil && f.penaltyRate < c {
+		c = f.penaltyRate
+	}
+	if c < units.BitPerSecond {
+		c = units.BitPerSecond
+	}
+	return c
+}
+
+// advance integrates the fluid state from the last advance point to now:
+// every allocated flow delivers rate×dt bytes, every link's backlog grows
+// or drains by (inRate − capacity)×dt. Demoted links are owned by their
+// episode pump and skipped here.
+func (e *Engine) advance() {
+	now := e.s.Now()
+	dt := now.Sub(e.lastAdvance)
+	if dt <= 0 {
+		return
+	}
+	e.lastAdvance = now
+	for _, fi := range e.active {
+		f := &e.flows[fi]
+		if f.epLinks > 0 || f.rate <= 0 {
+			continue
+		}
+		got := f.rate.BytesIn(dt)
+		if got >= f.remaining {
+			f.remaining = 0
+		} else {
+			f.remaining -= got
+		}
+	}
+	for i := range e.links {
+		l := &e.links[i]
+		if l.demoted {
+			continue
+		}
+		switch {
+		case l.inRate > l.cap:
+			prev := l.backlog
+			l.backlog += (l.inRate - l.cap).BytesIn(dt)
+			if l.backlog > e.cfg.Buffer {
+				e.stats.FluidDropBytes += int64(l.backlog - e.cfg.Buffer)
+				l.backlog = e.cfg.Buffer
+				e.fluidOverflow(i)
+			}
+			if prev < e.demoteB && l.backlog >= e.demoteB {
+				e.stats.ThresholdCrossings++
+				if e.cfg.Hybrid {
+					e.demote(i)
+				}
+			}
+		case l.backlog > 0:
+			drained := (l.cap - l.inRate).BytesIn(dt)
+			if drained >= l.backlog {
+				l.backlog = 0
+			} else {
+				l.backlog -= drained
+			}
+		}
+	}
+}
+
+// fluidOverflow models a full fluid buffer: every slow-start flow crossing
+// the link took losses, so it exits slow start and halves, exactly the
+// feedback that stops the overshoot in a real network.
+func (e *Engine) fluidOverflow(link int) {
+	now := e.s.Now()
+	li := int32(link)
+	for _, fi := range e.active {
+		f := &e.flows[fi]
+		if f.ssDone {
+			continue
+		}
+		for _, l := range f.path {
+			if l == li {
+				e.exitSlowStart(f, now)
+				e.halve(f, now)
+				break
+			}
+		}
+	}
+}
+
+// exitSlowStart retires a flow from slow start (short flows complete within
+// it by construction, but a loss still caps them).
+func (e *Engine) exitSlowStart(f *fflow, now units.Time) {
+	if !f.ssDone {
+		f.ssDone = true
+		e.ssCount--
+	}
+}
+
+// halve applies a loss penalty: cap the flow at half its current send cap
+// for one RTT of recovery and charge the RTT to its FCT. At most one
+// penalty per RTT, like a real fast-recovery round.
+func (e *Engine) halve(f *fflow, now units.Time) {
+	if f.penaltyRate > 0 && now < f.penaltyUntil {
+		return
+	}
+	half := e.sendCap(f, now) / 2
+	if half < units.BitPerSecond {
+		half = units.BitPerSecond
+	}
+	f.penaltyRate = half
+	f.penaltyUntil = now.Add(e.cfg.RTT)
+	f.extraDelay += e.cfg.RTT
+}
+
+// onTick is the quantum event: integrate, re-solve the water-filling if
+// anything could have moved, and re-arm the derived timers.
+func (e *Engine) onTick() {
+	e.advance()
+	if e.dirty || e.ssCount > 0 || e.anyPenalty() {
+		e.recompute()
+	}
+	e.armCompletion()
+	e.armCrossing()
+}
+
+// anyPenalty reports whether a loss penalty is still shaping some flow
+// (its expiry changes caps without any arrival/completion).
+func (e *Engine) anyPenalty() bool {
+	for _, fi := range e.active {
+		if e.flows[fi].penaltyRate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// recompute re-solves the max-min allocation over the active flows and
+// refreshes every link's offered rate.
+func (e *Engine) recompute() {
+	now := e.s.Now()
+	n := len(e.active)
+	e.stats.Recomputes++
+	e.dirty = false
+	if cap(e.caps) < n {
+		e.caps = make([]units.Rate, n)
+		e.rates = make([]units.Rate, n)
+		e.paths = make([][]int32, n)
+	}
+	caps, rates, paths := e.caps[:n], e.rates[:n], e.paths[:n]
+	for k, fi := range e.active {
+		f := &e.flows[fi]
+		if f.penaltyRate > 0 && now >= f.penaltyUntil {
+			f.penaltyRate = 0
+		}
+		caps[k] = e.sendCap(f, now)
+		paths[k] = f.path
+	}
+	e.wf.fill(e.linkCaps(), caps, paths, rates)
+	for i := range e.links {
+		e.links[i].inRate = 0
+	}
+	for k, fi := range e.active {
+		f := &e.flows[fi]
+		f.rate = rates[k]
+		// Feedback delay: a flow keeps blasting its window for one RTT
+		// after first seeing an allocation below its cap, then settles.
+		// Long flows then track their share; short flows never settle —
+		// they live and die inside slow start.
+		offered := f.rate
+		if !f.ssDone {
+			if f.rate < caps[k] {
+				if f.ssExitAt == 0 {
+					f.ssExitAt = now.Add(e.cfg.RTT)
+				} else if now >= f.ssExitAt && !f.short {
+					e.exitSlowStart(f, now)
+				}
+				offered = caps[k]
+			} else {
+				f.ssExitAt = 0
+			}
+		}
+		for _, l := range f.path {
+			e.links[l].inRate += offered
+		}
+	}
+}
+
+// linkCaps returns the per-link capacities as a dense slice for the filler.
+// Demoted links keep their capacity in the fill: the allocation of a
+// packetized flow is its offered rate into the episode pump, which then
+// applies the real scheme's admission and drain.
+func (e *Engine) linkCaps() []units.Rate {
+	if cap(e.wfCaps) < len(e.links) {
+		e.wfCaps = make([]units.Rate, len(e.links))
+	}
+	out := e.wfCaps[:len(e.links)]
+	for i := range e.links {
+		out[i] = e.links[i].cap
+	}
+	return out
+}
+
+// armCompletion points the completion timer at the earliest projected flow
+// finish under current rates. Packetized flows complete through their
+// episode pump instead.
+func (e *Engine) armCompletion() {
+	best := units.MaxTime
+	now := e.s.Now()
+	horizon := units.MaxTime.Sub(now)
+	for _, fi := range e.active {
+		f := &e.flows[fi]
+		if f.epLinks > 0 || f.rate <= 0 {
+			continue
+		}
+		d := f.rate.Transmit(f.remaining)
+		if d >= horizon {
+			// Past the representable horizon (e.g. a starved 1 bps share on
+			// a huge flow): leave it to the next rate recomputation instead
+			// of wrapping Time and arming the timer in the past.
+			continue
+		}
+		if t := now.Add(d + units.Picosecond); t < best {
+			best = t
+		}
+	}
+	if best == units.MaxTime {
+		e.completion.Stop()
+		return
+	}
+	e.completion.Reset(best.Sub(now))
+}
+
+// onCompletionTimer fires at a projected finish: integrate and complete
+// every flow that has drained.
+func (e *Engine) onCompletionTimer() {
+	e.advance()
+	e.completeDrained()
+	e.armCompletion()
+}
+
+// completeDrained completes every active fluid flow with no bytes left,
+// in flow order for determinism.
+func (e *Engine) completeDrained() {
+	for i := 0; i < len(e.active); {
+		fi := e.active[i]
+		f := &e.flows[fi]
+		if f.epLinks == 0 && f.remaining <= 0 {
+			e.complete(fi, true)
+			continue // swap-removed: revisit index i
+		}
+		i++
+	}
+}
+
+// complete retires flow fi and reports its FCT: the rate-limited transfer
+// time plus the base RTT, the worst standing queue on its path, and any
+// accumulated loss-recovery delay. Pump completions pass withQDelay false —
+// a packetized flow waited out its queue explicitly, so adding the standing
+// backlog again would double-count it.
+func (e *Engine) complete(fi int32, withQDelay bool) {
+	f := &e.flows[fi]
+	now := e.s.Now()
+	var qDelay units.Duration
+	if withQDelay {
+		for _, l := range f.path {
+			ls := &e.links[l]
+			b := ls.backlog
+			if ls.demoted {
+				b = ls.ep.total
+			}
+			if b > 0 {
+				if d := ls.cap.Transmit(b); d > qDelay {
+					qDelay = d
+				}
+			}
+		}
+	}
+	fct := now.Sub(f.started) + e.cfg.RTT + qDelay + f.extraDelay
+	// Swap-remove from the active set, patching the moved flow's index.
+	last := len(e.active) - 1
+	ai := f.activeIdx
+	moved := e.active[last]
+	e.active[ai] = moved
+	e.flows[moved].activeIdx = ai
+	e.active = e.active[:last]
+	f.activeIdx = -1
+	if !f.ssDone {
+		e.ssCount--
+		f.ssDone = true
+	}
+	e.stats.Completed++
+	e.dirty = true
+	if f.spec.OnComplete != nil {
+		f.spec.OnComplete(fct)
+	}
+}
+
+// armCrossing points the crossing timer at the earliest projected demote
+// threshold crossing among growing fluid backlogs, so demotion lands at the
+// crossing instant rather than the next quantum tick.
+func (e *Engine) armCrossing() {
+	best := units.MaxTime
+	now := e.s.Now()
+	horizon := units.MaxTime.Sub(now)
+	for i := range e.links {
+		l := &e.links[i]
+		if l.demoted || l.inRate <= l.cap || l.backlog >= e.demoteB {
+			continue
+		}
+		d := (l.inRate - l.cap).Transmit(e.demoteB - l.backlog)
+		if d >= horizon {
+			continue // crossing projects past the horizon; wait for a tick
+		}
+		if t := now.Add(d + units.Picosecond); t < best {
+			best = t
+		}
+	}
+	if best == units.MaxTime {
+		e.crossing.Stop()
+		return
+	}
+	e.crossing.Reset(best.Sub(now))
+}
+
+// onCrossingTimer fires at a projected threshold crossing: the advance
+// detects the crossing (and demotes under hybrid) as a side effect.
+func (e *Engine) onCrossingTimer() {
+	e.advance()
+	e.armCrossing()
+}

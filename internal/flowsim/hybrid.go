@@ -1,0 +1,342 @@
+package flowsim
+
+import (
+	"dynaq/internal/buffer"
+	"dynaq/internal/sim"
+	ttrace "dynaq/internal/telemetry/trace"
+	"dynaq/internal/units"
+)
+
+// pumpBatchMTUs sets the episode pump granularity: one pump tick spans the
+// serialization time of this many MTUs at the link rate, so packetized
+// admission runs at near-packet resolution without one event per packet
+// (48µs per tick on the 1GbE testbed, 4.8µs at 10G).
+const pumpBatchMTUs = 4
+
+// chunk is one synthetic packet sitting in a demoted port's queue. A flow
+// of -1 marks phantom backlog converted from the fluid queue at demotion:
+// it occupies buffer and delays, but delivers to nobody.
+type chunk struct {
+	flow  int32
+	bytes int32
+	at    units.Time // admission time, for sojourn-based schemes
+}
+
+// episode is the packetized state of one demoted link. The admission
+// instance persists across the link's episodes so stateful schemes (DynaQ's
+// dynamic thresholds) carry their state, exactly like a real port would.
+type episode struct {
+	adm     buffer.Admission
+	queues  [][]chunk
+	qlen    []units.ByteSize
+	deficit []int64
+	total   units.ByteSize
+	carry   int64 // drain budget left over from the last tick
+
+	flows  []int32 // active flows crossing the link this episode
+	credit []int64 // per flows[i]: accrued bytes not yet packetized
+
+	pump     *sim.Timer
+	lastPump units.Time
+	startT   units.Time
+	packets  int64
+	drops    int64
+	marks    int64
+}
+
+// epView adapts an episode to buffer.View for the admission scheme.
+type epView struct {
+	ep  *episode
+	buf units.ByteSize
+}
+
+func (v epView) NumQueues() int                { return len(v.ep.qlen) }
+func (v epView) QueueLen(i int) units.ByteSize { return v.ep.qlen[i] }
+func (v epView) TotalLen() units.ByteSize      { return v.ep.total }
+func (v epView) Buffer() units.ByteSize        { return v.buf }
+
+// demote switches link li to packet granularity: the fluid backlog becomes
+// synthetic packets fed through the real scheme's admission, and an episode
+// pump takes over arrival and drain at MTU-batch resolution.
+func (e *Engine) demote(li int) {
+	l := &e.links[li]
+	ep := &l.ep
+	if ep.adm == nil {
+		adm, err := e.cfg.NewAdmission()
+		if err != nil {
+			// New() pre-validates the factory; a failure here means the
+			// configuration changed mid-run, which cannot happen.
+			panic("flowsim: admission factory failed mid-run: " + err.Error())
+		}
+		ep.adm = adm
+		ep.queues = make([][]chunk, e.cfg.Queues)
+		ep.qlen = make([]units.ByteSize, e.cfg.Queues)
+		ep.deficit = make([]int64, e.cfg.Queues)
+		link := li
+		ep.pump = e.s.NewTimer(func() { e.pump(link) })
+	}
+	// Enroll every active flow crossing the link.
+	ep.flows = ep.flows[:0]
+	ep.credit = ep.credit[:0]
+	for _, fi := range e.active {
+		f := &e.flows[fi]
+		for _, pl := range f.path {
+			if int(pl) == li {
+				ep.flows = append(ep.flows, fi)
+				ep.credit = append(ep.credit, 0)
+				f.epLinks++
+				if f.epOwner < 0 {
+					f.epOwner = int32(li)
+				}
+				break
+			}
+		}
+	}
+	if len(ep.flows) == 0 {
+		// Nothing to packetize (the backlog can only have been built by
+		// flows, but guard the invariant anyway).
+		return
+	}
+	l.demoted = true
+	e.stats.Demotions++
+	now := e.s.Now()
+	ep.startT = now
+	ep.lastPump = now
+	ep.packets, ep.drops, ep.marks = 0, 0, 0
+	ep.carry = 0
+	for i := range ep.deficit {
+		ep.deficit[i] = 0
+	}
+	// Convert the fluid backlog into phantom packets through the scheme, so
+	// the episode starts from the queue state the fluid model predicts.
+	// Classes round-robin over the crossing flows' classes.
+	view := epView{ep: ep, buf: e.cfg.Buffer}
+	backlog := l.backlog
+	l.backlog = 0
+	for j := 0; backlog > 0; j++ {
+		b := e.cfg.MTU
+		if b > backlog {
+			b = backlog
+		}
+		backlog -= b
+		cls := e.flows[ep.flows[j%len(ep.flows)]].spec.Class
+		if ep.total+b <= e.cfg.Buffer && ep.adm.Admit(view, cls, b) {
+			e.enqueueChunk(ep, cls, chunk{flow: -1, bytes: int32(b), at: now})
+		}
+	}
+	ep.pump.Reset(e.pumpInterval(l))
+}
+
+// pumpInterval is the episode tick: pumpBatchMTUs MTUs of serialization
+// time at the link rate.
+func (e *Engine) pumpInterval(l *linkState) units.Duration {
+	return l.cap.Transmit(units.ByteSize(pumpBatchMTUs) * e.cfg.MTU)
+}
+
+// enqueueChunk appends an admitted chunk and keeps the episode accounting.
+func (e *Engine) enqueueChunk(ep *episode, cls int, c chunk) {
+	ep.queues[cls] = append(ep.queues[cls], c)
+	ep.qlen[cls] += units.ByteSize(c.bytes)
+	ep.total += units.ByteSize(c.bytes)
+	ep.packets++
+	e.stats.PacketizedPackets++
+}
+
+// pump is one episode tick of link li: accrue per-flow send credit, feed it
+// through the scheme's admission as MTU chunks, drain the queues with DRR
+// at link rate, and promote once the transient has drained.
+func (e *Engine) pump(li int) {
+	l := &e.links[li]
+	if !l.demoted {
+		return
+	}
+	ep := &l.ep
+	now := e.s.Now()
+	dt := now.Sub(ep.lastPump)
+	ep.lastPump = now
+	view := epView{ep: ep, buf: e.cfg.Buffer}
+
+	// Arrivals: each crossing flow offers its current send rate; an owner
+	// link packetizes the flow's bytes (a flow spanning two demoted links
+	// is owned by the first, so it is not delivered twice).
+	for k, fi := range ep.flows {
+		f := &e.flows[fi]
+		if f.activeIdx < 0 {
+			continue
+		}
+		if f.epOwner < 0 {
+			f.epOwner = int32(li)
+		}
+		if f.epOwner != int32(li) {
+			continue
+		}
+		offered := f.rate
+		if !f.ssDone {
+			offered = e.sendCap(f, now)
+		}
+		ep.credit[k] += int64(offered.BytesIn(dt))
+		if m := int64(f.remaining - f.inflight); ep.credit[k] > m {
+			ep.credit[k] = m
+		}
+		for ep.credit[k] > 0 {
+			b := e.cfg.MTU
+			if avail := f.remaining - f.inflight; b > avail {
+				b = avail
+			}
+			if b <= 0 || int64(b) > ep.credit[k] {
+				break
+			}
+			if ep.total+b > e.cfg.Buffer || !ep.adm.Admit(view, f.spec.Class, b) {
+				// Loss: the bytes stay unsent at the source; the flow
+				// halves and exits slow start, and the rest of this
+				// tick's credit burns with the lost window.
+				e.stats.PacketizedDrops++
+				ep.drops++
+				e.exitSlowStart(f, now)
+				e.halve(f, now)
+				ep.credit[k] = 0
+				break
+			}
+			ep.credit[k] -= int64(b)
+			f.inflight += b
+			if mk, ok := ep.adm.(buffer.EnqueueMarker); ok && mk.MarkOnEnqueue(view, f.spec.Class, b) {
+				e.stats.PacketizedMarks++
+				ep.marks++
+				e.exitSlowStart(f, now)
+				e.halve(f, now)
+			}
+			e.enqueueChunk(ep, f.spec.Class, chunk{flow: fi, bytes: int32(b), at: now})
+		}
+	}
+
+	// Drain: DRR over the service queues at link rate, chunk granularity.
+	budget := int64(l.cap.BytesIn(dt)) + ep.carry
+	for budget > 0 && ep.total > 0 {
+		progressed := false
+		for q := 0; q < len(ep.queues) && budget > 0; q++ {
+			cq := ep.queues[q]
+			if len(cq) == 0 {
+				ep.deficit[q] = 0
+				continue
+			}
+			ep.deficit[q] += e.cfg.Weights[q] * int64(e.cfg.MTU)
+			for len(cq) > 0 {
+				c := cq[0]
+				b := int64(c.bytes)
+				if ep.deficit[q] < b || budget < b {
+					break
+				}
+				cq = cq[1:]
+				ep.deficit[q] -= b
+				budget -= b
+				progressed = true
+				e.deliverChunk(ep, q, c, view, now)
+			}
+			ep.queues[q] = cq
+			if len(cq) == 0 {
+				ep.deficit[q] = 0
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if ep.total > 0 {
+		ep.carry = budget
+	} else {
+		ep.carry = 0
+	}
+
+	// Promote once the transient has drained to the promote threshold.
+	if ep.total <= e.promoteB {
+		e.promote(li)
+		return
+	}
+	ep.pump.Reset(e.pumpInterval(l))
+}
+
+// deliverChunk hands one dequeued chunk to its flow (phantom chunks just
+// vacate buffer), running the scheme's dequeue-time hooks.
+func (e *Engine) deliverChunk(ep *episode, cls int, c chunk, view epView, now units.Time) {
+	ep.qlen[cls] -= units.ByteSize(c.bytes)
+	ep.total -= units.ByteSize(c.bytes)
+	sojourn := now.Sub(c.at)
+	dropped := false
+	if dd, ok := ep.adm.(buffer.DequeueDropper); ok && dd.DropOnDequeue(cls, sojourn) {
+		dropped = true
+		e.stats.PacketizedDrops++
+		ep.drops++
+	}
+	if ob, ok := ep.adm.(buffer.DequeueObserver); ok {
+		ob.ObserveDequeue(view, cls, units.ByteSize(c.bytes), now)
+	}
+	if c.flow < 0 {
+		return
+	}
+	f := &e.flows[c.flow]
+	if f.activeIdx < 0 {
+		return
+	}
+	f.inflight -= units.ByteSize(c.bytes)
+	if dm, ok := ep.adm.(buffer.DequeueMarker); ok && dm.MarkOnDequeue(cls, sojourn) {
+		e.stats.PacketizedMarks++
+		ep.marks++
+		e.exitSlowStart(f, now)
+		e.halve(f, now)
+	}
+	if dropped {
+		// The scheme discarded the packet at dequeue: the bytes must be
+		// resent, so remaining is untouched and the flow pays a recovery.
+		e.exitSlowStart(f, now)
+		e.halve(f, now)
+		return
+	}
+	if units.ByteSize(c.bytes) >= f.remaining {
+		f.remaining = 0
+	} else {
+		f.remaining -= units.ByteSize(c.bytes)
+	}
+	if f.remaining <= 0 && f.inflight <= 0 {
+		e.complete(c.flow, false)
+	}
+}
+
+// promote returns link li to fluid: residual chunks become fluid backlog
+// again, enrolled flows are released, and the episode span is emitted.
+func (e *Engine) promote(li int) {
+	l := &e.links[li]
+	ep := &l.ep
+	now := e.s.Now()
+	l.demoted = false
+	l.backlog = ep.total
+	for q := range ep.queues {
+		ep.queues[q] = ep.queues[q][:0]
+		ep.qlen[q] = 0
+		ep.deficit[q] = 0
+	}
+	ep.total = 0
+	ep.carry = 0
+	for _, fi := range ep.flows {
+		f := &e.flows[fi]
+		if f.activeIdx < 0 {
+			continue
+		}
+		f.epLinks--
+		f.inflight = 0
+		if f.epOwner == int32(li) {
+			f.epOwner = -1
+		}
+	}
+	ep.flows = ep.flows[:0]
+	ep.credit = ep.credit[:0]
+	ep.pump.Stop()
+	e.stats.Promotions++
+	e.dirty = true
+	if e.cfg.Spans != nil {
+		e.cfg.Spans.SimSpan("demote", e.cfg.SpanParent, ep.startT, now,
+			ttrace.A("link", e.topo.LinkName(li)),
+			ttrace.AInt("packets", ep.packets),
+			ttrace.AInt("drops", ep.drops),
+			ttrace.AInt("marks", ep.marks))
+	}
+}

@@ -1,0 +1,83 @@
+package flowsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynaq/internal/packet"
+	"dynaq/internal/sim"
+	"dynaq/internal/units"
+)
+
+// TestFatTreeHeavyTailNoLivelock is a regression test for an event-loop
+// livelock: units.Rate.Transmit overflowed int64 on multi-MB transfers (the
+// remainder term rem×1e12 wraps negative past ~1.15 MB), so armCompletion
+// handed the simulator a timer in the past and the engine spun forever at
+// one timestamp. Heavy-tailed sizes up to ~31 MB on a k=4 fat tree exercise
+// exactly that regime; the test fails fast if sim time stops advancing.
+func TestFatTreeHeavyTailNoLivelock(t *testing.T) {
+	topo, err := NewFatTree(4, 10*units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	weights := make([]int64, 8)
+	for i := range weights {
+		weights[i] = 1
+	}
+	e, err := New(s, Config{
+		Topo:    topo,
+		Queues:  8,
+		Weights: weights,
+		Buffer:  192 * units.KB,
+		MTU:     1500,
+		MSS:     1460,
+		RTT:     120 * units.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	const flows = 500
+	done := 0
+	at := units.Time(0)
+	hosts := topo.Hosts()
+	for i := 0; i < flows; i++ {
+		at = at.Add(units.Duration(rng.Int63n(int64(20 * units.Microsecond))))
+		src := rng.Intn(hosts)
+		dst := rng.Intn(hosts - 1)
+		if dst >= src {
+			dst++
+		}
+		// Heavy tail: mostly small, occasionally tens of MB.
+		size := units.ByteSize(1000 + rng.Int63n(100_000))
+		if rng.Intn(20) == 0 {
+			size = units.ByteSize(1_000_000 + rng.Int63n(30_000_000))
+		}
+		e.ScheduleArrival(at, FlowSpec{
+			ID: packet.FlowID(1 + i), Src: src, Dst: dst,
+			Class: 1 + rng.Intn(7), Size: size,
+			OnComplete: func(units.Duration) { done++ },
+		})
+	}
+	var lastNow units.Time
+	sameNow := 0
+	for done < flows && s.Pending() > 0 && s.Now() < units.Time(10*units.Second) {
+		s.Step()
+		if s.Now() == lastNow {
+			sameNow++
+			if sameNow > 100_000 {
+				t.Fatalf("livelock at t=%v: %d events at one timestamp, %d/%d done, active=%d",
+					s.Now(), sameNow, done, flows, e.Active())
+			}
+		} else {
+			lastNow = s.Now()
+			sameNow = 0
+		}
+	}
+	if done != flows {
+		t.Fatalf("completed %d/%d flows by t=%v (pending=%d)", done, flows, s.Now(), s.Pending())
+	}
+}

@@ -1,0 +1,147 @@
+package flowsim
+
+import (
+	"math"
+	"sort"
+
+	"dynaq/internal/units"
+)
+
+// waterfiller solves progressive max-min filling: repeatedly freeze the
+// binding constraint — either a flow whose own rate cap is below every
+// link's fair share, or the bottleneck link with the smallest share — until
+// every flow holds a rate. All arithmetic is int64 bps; ties break on the
+// lowest index, so the allocation is a pure function of its inputs.
+//
+// The scratch slices live across calls; a steady-state recompute allocates
+// nothing once they have grown to the working-set size.
+type waterfiller struct {
+	rem    []int64 // remaining capacity per link
+	nf     []int32 // unfrozen flows per link
+	heads  []int32 // CSR offsets: link i's flows are items[heads[i]:heads[i+1]]
+	cursor []int32 // CSR fill cursors
+	items  []int32
+	order  []int32 // flow indices sorted by ascending cap
+	frozen []bool
+}
+
+// fill computes the allocation of flowCap/flowPath over linkCap into out.
+// Every flow must have a positive cap and a non-empty path; out must have
+// len(flowCap).
+func (w *waterfiller) fill(linkCap []units.Rate, flowCap []units.Rate, flowPath [][]int32, out []units.Rate) {
+	n, nl := len(flowCap), len(linkCap)
+	w.grow(n, nl)
+	rem, nf := w.rem[:nl], w.nf[:nl]
+	for i, c := range linkCap {
+		rem[i], nf[i] = int64(c), 0
+	}
+	for _, path := range flowPath[:n] {
+		for _, l := range path {
+			nf[l]++
+		}
+	}
+	heads, cursor := w.heads[:nl+1], w.cursor[:nl]
+	heads[0] = 0
+	for i := 0; i < nl; i++ {
+		heads[i+1] = heads[i] + nf[i]
+		cursor[i] = heads[i]
+	}
+	if cap(w.items) < int(heads[nl]) {
+		w.items = make([]int32, heads[nl])
+	}
+	items := w.items[:heads[nl]]
+	for f, path := range flowPath[:n] {
+		for _, l := range path {
+			items[cursor[l]] = int32(f)
+			cursor[l]++
+		}
+	}
+	order, frozen := w.order[:n], w.frozen[:n]
+	for f := 0; f < n; f++ {
+		order[f], frozen[f] = int32(f), false
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := flowCap[order[a]], flowCap[order[b]]
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+
+	unfrozen := n
+	freeze := func(f int32, r units.Rate) {
+		out[f], frozen[f] = r, true
+		unfrozen--
+		for _, l := range flowPath[f] {
+			rem[l] -= int64(r)
+			nf[l]--
+		}
+	}
+	ptr := 0
+	for unfrozen > 0 {
+		// Smallest fair share over links still carrying unfrozen flows.
+		share, bl := int64(math.MaxInt64), -1
+		for l := 0; l < nl; l++ {
+			if nf[l] > 0 {
+				if s := rem[l] / int64(nf[l]); s < share {
+					share, bl = s, l
+				}
+			}
+		}
+		if bl < 0 {
+			// No shared link left: remaining flows are cap-limited only.
+			for ; ptr < n; ptr++ {
+				if f := order[ptr]; !frozen[f] {
+					freeze(f, flowCap[f])
+				}
+			}
+			break
+		}
+		if share < 1 {
+			share = 1 // a saturated link still moves every flow forward
+		}
+		// Freeze every flow whose cap sits at or under the current share:
+		// removing a flow at rate <= share only raises shares, so the batch
+		// is safe without rescanning links between freezes.
+		progressed := false
+		for ptr < n {
+			f := order[ptr]
+			if frozen[f] {
+				ptr++
+				continue
+			}
+			if int64(flowCap[f]) > share {
+				break
+			}
+			freeze(f, flowCap[f])
+			ptr++
+			progressed = true
+		}
+		if progressed {
+			continue
+		}
+		// The bottleneck link binds: its unfrozen flows get the share.
+		for _, f := range items[heads[bl]:heads[bl+1]] {
+			if !frozen[f] {
+				freeze(f, units.Rate(share))
+			}
+		}
+	}
+}
+
+// grow resizes the scratch slices for n flows over nl links; items is sized
+// in fill once the edge count is known.
+func (w *waterfiller) grow(n, nl int) {
+	if cap(w.rem) < nl {
+		w.rem = make([]int64, nl)
+		w.nf = make([]int32, nl)
+		w.cursor = make([]int32, nl)
+	}
+	if cap(w.heads) < nl+1 {
+		w.heads = make([]int32, nl+1)
+	}
+	if cap(w.order) < n {
+		w.order = make([]int32, n)
+		w.frozen = make([]bool, n)
+	}
+}

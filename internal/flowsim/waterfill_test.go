@@ -1,0 +1,146 @@
+package flowsim
+
+import (
+	"testing"
+
+	"dynaq/internal/units"
+)
+
+func fillOnce(t *testing.T, linkCap []units.Rate, flowCap []units.Rate, paths [][]int32) []units.Rate {
+	t.Helper()
+	var w waterfiller
+	out := make([]units.Rate, len(flowCap))
+	w.fill(linkCap, flowCap, paths, out)
+	return out
+}
+
+func TestWaterfillEqualShare(t *testing.T) {
+	links := []units.Rate{units.Gbps}
+	caps := []units.Rate{10 * units.Gbps, 10 * units.Gbps}
+	paths := [][]int32{{0}, {0}}
+	out := fillOnce(t, links, caps, paths)
+	for i, r := range out {
+		if r != units.Gbps/2 {
+			t.Fatalf("flow %d rate = %v, want 500Mbps", i, r)
+		}
+	}
+}
+
+func TestWaterfillCapLimited(t *testing.T) {
+	// One flow capped below its fair share: the other picks up the slack.
+	links := []units.Rate{units.Gbps}
+	caps := []units.Rate{100 * units.Mbps, 10 * units.Gbps}
+	paths := [][]int32{{0}, {0}}
+	out := fillOnce(t, links, caps, paths)
+	if out[0] != 100*units.Mbps {
+		t.Fatalf("capped flow rate = %v, want 100Mbps", out[0])
+	}
+	if out[1] != 900*units.Mbps {
+		t.Fatalf("elastic flow rate = %v, want 900Mbps", out[1])
+	}
+}
+
+func TestWaterfillTwoBottlenecks(t *testing.T) {
+	// Classic progressive-filling example: flows A:{0}, B:{0,1}, C:{1},
+	// link 0 = 1G, link 1 = 3G. Link 0 binds first: A=B=500M; C then takes
+	// the rest of link 1: 2.5G (capped at its cap).
+	links := []units.Rate{units.Gbps, 3 * units.Gbps}
+	caps := []units.Rate{10 * units.Gbps, 10 * units.Gbps, 10 * units.Gbps}
+	paths := [][]int32{{0}, {0, 1}, {1}}
+	out := fillOnce(t, links, caps, paths)
+	if out[0] != units.Gbps/2 || out[1] != units.Gbps/2 {
+		t.Fatalf("link-0 flows = %v/%v, want 500Mbps each", out[0], out[1])
+	}
+	if want := 3*units.Gbps - units.Gbps/2; out[2] != want {
+		t.Fatalf("flow C = %v, want %v", out[2], want)
+	}
+}
+
+func TestWaterfillRespectsCapacity(t *testing.T) {
+	// Random-ish mesh: total allocation on every link must not exceed its
+	// capacity, and every flow must get a positive rate.
+	links := []units.Rate{units.Gbps, 2 * units.Gbps, 500 * units.Mbps}
+	caps := make([]units.Rate, 6)
+	paths := [][]int32{{0, 1}, {1, 2}, {0, 2}, {2}, {1}, {0}}
+	for i := range caps {
+		caps[i] = units.Rate(1+i) * 300 * units.Mbps
+	}
+	out := fillOnce(t, links, caps, paths)
+	sums := make([]int64, len(links))
+	for f, p := range paths {
+		if out[f] <= 0 {
+			t.Fatalf("flow %d got no rate", f)
+		}
+		if out[f] > caps[f] {
+			t.Fatalf("flow %d exceeds its cap: %v > %v", f, out[f], caps[f])
+		}
+		for _, l := range p {
+			sums[l] += int64(out[f])
+		}
+	}
+	for l, s := range sums {
+		// The filler may oversubscribe a saturated link by at most one bps
+		// per flow (integer floor shares with the 1bps progress clamp).
+		if s > int64(links[l])+int64(len(paths)) {
+			t.Fatalf("link %d oversubscribed: %d > %d", l, s, int64(links[l]))
+		}
+	}
+}
+
+func TestWaterfillReuseIsClean(t *testing.T) {
+	// The same filler must give identical answers when its scratch is
+	// reused across differently-shaped problems.
+	var w waterfiller
+	links := []units.Rate{units.Gbps}
+	caps := []units.Rate{10 * units.Gbps, 10 * units.Gbps}
+	paths := [][]int32{{0}, {0}}
+	out1 := make([]units.Rate, 2)
+	w.fill(links, caps, paths, out1)
+
+	big := make([][]int32, 40)
+	bigCaps := make([]units.Rate, 40)
+	for i := range big {
+		big[i] = []int32{0}
+		bigCaps[i] = units.Gbps
+	}
+	tmp := make([]units.Rate, 40)
+	w.fill(links, bigCaps, big, tmp)
+
+	out2 := make([]units.Rate, 2)
+	w.fill(links, caps, paths, out2)
+	if out1[0] != out2[0] || out1[1] != out2[1] {
+		t.Fatalf("scratch reuse changed the answer: %v vs %v", out1, out2)
+	}
+}
+
+func BenchmarkWaterfill(b *testing.B) {
+	// 512 flows over a k=8 fat tree's links: a representative recompute.
+	topo, err := NewFatTree(8, 10*units.Gbps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	links := make([]units.Rate, topo.NumLinks())
+	for i := range links {
+		links[i] = topo.Capacity(i)
+	}
+	const n = 512
+	caps := make([]units.Rate, n)
+	paths := make([][]int32, n)
+	hosts := topo.Hosts()
+	for i := 0; i < n; i++ {
+		src := (i * 37) % hosts
+		dst := (i*53 + 1) % hosts
+		if dst == src {
+			dst = (dst + 1) % hosts
+		}
+		paths[i] = topo.Path(src, dst, uint64(i), nil)
+		caps[i] = 40 * units.Gbps
+	}
+	out := make([]units.Rate, n)
+	var w waterfiller
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.fill(links, caps, paths, out)
+	}
+	b.ReportMetric(float64(b.N)*float64(n)/b.Elapsed().Seconds(), "flowfills/s")
+}

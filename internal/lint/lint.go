@@ -140,6 +140,10 @@ func DefaultConfig() Config {
 			"dynaq/internal/fleet",
 			"dynaq/internal/server",
 			"dynaq/internal/telemetry/trace",
+			// The fluid engine derives every event time from simulated
+			// quantities; a stdlib timer here would silently break the
+			// byte-identical cache contract for flow-engine cells.
+			"dynaq/internal/flowsim",
 		},
 		TaintSinks: map[string]string{
 			"dynaq/internal/server.CacheKey":                   "content-addressed cache key",
@@ -153,6 +157,7 @@ func DefaultConfig() Config {
 			"(dynaq/internal/sim.Simulator).AfterCall":         "event scheduling time",
 			"(dynaq/internal/sim.Simulator).Every":             "event scheduling time",
 			"(dynaq/internal/sim.Timer).Reset":                 "event scheduling time",
+			"(dynaq/internal/flowsim.Engine).ScheduleArrival":  "flow arrival time",
 			"(dynaq/internal/telemetry/trace.Tracer).SimSpan":  "sim-time span timestamp",
 			"(dynaq/internal/telemetry/trace.SpanRef).SimSpan": "sim-time span timestamp",
 		},

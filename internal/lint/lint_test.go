@@ -138,6 +138,19 @@ func TestTraceFixture(t *testing.T) {
 	checkFixtureWith(t, pkg, cfg, []*Analyzer{DeterminismTaint})
 }
 
+// TestFlowFixture runs determinism-taint over the flow-engine fixture: a
+// wall-clock read laundered into a ScheduleArrival time must be flagged,
+// while seeded sim-time arrivals and interface-clock draws stay silent.
+func TestFlowFixture(t *testing.T) {
+	pkg := loadFixtureDir(t, NewLoader(), "flowfix")
+	cfg := Config{
+		TaintSinks: map[string]string{
+			"(flowfix.Engine).ScheduleArrival": "flow arrival time",
+		},
+	}
+	checkFixtureWith(t, pkg, cfg, []*Analyzer{DeterminismTaint})
+}
+
 // TestLockFixture runs lock-discipline over its fixture: guarded-field
 // misses, the *Locked and constructor exemptions, closures, and the ctx
 // rule for spawners and mutators.

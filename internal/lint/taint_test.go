@@ -51,13 +51,13 @@ func renderHelper(t time.Time) string { return t.String() }
 // launderedKey smuggles the wall clock into the cache key through both
 // helpers; the taint analyzer must flag the CacheKey argument below.
 func launderedKey() string {
-	return CacheKey("v1", renderHelper(stampHelper()), "dynaq", 1) // SINK LINE
+	return CacheKey("v1", renderHelper(stampHelper()), "dynaq", "packet", 1) // SINK LINE
 }
 
 // injectedClockKey draws the same flow from the audited fleet.Clock seam
 // instead; this must stay silent.
 func injectedClockKey(c fleet.Clock) string {
-	return CacheKey("v1", renderHelper(c.Now()), "dynaq", 1)
+	return CacheKey("v1", renderHelper(c.Now()), "dynaq", "packet", 1)
 }
 `
 	sinkLine := 0

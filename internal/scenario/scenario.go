@@ -56,15 +56,25 @@ type Document struct {
 	Specs     []Spec  `json:"specs,omitempty"`
 
 	// FCT fields.
-	Topo         string   `json:"topo,omitempty"` // star | leafspine
+	Topo         string   `json:"topo,omitempty"` // star | leafspine | fattree
 	Servers      int      `json:"servers,omitempty"`
 	Leaves       int      `json:"leaves,omitempty"`
 	Spines       int      `json:"spines,omitempty"`
 	HostsPerLeaf int      `json:"hosts_per_leaf,omitempty"`
+	FatTreeK     int      `json:"k,omitempty"` // fat-tree arity (topo=fattree)
 	Load         float64  `json:"load,omitempty"`
 	Flows        int      `json:"flows,omitempty"`
 	Workloads    []string `json:"workloads,omitempty"`
 	DCTCP        bool     `json:"dctcp,omitempty"`
+
+	// Engine selects the fct simulation fidelity: "packet" (default),
+	// "flow" (fluid fast path) or "hybrid" (fluid with selective
+	// packetization of congested ports). The fattree topology requires a
+	// fluid engine; faults/guard/failure-aware require the packet engine.
+	Engine string `json:"engine,omitempty"`
+	// FlowCutoffB overrides the fluid engines' short/long flow cutoff in
+	// bytes (default: the 100KB PIAS demotion threshold).
+	FlowCutoffB int64 `json:"flow_cutoff_bytes,omitempty"`
 
 	// Fault injection (both kinds). Targets are resolved against the
 	// topology's fault registry: "tor:<i>" / "host<i>:nic" / "tor" on the
@@ -138,6 +148,16 @@ func (r *Runner) Scheme() string { return r.doc.Scheme }
 // Seed returns the scenario's seed.
 func (r *Runner) Seed() int64 { return r.doc.Seed }
 
+// Engine returns the scenario's simulation engine ("packet" unless the
+// document selected a fluid fidelity). Part of a run's cache identity: the
+// same document at a different fidelity is a different result.
+func (r *Runner) Engine() string {
+	if r.doc.Engine == "" {
+		return string(experiment.EnginePacket)
+	}
+	return r.doc.Engine
+}
+
 // SetTelemetry attaches a telemetry run to the underlying experiment
 // configuration; the caller owns (and closes) the Run.
 func (r *Runner) SetTelemetry(run *telemetry.Run) {
@@ -182,6 +202,9 @@ type Overrides struct {
 	Scheme string
 	// Seed, when non-nil, replaces the document's seed.
 	Seed *int64
+	// Engine, when non-empty, replaces the document's engine. Callers that
+	// override it must carry the engine in the cell's cache identity.
+	Engine string
 }
 
 // Load parses and validates a JSON scenario.
@@ -205,6 +228,9 @@ func LoadWith(data []byte, ov Overrides) (*Runner, error) {
 	}
 	if ov.Seed != nil {
 		doc.Seed = *ov.Seed
+	}
+	if ov.Engine != "" {
+		doc.Engine = ov.Engine
 	}
 	r := &Runner{doc: doc}
 	if doc.RateGbps <= 0 {
@@ -247,6 +273,9 @@ func LoadWith(data []byte, ov Overrides) (*Runner, error) {
 
 	switch doc.Kind {
 	case "static":
+		if doc.Engine != "" && doc.Engine != string(experiment.EnginePacket) {
+			return nil, invalidf("engine", "static scenarios run at packet level, got %q", doc.Engine)
+		}
 		var specs []experiment.QueueSpec
 		for i, sp := range doc.Specs {
 			ctrl, err := controllerByName(sp.Ctrl)
@@ -283,6 +312,26 @@ func LoadWith(data []byte, ov Overrides) (*Runner, error) {
 		if doc.Load <= 0 || doc.Load > 1 {
 			return nil, invalidf("load", "must be in (0, 1], got %v", doc.Load)
 		}
+		engine, err := experiment.ParseEngineMode(doc.Engine)
+		if err != nil {
+			return nil, invalidf("engine", "unknown engine %q (want packet, flow or hybrid)", doc.Engine)
+		}
+		if doc.FlowCutoffB < 0 {
+			return nil, invalidf("flow_cutoff_bytes", "must not be negative, got %d", doc.FlowCutoffB)
+		}
+		if doc.Topo == "fattree" {
+			if engine == experiment.EnginePacket {
+				return nil, invalidf("topo", "fattree needs engine flow or hybrid")
+			}
+			if doc.FatTreeK < 2 || doc.FatTreeK%2 != 0 {
+				return nil, invalidf("k", "fat-tree arity must be even and >= 2, got %d", doc.FatTreeK)
+			}
+		}
+		if engine != experiment.EnginePacket {
+			if len(doc.Faults) > 0 || doc.Guard || doc.FailureAware {
+				return nil, invalidf("engine", "faults, guard and failure_aware need the packet engine")
+			}
+		}
 		var cdfs []*workload.CDF
 		for i, name := range doc.Workloads {
 			cdf, err := workload.ByName(name)
@@ -294,11 +343,14 @@ func LoadWith(data []byte, ov Overrides) (*Runner, error) {
 		r.dynamic = &experiment.DynamicConfig{
 			Scheme:         experiment.Scheme(doc.Scheme),
 			Params:         params,
+			Engine:         engine,
+			FlowCutoff:     units.ByteSize(doc.FlowCutoffB),
 			Topo:           experiment.TopoKind(doc.Topo),
 			Servers:        doc.Servers,
 			Leaves:         doc.Leaves,
 			Spines:         doc.Spines,
 			HostsPerLeaf:   doc.HostsPerLeaf,
+			FatTreeK:       doc.FatTreeK,
 			Rate:           rate,
 			Delay:          delay,
 			Buffer:         units.ByteSize(doc.BufferB),

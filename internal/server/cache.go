@@ -12,15 +12,20 @@ import (
 
 // CacheKey returns the content address of one result cell. Every input that
 // can change the artifact bytes is part of the key — the scenario document
-// hash, the (scheme, seed) overrides applied on top of it, and the build
-// version (two builds may legitimately disagree about a result, so an
-// upgrade must never serve stale bytes). Nothing else goes in: in
-// particular no wall-clock component, which is what makes a resubmission
-// tomorrow hit today's cache.
-func CacheKey(version, scenarioHash, scheme string, seed int64) string {
+// hash, the (scheme, seed) overrides applied on top of it, the simulation
+// engine fidelity (the same scenario at flow level is a different result
+// than at packet level), and the build version (two builds may legitimately
+// disagree about a result, so an upgrade must never serve stale bytes).
+// Nothing else goes in: in particular no wall-clock component, which is what
+// makes a resubmission tomorrow hit today's cache.
+func CacheKey(version, scenarioHash, scheme, engine string, seed int64) string {
+	if engine == "" {
+		engine = "packet"
+	}
 	canonical := "dynaqd-cell\nversion=" + version +
 		"\nscenario=" + scenarioHash +
 		"\nscheme=" + scheme +
+		"\nengine=" + engine +
 		"\nseed=" + strconv.FormatInt(seed, 10) + "\n"
 	return telemetry.Hash([]byte(canonical))
 }

@@ -71,7 +71,7 @@ type Cell struct {
 	Index    int
 	Scheme   string
 	Seed     int64
-	Key      string // content address: CacheKey(version, scenario hash, scheme, seed)
+	Key      string // content address: CacheKey(version, scenario hash, scheme, engine, seed)
 	State    string
 	CacheHit bool
 	Dir      string // artifact directory once done
@@ -145,7 +145,7 @@ func buildJob(req Request, version string) (*Job, error) {
 	seen := make(map[string]bool)
 	for _, scheme := range schemes {
 		for _, seed := range seeds {
-			key := CacheKey(version, hash, scheme, seed)
+			key := CacheKey(version, hash, scheme, base.Engine(), seed)
 			if seen[key] {
 				continue
 			}

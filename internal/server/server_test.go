@@ -223,19 +223,23 @@ func TestSweepExpansion(t *testing.T) {
 // TestCacheKeyVersioned pins the satellite requirement: the cache key moves
 // with the build version and with every other identity input.
 func TestCacheKeyVersioned(t *testing.T) {
-	base := CacheKey("v1", "hash", "DynaQ", 1)
+	base := CacheKey("v1", "hash", "DynaQ", "packet", 1)
 	for name, other := range map[string]string{
-		"version": CacheKey("v2", "hash", "DynaQ", 1),
-		"hash":    CacheKey("v1", "hash2", "DynaQ", 1),
-		"scheme":  CacheKey("v1", "hash", "BestEffort", 1),
-		"seed":    CacheKey("v1", "hash", "DynaQ", 2),
+		"version": CacheKey("v2", "hash", "DynaQ", "packet", 1),
+		"hash":    CacheKey("v1", "hash2", "DynaQ", "packet", 1),
+		"scheme":  CacheKey("v1", "hash", "BestEffort", "packet", 1),
+		"engine":  CacheKey("v1", "hash", "DynaQ", "flow", 1),
+		"seed":    CacheKey("v1", "hash", "DynaQ", "packet", 2),
 	} {
 		if other == base {
 			t.Errorf("cache key ignores %s", name)
 		}
 	}
-	if again := CacheKey("v1", "hash", "DynaQ", 1); again != base {
+	if again := CacheKey("v1", "hash", "DynaQ", "packet", 1); again != base {
 		t.Error("cache key not deterministic")
+	}
+	if CacheKey("v1", "hash", "DynaQ", "", 1) != base {
+		t.Error("empty engine must alias the packet default")
 	}
 }
 

@@ -32,7 +32,11 @@ type Manifest struct {
 	ScenarioHash string
 	Seed         int64
 	Scheme       string
-	Args         []string
+	// Engine is the simulation fidelity ("packet", "flow", "hybrid"); the
+	// empty string is written as "packet". Part of a cached result's
+	// identity: the same scenario at another fidelity is another result.
+	Engine string
+	Args   []string
 }
 
 // SummaryEntry is one final-summary key/value pair; values are
@@ -227,6 +231,12 @@ func WriteManifest(dir string, man Manifest, summary []SummaryEntry) error {
 	b = strconv.AppendInt(b, man.Seed, 10)
 	b = append(b, ",\n  \"scheme\": "...)
 	b = strconv.AppendQuote(b, man.Scheme)
+	b = append(b, ",\n  \"engine\": "...)
+	engine := man.Engine
+	if engine == "" {
+		engine = "packet"
+	}
+	b = strconv.AppendQuote(b, engine)
 	b = append(b, ",\n  \"args\": ["...)
 	for i, a := range man.Args {
 		if i > 0 {

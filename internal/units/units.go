@@ -10,6 +10,7 @@ package units
 import (
 	"fmt"
 	"math"
+	mathbits "math/bits"
 	"time"
 )
 
@@ -32,6 +33,10 @@ const (
 // MaxTime is the largest representable simulation time. It is used as the
 // "never" sentinel for unarmed timers.
 const MaxTime Time = math.MaxInt64
+
+// MaxDuration is the largest representable duration. Transmit saturates
+// here instead of wrapping when a transfer projects past the horizon.
+const MaxDuration Duration = math.MaxInt64
 
 // Add returns t shifted by d.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
@@ -146,25 +151,42 @@ func (r Rate) Transmit(b ByteSize) Duration {
 	if r <= 0 {
 		panic("units: non-positive rate")
 	}
-	bits := b.Bits()
-	// duration_ps = bits * 1e12 / r. Split to avoid overflow for large b.
-	ps := bits / int64(r) * int64(Second)
-	rem := bits % int64(r)
-	ps += rem * int64(Second) / int64(r)
-	return Duration(ps)
+	if b <= 0 {
+		return 0
+	}
+	// duration_ps = bits * 1e12 / r, computed in 128-bit arithmetic: the
+	// intermediate product overflows int64 for transfers past a few MB, and
+	// a wrapped negative duration would arm simulator timers in the past.
+	// Saturates at MaxDuration when the true duration exceeds the horizon.
+	hi, lo := mathbits.Mul64(uint64(b.Bits()), uint64(Second))
+	if hi >= uint64(r) {
+		return MaxDuration
+	}
+	q, _ := mathbits.Div64(hi, lo, uint64(r))
+	if q > uint64(MaxDuration) {
+		return MaxDuration
+	}
+	return Duration(q)
 }
 
 // BytesIn returns how many whole bytes rate r delivers in duration d.
 func (r Rate) BytesIn(d Duration) ByteSize {
-	if d < 0 {
+	if d <= 0 {
 		return 0
 	}
-	// bytes = r * seconds / 8. Work in big pieces to avoid overflow.
-	secs := int64(d) / int64(Second)
-	rem := int64(d) % int64(Second)
-	bits := int64(r)*secs + int64(r)/int64(Second)*rem
-	bits += (int64(r) % int64(Second)) * rem / int64(Second)
-	return ByteSize(bits / 8)
+	// bytes = r * d / (8 * 1e12), computed in 128-bit arithmetic so Gbps
+	// rates over long spans cannot overflow the intermediate product.
+	// Saturates at the largest ByteSize if the true count does not fit.
+	const div = uint64(8) * uint64(Second)
+	hi, lo := mathbits.Mul64(uint64(r), uint64(d))
+	if hi >= div {
+		return ByteSize(math.MaxInt64)
+	}
+	q, _ := mathbits.Div64(hi, lo, div)
+	if q > math.MaxInt64 {
+		return ByteSize(math.MaxInt64)
+	}
+	return ByteSize(q)
 }
 
 // BDP returns the bandwidth-delay product C × RTT in bytes.

@@ -90,6 +90,32 @@ func TestTransmitLargeNoOverflow(t *testing.T) {
 	if got, want := Gbps.Transmit(GB), 8*Second; got != want {
 		t.Fatalf("Transmit(1GB@1Gbps) = %v, want %v", got, want)
 	}
+	// Regression: bits×1e12 wraps int64 past ~1.15MB, which once produced a
+	// NEGATIVE duration (and a simulator timer armed in the past). 30MB at
+	// 40Gbps is exactly 6ms.
+	if got, want := (40 * Gbps).Transmit(30*MB), 6*Millisecond; got != want {
+		t.Fatalf("Transmit(30MB@40Gbps) = %v, want %v", got, want)
+	}
+	// A transfer whose true duration exceeds the horizon saturates instead
+	// of wrapping: 30MB at 1 bps is 2.4e8 seconds, past MaxDuration.
+	if got := Rate(1).Transmit(30 * MB); got != MaxDuration {
+		t.Fatalf("Transmit(30MB@1bps) = %v, want MaxDuration", got)
+	}
+	if got := Rate(1).Transmit(30 * MB); got <= 0 {
+		t.Fatalf("Transmit must never go non-positive for positive sizes, got %v", got)
+	}
+}
+
+func TestBytesInLargeNoOverflow(t *testing.T) {
+	// Regression: the remainder term (r%1e12)×rem overflowed int64 for Gbps
+	// rates over sub-second spans. 100Gbps for 0.9s is exactly 11.25GB.
+	if got, want := (100 * Gbps).BytesIn(Duration(9*Second/10)), ByteSize(11_250_000_000); got != want {
+		t.Fatalf("BytesIn(0.9s@100Gbps) = %v, want %v", got, want)
+	}
+	// Saturates rather than wrapping when the byte count cannot fit.
+	if got := Rate(1e12).BytesIn(MaxDuration); got <= 0 {
+		t.Fatalf("BytesIn must never go negative, got %v", got)
+	}
 }
 
 func TestBDP(t *testing.T) {
