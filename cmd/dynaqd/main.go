@@ -1,10 +1,18 @@
 // Command dynaqd is the simulation-as-a-service coordinator: it accepts
 // scenario JSON over HTTP, queues (scheme, seed, scenario) cells into a
-// bounded FIFO, hands them to pull-based dynaqworker processes under
-// time-boxed heartbeat-renewed leases (falling back to a local executor
-// pool when no workers are registered), and serves results from a
-// content-addressed on-disk cache — identical submissions return identical
-// bytes without re-running, no matter which node computed them.
+// bounded per-tenant fair queue, hands them to pull-based dynaqworker
+// processes under time-boxed heartbeat-renewed leases (falling back to a
+// local executor pool when no workers are registered), and serves results
+// from a content-addressed on-disk cache — identical submissions return
+// identical bytes without re-running, no matter which node computed them.
+//
+// Multi-tenant isolation mirrors the paper's per-service-queue buffer
+// partitioning: submissions carry a tenant (X-Dynaq-Tenant header or
+// "tenant" body field; absent means "default"), dispatch rotates across
+// tenants by -tenant-weights, -tenant-quota bounds each tenant's queued
+// jobs, and -tenant-inflight caps its simultaneously dispatched cells. A
+// coordinator run with no tenant flags and no tenant headers behaves —
+// byte for byte — like the single-queue daemon it replaces.
 //
 // Endpoints:
 //
@@ -36,12 +44,40 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"dynaq"
 	"dynaq/internal/server"
 )
+
+// parseTenantWeights turns a "prod=3,batch=1" flag value into the weight
+// map the server's fair dispatch tree consumes. Empty input means no
+// explicit weights (every tenant weighs 1).
+func parseTenantWeights(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-tenant-weights: %q is not tenant=weight", pair)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-tenant-weights: weight for %q must be a positive integer, got %q", name, val)
+		}
+		weights[strings.TrimSpace(name)] = w
+	}
+	return weights, nil
+}
 
 func main() {
 	var (
@@ -55,6 +91,10 @@ func main() {
 		retryBase   = flag.Duration("retry-base", 250*time.Millisecond, "base delay of the capped exponential retry backoff")
 		retryCap    = flag.Duration("retry-cap", 10*time.Second, "ceiling of the retry backoff")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
+
+		tenantWeights  = flag.String("tenant-weights", "", `comma-separated tenant=weight pairs for the fair dispatch rotation (e.g. "prod=3,batch=1"); unlisted tenants weigh 1`)
+		tenantQuota    = flag.Int("tenant-quota", 0, "max queued jobs per tenant; a full tenant gets its own 503 while others keep submitting (0 = no per-tenant cap)")
+		tenantInflight = flag.Int("tenant-inflight", 0, "max simultaneously dispatched cells per tenant (0 = unlimited)")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -63,17 +103,24 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "dynaqd: ", log.LstdFlags)
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		logger.Fatal(err)
+	}
 	srv, err := server.New(server.Config{
-		DataDir:     *dataDir,
-		QueueDepth:  *queueDepth,
-		Concurrency: *concurrency,
-		JobTimeout:  *jobTimeout,
-		LeaseTTL:    *leaseTTL,
-		MaxAttempts: *maxAttempts,
-		RetryBase:   *retryBase,
-		RetryCap:    *retryCap,
-		Version:     dynaq.Version,
-		Log:         logger,
+		DataDir:        *dataDir,
+		QueueDepth:     *queueDepth,
+		Concurrency:    *concurrency,
+		JobTimeout:     *jobTimeout,
+		LeaseTTL:       *leaseTTL,
+		MaxAttempts:    *maxAttempts,
+		RetryBase:      *retryBase,
+		RetryCap:       *retryCap,
+		TenantWeights:  weights,
+		TenantQuota:    *tenantQuota,
+		TenantInflight: *tenantInflight,
+		Version:        dynaq.Version,
+		Log:            logger,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -1,5 +1,7 @@
 // Command dynaqtop is a live terminal view of a dynaqd coordinator: queue
-// depth, per-worker lease occupancy, cache and retry counters, rolling
+// depth, per-worker lease occupancy, per-tenant queue pressure and
+// queue-wait p99 (when the daemon serves more than the default tenant),
+// cache and retry counters, rolling
 // latency percentiles derived from the service histograms, and the tail of
 // the most recent running job's event stream — all assembled from the same
 // /metrics, /healthz, /v1/jobs, and /v1/jobs/{id}/events endpoints any other
@@ -138,6 +140,13 @@ func (t *top) render() (string, error) {
 		}
 		fmt.Fprintf(&b, "    %-20s %3d %s\n", w.id, w.leases, bar)
 	}
+	if tenants := tenantRows(m); len(tenants) > 0 {
+		b.WriteString("\n  tenants (queued jobs / queued cells / in-flight cells, queue-wait p99)\n")
+		for _, tr := range tenants {
+			fmt.Fprintf(&b, "    %-20s jobs %-4d cells %-5d inflight %-4d dispatched %-6d wait p99≤%s ms (%.0f obs)\n",
+				tr.name, tr.jobs, tr.cells, tr.inflight, tr.dispatched, tr.waitP99, tr.waitObs)
+		}
+	}
 	b.WriteString("\n  latency (ms, from histogram buckets: value is the bucket upper bound)\n")
 	for _, h := range []struct{ label, name string }{
 		{"queue wait", "dynaqd_job_queue_wait_ms"},
@@ -189,15 +198,63 @@ func workerOccupancy(m metrics) []workerRow {
 	return out
 }
 
+// tenantRow is one tenant's queue pressure as seen in a scrape.
+type tenantRow struct {
+	name       string
+	jobs       int // whole jobs waiting for admission
+	cells      int // cells queued in the fair dispatch tree
+	inflight   int // cells currently leased or executing locally
+	dispatched int // cumulative lease grants + local claims
+	waitP99    string
+	waitObs    float64
+}
+
+// tenantRows extracts the dynaqd_tenant_*{tenant="..."} series. Tenants are
+// discovered from the queue-depth gauge, which registers on first sight and
+// lives for the daemon's lifetime.
+func tenantRows(m metrics) []tenantRow {
+	var out []tenantRow
+	for id := range m {
+		rest, ok := strings.CutPrefix(id, `dynaqd_tenant_queue_depth{tenant="`)
+		if !ok {
+			continue
+		}
+		name, ok := strings.CutSuffix(rest, `"}`)
+		if !ok {
+			continue
+		}
+		label := `{tenant="` + name + `"}`
+		r := tenantRow{
+			name:       name,
+			jobs:       int(m["dynaqd_tenant_queue_depth"+label]),
+			cells:      int(m["dynaqd_tenant_cells_queued"+label]),
+			inflight:   int(m["dynaqd_tenant_inflight"+label]),
+			dispatched: int(m["dynaqd_tenant_dispatch_total"+label]),
+			waitObs:    m["dynaqd_tenant_queue_wait_ms_count"+label],
+		}
+		// The le label is spliced after the tenant label in bucket series.
+		r.waitP99 = quantileFrom(m,
+			`dynaqd_tenant_queue_wait_ms_bucket{tenant="`+name+`",le="`, r.waitObs, 0.99)
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
 // quantile reads a cumulative-bucket histogram out of the scrape and reports
 // the upper bound of the first bucket covering quantile q.
 func quantile(m metrics, name string, q float64) string {
+	return quantileFrom(m, name+`_bucket{le="`, m[name+"_count"], q)
+}
+
+// quantileFrom is the shared bucket walk: prefix is everything of the series
+// id up to the le value, total the matching _count sample.
+func quantileFrom(m metrics, prefix string, total float64, q float64) string {
 	type bucket struct {
 		le  float64
 		cum float64
 	}
 	var buckets []bucket
-	prefix := name + `_bucket{le="`
 	for id, v := range m {
 		rest, ok := strings.CutPrefix(id, prefix)
 		if !ok {
@@ -214,7 +271,6 @@ func quantile(m metrics, name string, q float64) string {
 		buckets = append(buckets, bucket{le: le, cum: v})
 	}
 	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
-	total := m[name+"_count"]
 	if total < 1 || len(buckets) == 0 {
 		return "-"
 	}

@@ -1,0 +1,117 @@
+package fairq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// QueueFullError reports that the queue's global capacity is exhausted.
+type QueueFullError struct {
+	Depth int // total jobs waiting
+	Limit int // global capacity
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("queue full (depth %d)", e.Limit)
+}
+
+// TenantFullError reports that one tenant's admission quota is exhausted
+// while the queue as a whole still has room — the isolation analogue of a
+// per-service buffer overflowing without touching its neighbours.
+type TenantFullError struct {
+	Tenant string
+	Depth  int // jobs this tenant has waiting
+	Limit  int // per-tenant quota
+}
+
+func (e *TenantFullError) Error() string {
+	return fmt.Sprintf("tenant %q queue full (%d of %d queued)", e.Tenant, e.Depth, e.Limit)
+}
+
+// JobQueue is the admission level of the fair queue: per-tenant FIFOs of
+// whole jobs behind a shared global capacity and an optional per-tenant
+// quota. Like Tree it is pure bookkeeping under the caller's lock.
+type JobQueue[T any] struct {
+	capacity int
+	quota    int
+	total    int
+	tenants  map[string][]T
+}
+
+// NewJobQueue returns an empty JobQueue with the given global capacity and
+// per-tenant quota. A non-positive quota disables the per-tenant limit; the
+// global capacity must be positive.
+func NewJobQueue[T any](capacity, quota int) *JobQueue[T] {
+	return &JobQueue[T]{
+		capacity: capacity,
+		quota:    quota,
+		tenants:  make(map[string][]T),
+	}
+}
+
+// Enqueue appends v to tenant's FIFO, failing with *TenantFullError when
+// the tenant's quota is spent and *QueueFullError when the whole queue is.
+// The tenant check runs first: a flooding tenant sees its own limit, not
+// the shared one.
+func (q *JobQueue[T]) Enqueue(tenant string, v T) error {
+	if q.quota > 0 && len(q.tenants[tenant]) >= q.quota {
+		return &TenantFullError{Tenant: tenant, Depth: len(q.tenants[tenant]), Limit: q.quota}
+	}
+	if q.total >= q.capacity {
+		return &QueueFullError{Depth: q.total, Limit: q.capacity}
+	}
+	q.force(tenant, v)
+	return nil
+}
+
+// Force appends v to tenant's FIFO bypassing both limits. Restart recovery
+// and operator-driven dead-letter requeues use it: work that was already
+// admitted once must not be dropped because limits shrank in between.
+func (q *JobQueue[T]) Force(tenant string, v T) {
+	q.force(tenant, v)
+}
+
+func (q *JobQueue[T]) force(tenant string, v T) {
+	q.tenants[tenant] = append(q.tenants[tenant], v)
+	q.total++
+}
+
+// Pop removes and returns the head of tenant's FIFO.
+func (q *JobQueue[T]) Pop(tenant string) (T, bool) {
+	fifo := q.tenants[tenant]
+	if len(fifo) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := fifo[0]
+	q.tenants[tenant] = fifo[1:]
+	if len(fifo) == 1 {
+		delete(q.tenants, tenant)
+	}
+	q.total--
+	return v, true
+}
+
+// Tenants returns the sorted names of tenants with jobs waiting.
+func (q *JobQueue[T]) Tenants() []string {
+	names := make([]string, 0, len(q.tenants))
+	for name, fifo := range q.tenants {
+		if len(fifo) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the total number of jobs waiting across all tenants.
+func (q *JobQueue[T]) Len() int { return q.total }
+
+// Cap reports the global capacity.
+func (q *JobQueue[T]) Cap() int { return q.capacity }
+
+// Quota reports the per-tenant quota; zero or negative means unlimited.
+func (q *JobQueue[T]) Quota() int { return q.quota }
+
+// Depth reports the number of jobs tenant has waiting.
+func (q *JobQueue[T]) Depth(tenant string) int { return len(q.tenants[tenant]) }

@@ -71,6 +71,15 @@ func shortKey(key string) string {
 	return key
 }
 
+// Leased reports whether key has a live lease. The fair-queue dispatcher
+// uses it as an eligibility check so two jobs sharing a cache key (possible
+// across tenants, whose job IDs differ but whose cells do not) never race
+// Grant into its double-lease panic.
+func (t *Table) Leased(key string) bool {
+	_, live := t.byKey[key]
+	return live
+}
+
 // Renew extends a live lease to now+ttl. It returns false when the lease is
 // unknown — expired and swept, completed, or never issued — in which case
 // the worker has lost the cell.

@@ -82,6 +82,10 @@ type DeadLetterEntry struct {
 	Attempts   int    `json:"attempts"`
 	LastError  string `json:"last_error"`
 	LastWorker string `json:"last_worker,omitempty"`
+	// Tenant names the owning job's tenant so a requeue lands the rebuilt
+	// job back in the right fair-queue leaf. Entries persisted before
+	// tenancy existed decode as "" and requeue under the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // DeadLetterList is the GET /v1/deadletter body.

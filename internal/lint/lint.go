@@ -138,6 +138,10 @@ func DefaultConfig() Config {
 		},
 		StrictTimePackages: []string{
 			"dynaq/internal/fleet",
+			// The fair queue is pure bookkeeping under its caller's lock:
+			// time.Time flows in as parameters, never from a clock read, so
+			// a deterministic test can replay any dispatch interleaving.
+			"dynaq/internal/fairq",
 			"dynaq/internal/server",
 			"dynaq/internal/telemetry/trace",
 			// The fluid engine derives every event time from simulated
@@ -163,6 +167,7 @@ func DefaultConfig() Config {
 		},
 		LockCheckedPackages: []string{
 			"dynaq/internal/fleet",
+			"dynaq/internal/fairq",
 			"dynaq/internal/server",
 			"dynaq/internal/telemetry/trace",
 		},
@@ -175,6 +180,13 @@ func DefaultConfig() Config {
 			"(dynaq/internal/fleet.ReadyQueue).Push",
 			"(dynaq/internal/fleet.ReadyQueue).Pop",
 			"(dynaq/internal/fleet.ReadyQueue).Drain",
+			"(dynaq/internal/fairq.Tree).Push",
+			"(dynaq/internal/fairq.Tree).Pop",
+			"(dynaq/internal/fairq.Tree).Release",
+			"(dynaq/internal/fairq.Tree).Prune",
+			"(dynaq/internal/fairq.JobQueue).Enqueue",
+			"(dynaq/internal/fairq.JobQueue).Force",
+			"(dynaq/internal/fairq.JobQueue).Pop",
 		},
 		UnitsPackages: []string{
 			"dynaq/internal/units",

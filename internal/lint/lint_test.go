@@ -163,6 +163,18 @@ func TestLockFixture(t *testing.T) {
 	checkFixtureWith(t, pkg, cfg, []*Analyzer{LockDiscipline})
 }
 
+// TestFairqFixture runs lock-discipline over the fair-queue fixture: a
+// generic mutator key matching across instantiations, the eligibility-
+// callback closure frame rule, and the audited inline-callback suppression.
+func TestFairqFixture(t *testing.T) {
+	pkg := loadFixtureDir(t, NewLoader(), "fairqfix")
+	cfg := Config{
+		LockCheckedPackages: []string{"fairqfix"},
+		LockMutatorKeys:     []string{"(fairqfix.Tree).Pop"},
+	}
+	checkFixtureWith(t, pkg, cfg, []*Analyzer{LockDiscipline})
+}
+
 // TestUnitsFixture type-checks the two-package units fixture — the
 // dimension-declaring package and a consumer — and verifies both that mixed
 // arithmetic is flagged in the consumer and that the declaring package is

@@ -1,0 +1,84 @@
+// Package fairqfix exercises lock-discipline over the fair-queue dispatch
+// shapes introduced with internal/fairq: a generic tree whose Pop is a
+// configured mutator (the key matches the generic origin, not one
+// instantiation), the eligibility-callback closure frame rule, and the
+// audited suppression the coordinator uses where the callback reads
+// coordinator state while its caller holds the mutex. Checked with
+// LockCheckedPackages = [fairqfix] and LockMutatorKeys =
+// [(fairqfix.Tree).Pop].
+package fairqfix
+
+import (
+	"context"
+	"sync"
+)
+
+// Tree mirrors fairq.Tree: generic fair-queue state mutated by Pop under
+// the caller's lock.
+type Tree[T any] struct{ items []T }
+
+// Pop is the configured mutator; the mutator itself is exempt from the ctx
+// rule (pure bookkeeping under the caller's lock).
+func (t *Tree[T]) Pop(eligible func(T) bool) (T, bool) {
+	var zero T
+	for i, v := range t.items {
+		if eligible(v) {
+			t.items = append(t.items[:i], t.items[i+1:]...)
+			return v, true
+		}
+	}
+	return zero, false
+}
+
+// Coord mirrors the coordinator around its fair tree.
+type Coord struct {
+	mu   sync.Mutex
+	tree *Tree[int]   // guarded by mu
+	busy map[int]bool // guarded by mu
+}
+
+// popNoCtx holds the lock but threads no context: the mutator rule fires
+// even though the generic receiver is instantiated as Tree[int].
+func (c *Coord) popNoCtx() { // want `lock-discipline: function popNoCtx calls lease/queue mutator`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tree.Pop(func(int) bool { return true })
+}
+
+// popWithCtx threads cancellation and touches no guarded state from the
+// callback: clean.
+func (c *Coord) popWithCtx(ctx context.Context) (int, bool) {
+	_ = ctx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Pop(func(int) bool { return true })
+}
+
+// popEligible shows the closure frame rule: popEligible holds mu, but the
+// eligibility callback is its own frame and does not inherit the lock
+// mention, so its guarded read is flagged.
+func (c *Coord) popEligible(ctx context.Context) (int, bool) {
+	_ = ctx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Pop(func(v int) bool {
+		return !c.busy[v] // want `lock-discipline: field Coord.busy is guarded by mu`
+	})
+}
+
+// popEligibleAllowed is the audited coordinator shape: the callback runs
+// inline within Pop while the caller holds mu, so the access is suppressed
+// with a written reason.
+func (c *Coord) popEligibleAllowed(ctx context.Context) (int, bool) {
+	_ = ctx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Pop(func(v int) bool {
+		//dynaqlint:allow lock-discipline the callback runs inline within Pop while popEligibleAllowed holds mu
+		return !c.busy[v]
+	})
+}
+
+// depthLocked follows the *Locked convention for guarded access; it calls
+// no mutator, so the ctx rule stays silent.
+func (c *Coord) depthLocked() int { return len(c.tree.items) }

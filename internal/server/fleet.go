@@ -8,32 +8,44 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
-	"sync"
 	"time"
 
 	"dynaq/internal/fleet"
 	"dynaq/internal/telemetry/trace"
 )
 
-// This file is the coordinator side of the worker fleet: cells of the job
-// in flight are offered to pull-based workers as time-boxed leases, or run
-// by the local executor pool when no workers are registered. Failure is the
-// default case — a silent worker's lease expires and the cell is requeued
-// with capped, deterministically-jittered backoff; a cell that exhausts its
-// attempt budget is quarantined to the persisted dead-letter list instead
-// of retrying forever.
+// This file is the coordinator side of the worker fleet: cells of active
+// jobs are offered to pull-based workers as time-boxed leases, or run by
+// the shared local executor pool when no workers are registered. Both paths
+// dequeue through the fair tree (fairq.Tree), so whichever tenant is owed
+// the next slot gets it regardless of who asks. Failure is the default case
+// — a silent worker's lease expires and the cell is requeued with capped,
+// deterministically-jittered backoff; a cell that exhausts its attempt
+// budget is quarantined to the persisted dead-letter list instead of
+// retrying forever.
+
+// runnable is one dispatchable cell paired with its owning job — the item
+// type of the coordinator's fair tree.
+type runnable struct {
+	j *Job
+	c *Cell
+}
 
 // dispatchCells runs one job's cells to settlement. It returns the job's
 // terminal error (nil on success) and whether a daemon shutdown interrupted
 // the job before settlement — in which case the caller requeues it instead
-// of settling it.
+// of settling it. Multiple dispatchCells run concurrently (one per active
+// tenant); the fair tree interleaves their cells.
 func (s *Server) dispatchCells(ctx context.Context, j *Job) (error, bool) {
 	now := s.clock.Now()
 	var hits []*Cell
 	s.mu.Lock()
-	s.current = j
-	s.outstanding = 0
-	s.jobDone = make(chan struct{})
+	j.outstanding = 0
+	j.localActive = 0
+	j.finalizing = false
+	j.runCtx = ctx
+	j.change = make(chan struct{}, 1)
+	s.active[j.ID] = j
 	for _, c := range j.Cells {
 		if s.artifactCached(c.Key) {
 			c.State = StateDone
@@ -45,12 +57,14 @@ func (s *Server) dispatchCells(ctx context.Context, j *Job) (error, bool) {
 			continue
 		}
 		c.State = StateQueued
-		s.outstanding++
-		s.ready.Push(c, now)
+		j.outstanding++
+		s.tree.Push(j.Tenant, runnable{j: j, c: c}, now)
 	}
-	outstanding := s.outstanding
+	outstanding := j.outstanding
 	if outstanding == 0 {
-		s.current = nil
+		delete(s.active, j.ID)
+	} else {
+		s.kickLocked()
 	}
 	s.mu.Unlock()
 	for _, c := range hits {
@@ -61,50 +75,60 @@ func (s *Server) dispatchCells(ctx context.Context, j *Job) (error, bool) {
 	}
 
 	// A shutdown that began before dispatch even started requeues the job
-	// wholesale — no executors are spawned, so the outcome is deterministic
-	// rather than a race between the first claim and the cancel.
+	// wholesale — its cells leave the tree before any executor claims one,
+	// so the outcome is deterministic rather than a race between the first
+	// claim and the cancel.
 	select {
 	case <-s.stop:
 		s.mu.Lock()
+		s.tree.Prune(func(r runnable) bool { return r.j == j })
 		for _, c := range j.Cells {
 			if c.State != StateDone && c.State != StateQuarantined {
 				c.State = StateQueued
 			}
 		}
-		s.ready.Drain()
-		s.current = nil
+		delete(s.active, j.ID)
 		s.mu.Unlock()
 		return nil, true
 	default:
 	}
 
-	// Local fallback executors: they only claim cells while no fleet
-	// worker is active, so a registered fleet gets the work and an empty
-	// fleet degrades to exactly the single-node behavior.
-	lctx, lcancel := context.WithCancel(ctx)
-	defer lcancel()
-	var wg sync.WaitGroup
-	for i := 0; i < localWorkers(s.cfg.Concurrency); i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s.localExecutor(lctx, j)
-		}()
-	}
-
 	interrupted := false
-	select {
-	case <-s.jobDone:
-	case <-ctx.Done():
-	case <-s.stop:
-		interrupted = true
+wait:
+	for {
+		select {
+		case <-j.change:
+			s.mu.Lock()
+			settled := j.outstanding == 0
+			s.mu.Unlock()
+			if settled {
+				break wait
+			}
+		case <-ctx.Done():
+			break wait
+		case <-s.stop:
+			interrupted = true
+			break wait
+		}
 	}
-	lcancel()
-	wg.Wait() // cells already executing locally finish and land in cache
 
+	// Settle: stop further dispatch of this job's cells, wait for local
+	// executions already in flight to finish (they land in the cache), then
+	// account for what is left. cellFailed may push a cell back into the
+	// tree during the wait, so prune again after it.
 	s.mu.Lock()
+	j.finalizing = true
+	s.tree.Prune(func(r runnable) bool { return r.j == j })
+	for j.localActive > 0 {
+		s.mu.Unlock()
+		<-j.change
+		s.mu.Lock()
+	}
 	s.leases.DropJob(j.ID)
-	s.ready.Drain()
+	s.tree.Prune(func(r runnable) bool { return r.j == j })
+	for _, c := range j.Cells {
+		s.releaseCellLocked(j, c)
+	}
 	pending := 0
 	var jobErr error
 	for _, c := range j.Cells {
@@ -121,7 +145,7 @@ func (s *Server) dispatchCells(ctx context.Context, j *Job) (error, bool) {
 			pending++
 		}
 	}
-	s.current = nil
+	delete(s.active, j.ID)
 	s.mu.Unlock()
 
 	if interrupted && pending > 0 {
@@ -153,37 +177,37 @@ func localWorkers(requested int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// localExecutor claims and runs ready cells while no fleet worker is
-// active. It blocks on the kick channel (nudged whenever readiness or
-// worker liveness changes) or on the clock until the next requeued cell's
-// backoff elapses.
-func (s *Server) localExecutor(ctx context.Context, j *Job) {
-	// Snapshot this job's done channel once: dispatchCells swaps the field
-	// per job under mu, and this executor must keep waiting on the channel
-	// of the job it was started for.
-	s.mu.Lock()
-	jobDone := s.jobDone
-	s.mu.Unlock()
+// localExecutor is one goroutine of the shared fallback pool, started in
+// Start and alive for the daemon's lifetime. It claims ready cells across
+// every active job in fair-tree order while no fleet worker is active, and
+// blocks on the kick channel (nudged whenever readiness or worker liveness
+// changes) or on the clock until the next requeued cell's backoff elapses.
+//
+//dynaqlint:allow lock-discipline lifecycle is channel-based: Shutdown closes s.stop, which this loop selects on; per-job cancellation arrives via the eligibility check instead
+func (s *Server) localExecutor() {
 	for {
-		if ctx.Err() != nil {
+		select {
+		case <-s.stop:
 			return
+		default:
 		}
-		c, wait := s.claimLocalCell(j)
-		if c != nil {
-			s.executeLocalCell(j, c)
+		r, wait := s.claimCell()
+		if r.c != nil {
+			s.executeLocalCell(r.j, r.c)
+			s.mu.Lock()
+			delete(s.localKeys, r.c.Key)
+			r.j.localActive--
+			s.nudgeLocked(r.j)
+			s.kickLocked() // the freed key/slot may unblock a sibling
+			s.mu.Unlock()
 			continue
-		}
-		if wait < 0 {
-			return
 		}
 		var timer <-chan time.Time
 		if wait > 0 {
 			timer = s.clock.After(wait)
 		}
 		select {
-		case <-ctx.Done():
-			return
-		case <-jobDone:
+		case <-s.stop:
 			return
 		case <-s.kick:
 		case <-timer:
@@ -191,38 +215,86 @@ func (s *Server) localExecutor(ctx context.Context, j *Job) {
 	}
 }
 
-// claimLocalCell pops a ready cell for local execution, unless fleet
-// workers are active (they get the work via leases). wait < 0 means the job
-// has settled; wait > 0 is the delay until the next cell's backoff
-// readiness; wait == 0 means block until kicked.
+// claimCell pops the fair tree's next ready cell for local execution,
+// unless fleet workers are active (they get the work via leases). wait > 0
+// is the delay until the next cell's backoff readiness; wait == 0 means
+// block until kicked.
 //
-//dynaqlint:allow lock-discipline called only from localExecutor, which owns the ctx; a claim is a non-blocking pop under s.mu with nothing to cancel
-func (s *Server) claimLocalCell(j *Job) (*Cell, time.Duration) {
+//dynaqlint:allow lock-discipline called only from localExecutor, whose lifecycle is stop-channel-based; a claim is a non-blocking pop under s.mu with nothing to cancel
+func (s *Server) claimCell() (runnable, time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.current != j || s.outstanding == 0 {
-		return nil, -1
+	if len(s.active) == 0 {
+		return runnable{}, 0
 	}
 	now := s.clock.Now()
 	if s.activeWorkersLocked(now) > 0 {
 		// A live fleet owns the work; the expiry scanner kicks us if it
 		// goes quiet.
-		return nil, 0
+		return runnable{}, 0
 	}
-	c, ok := s.ready.Pop(now)
+	r, ok := s.popDispatchLocked(now)
 	if !ok {
-		if at, have := s.ready.NextAt(); have {
-			return nil, at.Sub(now)
+		if at, have := s.tree.NextAt(); have {
+			if d := at.Sub(now); d > 0 {
+				return runnable{}, d
+			}
 		}
-		return nil, 0 // everything is leased or running
+		return runnable{}, 0 // everything is leased, running, or capped
 	}
-	c.State = StateRunning
-	c.Worker = ""
-	s.cellSpanLocked(j, c, "local", "", c.Attempts+1)
-	if s.ready.Len() > 0 {
+	r.c.State = StateRunning
+	r.c.Worker = ""
+	s.localKeys[r.c.Key] = true
+	r.j.localActive++
+	s.cellSpanLocked(r.j, r.c, "local", "", r.c.Attempts+1)
+	s.tenantDispatchedLocked(r.j.Tenant)
+	if s.tree.Len() > 0 {
 		s.kickLocked() // wake a sibling executor for the next ready cell
 	}
-	return c, 0
+	return r, 0
+}
+
+// popDispatchLocked pops the next dispatchable cell in fair order. The
+// eligibility check keeps the two dispatch paths from colliding: a cell
+// whose cache key is already leased to a worker or executing locally
+// (possible across tenants, whose jobs may share cells) stays queued, as
+// does any cell of a job that is settling or past its timeout. On success
+// the cell's tenant in-flight slot is held; releaseCellLocked returns it.
+// The caller holds s.mu.
+//
+//dynaqlint:allow lock-discipline pure queue bookkeeping under s.mu; both dispatch paths that call it (lease handler, local claim) already thread cancellation
+func (s *Server) popDispatchLocked(now time.Time) (runnable, bool) {
+	_, r, ok := s.tree.Pop(now, func(r runnable) bool {
+		if r.j.finalizing || r.j.runCtx.Err() != nil {
+			return false
+		}
+		//dynaqlint:allow lock-discipline the closure runs inline within Pop, and popDispatchLocked's caller holds s.mu
+		return !s.localKeys[r.c.Key] && !s.leases.Leased(r.c.Key)
+	})
+	if ok {
+		r.c.acquired = true
+	}
+	return r, ok
+}
+
+// releaseCellLocked returns a popped cell's tenant in-flight slot; safe to
+// call on cells that hold none. The caller holds s.mu.
+//
+//dynaqlint:allow lock-discipline pure in-flight accounting under s.mu; the dispatch loops that call it already thread cancellation
+func (s *Server) releaseCellLocked(j *Job, c *Cell) {
+	if c.acquired {
+		c.acquired = false
+		s.tree.Release(j.Tenant)
+	}
+}
+
+// nudgeLocked wakes j's dispatcher loop; the buffered-1 channel coalesces
+// bursts. The caller holds s.mu.
+func (s *Server) nudgeLocked(j *Job) {
+	select {
+	case j.change <- struct{}{}:
+	default:
+	}
 }
 
 // executeLocalCell runs one cell on the coordinator (cache check, fresh
@@ -272,8 +344,9 @@ func (s *Server) executeLocalCell(j *Job, c *Cell) {
 	s.settleCellDone(j, c, false)
 }
 
-// settleCellDone marks a cell finished and closes the job's done channel
-// when it was the last one outstanding.
+// settleCellDone marks a cell finished, returns its tenant in-flight slot,
+// and nudges the owning job's dispatcher (which settles the job once
+// nothing is outstanding).
 func (s *Server) settleCellDone(j *Job, c *Cell, cacheHit bool) {
 	s.mu.Lock()
 	if c.State == StateDone {
@@ -295,13 +368,12 @@ func (s *Server) settleCellDone(j *Job, c *Cell, cacheHit bool) {
 		c.span.End(trace.A("cache_hit", strconv.FormatBool(cacheHit)))
 		c.span = nil
 	}
-	s.outstanding--
-	settled := s.outstanding == 0
+	s.releaseCellLocked(j, c)
+	j.outstanding--
+	s.nudgeLocked(j)
+	s.kickLocked() // a freed in-flight slot may unblock a capped tenant
 	s.mu.Unlock()
 	j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"done","cache_hit":`+strconv.FormatBool(cacheHit)+`}`+"\n"))
-	if settled {
-		close(s.jobDone)
-	}
 }
 
 // cellFailed charges one failed attempt against a cell: requeue with capped
@@ -314,6 +386,7 @@ func (s *Server) cellFailed(j *Job, c *Cell, worker string, err error) {
 	c.Attempts++
 	c.Err = err.Error()
 	c.Worker = worker
+	s.releaseCellLocked(j, c)
 	s.persistAttemptsLocked(j)
 	if c.span != nil {
 		c.span.End(trace.A("error", c.Err))
@@ -331,24 +404,22 @@ func (s *Server) cellFailed(j *Job, c *Cell, worker string, err error) {
 			Attempts:   c.Attempts,
 			LastError:  c.Err,
 			LastWorker: worker,
+			Tenant:     j.Tenant,
 		})
 		j.rootSpan.Event("cell-quarantined",
 			trace.AInt("cell", int64(c.Index)),
 			trace.AInt("attempts", int64(c.Attempts)))
-		s.outstanding--
-		settled := s.outstanding == 0
+		j.outstanding--
+		s.nudgeLocked(j)
 		s.mu.Unlock()
 		j.bc.publish(c.Index, []byte(`{"kind":"cell","state":"quarantined","attempts":`+strconv.Itoa(c.Attempts)+`,"error":`+strconv.Quote(c.Err)+`}`+"\n"))
 		s.logf("job %s: cell %d quarantined after %d attempt(s): %s", j.ID, c.Index, c.Attempts, c.Err)
-		if settled {
-			close(s.jobDone)
-		}
 		return
 	}
 	delay := s.backoff.Delay(c.Key, c.Attempts)
 	readyAt := s.clock.Now().Add(delay)
 	c.State = StateQueued
-	s.ready.Push(c, readyAt)
+	s.tree.Push(j.Tenant, runnable{j: j, c: c}, readyAt)
 	s.cellRetries.Inc()
 	j.rootSpan.Event("cell-requeued",
 		trace.AInt("cell", int64(c.Index)),
@@ -382,14 +453,17 @@ func (s *Server) activeWorkersLocked(now time.Time) int {
 	return n
 }
 
-// cellByKeyLocked finds the current job's cell with the given cache key.
-func (s *Server) cellByKeyLocked(key string) (*Job, *Cell) {
-	if s.current == nil {
+// cellForLeaseLocked resolves a lease back to its job and cell. Scoping the
+// lookup by the lease's job id matters now that several tenants' jobs are
+// active at once and may share cache keys.
+func (s *Server) cellForLeaseLocked(l *fleet.Lease) (*Job, *Cell) {
+	j := s.active[l.JobID]
+	if j == nil {
 		return nil, nil
 	}
-	for _, c := range s.current.Cells {
-		if c.Key == key {
-			return s.current, c
+	for _, c := range j.Cells {
+		if c.Key == l.Key {
+			return j, c
 		}
 	}
 	return nil, nil
@@ -429,7 +503,7 @@ func (s *Server) tick() {
 	now := s.clock.Now()
 	for _, l := range s.leases.Expire(now) {
 		s.leaseExpiry.Inc()
-		if j, c := s.cellByKeyLocked(l.Key); c != nil && c.State == StateLeased {
+		if j, c := s.cellForLeaseLocked(l); c != nil && c.State == StateLeased {
 			if c.span != nil {
 				c.span.Event("lease-expired", trace.A("lease", l.ID))
 				s.hLeaseDuration.Observe(now.Sub(c.leasedAt).Milliseconds())
@@ -442,7 +516,7 @@ func (s *Server) tick() {
 			delete(s.workers, id)
 		}
 	}
-	if s.current != nil {
+	if len(s.active) > 0 {
 		s.kickLocked()
 	}
 	s.mu.Unlock()

@@ -21,11 +21,12 @@ import (
 // plus base64 expansion and JSON envelope overhead.
 const maxCompleteBytes = maxUploadBytes*3/2 + 64*1024
 
-// handleLease hands one ready cell of the current job to a pulling worker.
-// Polling at all registers the worker as active, which switches the
-// coordinator out of local-execution fallback. 204 means no work; the
-// Retry-After hint (when present) is the time until the next requeued cell's
-// backoff elapses.
+// handleLease hands the fair tree's next ready cell to a pulling worker —
+// whichever tenant the weighted rotation owes a slot, regardless of which
+// job it belongs to. Polling at all registers the worker as active, which
+// switches the coordinator out of local-execution fallback. 204 means no
+// work; the Retry-After hint (when present) is the time until the next
+// requeued cell's backoff elapses.
 func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req fleet.LeaseRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil || req.Worker == "" {
@@ -43,25 +44,26 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			return int64(s.leases.PerWorker()[worker])
 		}, telemetry.L("worker", worker))
 	}
-	j := s.current
-	if j == nil {
+	if len(s.active) == 0 {
 		s.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	c, ok := s.ready.Pop(now)
+	r2, ok := s.popDispatchLocked(now)
 	if !ok {
-		if at, have := s.ready.NextAt(); have {
+		if at, have := s.tree.NextAt(); have {
 			w.Header().Set("Retry-After", retryAfterSeconds(at.Sub(now)))
 		}
 		s.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	j, c := r2.j, r2.c
 	l := s.leases.Grant(c.Key, j.ID, req.Worker, c.Attempts+1, now, s.cfg.LeaseTTL)
 	c.State = StateLeased
 	c.Worker = req.Worker
 	s.leaseGrants.Inc()
+	s.tenantDispatchedLocked(j.Tenant)
 	s.cellSpanLocked(j, c, req.Worker, l.ID, l.Attempt)
 	grant := fleet.LeaseGrant{
 		LeaseID:      l.ID,
@@ -152,7 +154,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var j *Job
 	var c *Cell
 	if ok {
-		j, c = s.cellByKeyLocked(l.Key)
+		j, c = s.cellForLeaseLocked(l)
 		if c == nil || c.State != StateLeased {
 			ok = false
 		}
@@ -248,11 +250,12 @@ func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
 			resp.Dropped = append(resp.Dropped, k)
 		}
 	}
-	if len(order) > cap(s.queue)-len(s.queue) {
+	if len(order) > s.jobq.Cap()-s.jobq.Len() {
 		s.rejected["queue_full"].Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterForDepth(s.jobq.Len()))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{
-			Error: "queue full (depth " + strconv.Itoa(cap(s.queue)) + "): requeue would enqueue " + strconv.Itoa(len(order)) + " job(s)",
+			Error:      "queue full (depth " + strconv.Itoa(s.jobq.Cap()) + "): requeue would enqueue " + strconv.Itoa(len(order)) + " job(s)",
+			QueueDepth: s.jobq.Len(),
 		})
 		return
 	}
@@ -275,7 +278,11 @@ func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		j, err := buildJob(parseRequest(body), s.cfg.Version)
+		jreq := parseRequest(body)
+		if tenant := jobs[jobID][0].Tenant; tenant != "" {
+			jreq.Tenant = tenant // header-tagged submissions have no tenant in the body
+		}
+		j, err := buildJob(jreq, s.cfg.Version)
 		if err != nil {
 			s.logf("deadletter: job %s no longer validates: %v", jobID, err)
 			for _, e := range jobs[jobID] {
@@ -284,13 +291,18 @@ func (s *Server) handleRequeue(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		j.ID = jobID // keep the persisted handle even if expansion rules evolve
-		s.queue <- j // capacity pre-checked above
+		// Force past the tenant quota: an operator putting quarantined work
+		// back in play outranks the admission limit (global capacity was
+		// pre-checked above).
+		s.jobq.Force(j.Tenant, j)
 		s.jobs[jobID] = j
 		s.jobsSubbed.Inc()
+		s.ensureTenantMetricsLocked(j.Tenant)
 		if err := s.persistRequestLocked(j, body); err != nil {
 			s.logf("job %s: persisting request: %v", jobID, err)
 		}
 		s.startTraceLocked(j, "")
+		s.admitLocked()
 		resp.Requeued = append(resp.Requeued, jobID)
 		requeued[jobID] = true
 		s.logf("deadletter: job %s requeued (%d quarantined cell(s) back in play)", jobID, len(jobs[jobID]))

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 
+	"dynaq/internal/fairq"
 	"dynaq/internal/scenario"
 	"dynaq/internal/telemetry"
 )
@@ -37,10 +38,16 @@ func (s *Server) routes() {
 }
 
 // errorBody is every non-2xx JSON response. Field carries the offending
-// scenario field for validation failures.
+// scenario field for validation failures; the tenant/queue fields let a
+// rejected client see exactly which limit it hit — its own quota or the
+// shared queue — and how deep the backlog behind the 503 is.
 type errorBody struct {
-	Error string `json:"error"`
-	Field string `json:"field,omitempty"`
+	Error       string `json:"error"`
+	Field       string `json:"field,omitempty"`
+	Tenant      string `json:"tenant,omitempty"`
+	TenantDepth int    `json:"tenant_depth,omitempty"`
+	TenantQuota int    `json:"tenant_quota,omitempty"`
+	QueueDepth  int    `json:"queue_depth,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -55,11 +62,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // handleSubmit accepts a scenario (or sweep wrapper), expands and enqueues
-// it. Responses: 202 with the job status when enqueued or already in
-// flight; 400 on validation failure; 413 on an oversized body; 503 when
-// draining or the queue is full. Resubmitting terminal work re-enqueues it
-// under the same content-addressed id — done cells then come back as cache
-// hits without re-running, failed ones get a retry.
+// it under the submitting tenant's fair-queue leaf. The tenant comes from
+// the X-Dynaq-Tenant header, falling back to the body's tenant field, then
+// to "default". Responses: 202 with the job status when enqueued or already
+// in flight; 400 on validation failure; 413 on an oversized body; 503 when
+// draining, the tenant's quota is spent, or the shared queue is full.
+// Resubmitting terminal work re-enqueues it under the same
+// content-addressed id — done cells then come back as cache hits without
+// re-running, failed ones get a retry.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
@@ -73,7 +83,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	j, err := buildJob(parseRequest(body), s.cfg.Version)
+	req := parseRequest(body)
+	if tenant := r.Header.Get("X-Dynaq-Tenant"); tenant != "" {
+		req.Tenant = tenant
+	}
+	j, err := buildJob(req, s.cfg.Version)
 	if err != nil {
 		s.countReject("invalid")
 		var verr *scenario.ValidationError
@@ -107,24 +121,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// New work, or a resubmission of terminal work — the latter re-enqueues
 	// a fresh job under the same content-addressed id; done cells come back
 	// as cache hits, failed ones re-run.
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.jobq.Enqueue(j.Tenant, j); err != nil {
+		// A full queue is transient — admission frees a slot as soon as a
+		// job finishes. Tell well-behaved clients when to come back instead
+		// of letting them hammer the endpoint, scaled to the backlog that
+		// actually blocks them: their own leaf for a quota rejection, the
+		// shared queue otherwise.
+		var tf *fairq.TenantFullError
+		if errors.As(err, &tf) {
+			s.rejected["tenant_quota"].Inc()
+			s.mu.Unlock()
+			w.Header().Set("Retry-After", retryAfterForDepth(tf.Depth))
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{
+				Error:       err.Error(),
+				Tenant:      tf.Tenant,
+				TenantDepth: tf.Depth,
+				TenantQuota: tf.Limit,
+			})
+			return
+		}
 		s.rejected["queue_full"].Inc()
+		tenantDepth := s.jobq.Depth(j.Tenant)
+		depth := s.jobq.Len()
 		s.mu.Unlock()
-		// A full queue is transient — the drainer frees a slot as soon as
-		// the job at the head finishes. Tell well-behaved clients when to
-		// come back instead of letting them hammer the endpoint.
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "queue full (depth " + strconv.Itoa(cap(s.queue)) + ")"})
+		w.Header().Set("Retry-After", retryAfterForDepth(depth))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error:       err.Error(),
+			Tenant:      j.Tenant,
+			TenantDepth: tenantDepth,
+			TenantQuota: s.cfg.TenantQuota,
+			QueueDepth:  depth,
+		})
 		return
 	}
 	s.jobs[j.ID] = j
 	s.jobsSubbed.Inc()
+	s.ensureTenantMetricsLocked(j.Tenant)
 	if err := s.persistRequestLocked(j, body); err != nil {
 		s.logf("job %s: persisting request: %v", j.ID, err)
 	}
 	s.startTraceLocked(j, r.Header.Get("X-Dynaq-Trace"))
+	s.admitLocked()
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 	s.logf("job %s: queued (%d cells)", st.ID, len(st.Cells))
@@ -298,7 +335,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.accepting {
 		state = "draining"
 	}
-	depth := len(s.queue)
+	depth := s.jobq.Len()
 	running := s.running
 	workers := s.activeWorkersLocked(s.clock.Now())
 	leases := s.leases.Len()

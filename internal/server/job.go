@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -34,14 +35,43 @@ const (
 // request cannot enqueue unbounded work.
 const maxCellsPerJob = 256
 
+// DefaultTenant is the fair-queue leaf that untagged submissions land in.
+// A deployment that never sets a tenant runs entirely in this leaf, where
+// the weighted rotation degenerates to the plain FIFO it replaced.
+const DefaultTenant = "default"
+
+// maxTenantLen bounds tenant names; they appear in metric labels, trace
+// attributes, and queue-marker files.
+const maxTenantLen = 64
+
+// validTenant reports whether name is a usable tenant identity: 1-64 runes
+// from [A-Za-z0-9._-], the same alphabet trace IDs allow.
+func validTenant(name string) bool {
+	if name == "" || len(name) > maxTenantLen {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // Request is the POST /v1/jobs body: either a bare scenario document
 // (exactly what dynaqsim -config accepts) or a wrapper that fans one
 // scenario out into a (scheme, seed) sweep — every combination becomes one
-// independently cached cell.
+// independently cached cell. Tenant names the fair-queue leaf the job
+// queues under; the X-Dynaq-Tenant request header overrides it and both
+// default to DefaultTenant.
 type Request struct {
 	Scenario json.RawMessage `json:"scenario"`
 	Schemes  []string        `json:"schemes,omitempty"`
 	Seeds    []int64         `json:"seeds,omitempty"`
+	Tenant   string          `json:"tenant,omitempty"`
 }
 
 // parseRequest decodes a POST body. A body that does not strictly match the
@@ -85,6 +115,10 @@ type Cell struct {
 	// except by the local executor that owns the running attempt.
 	span     *trace.SpanRef
 	leasedAt time.Time
+
+	// acquired marks a cell popped from the fair-queue tree whose tenant
+	// in-flight slot has not been released yet; accessed under s.mu.
+	acquired bool
 }
 
 // Job is one submission: a scenario body plus its expanded cells.
@@ -92,6 +126,7 @@ type Job struct {
 	ID           string
 	State        string
 	Err          string
+	Tenant       string // fair-queue leaf; DefaultTenant when untagged
 	Scenario     []byte // raw scenario document (cells apply overrides out-of-band)
 	ScenarioHash string
 	CacheHit     bool // terminal: every cell was served from cache
@@ -99,6 +134,21 @@ type Job struct {
 
 	bc   *broadcaster
 	done chan struct{} // closed on terminal state
+
+	// Fair-queue dispatch state while the job is active. outstanding counts
+	// unsettled cells, localActive counts local-pool executions in flight,
+	// and finalizing stops further dispatch while dispatchCells settles the
+	// job; all three are accessed under s.mu. change is a buffered-1 nudge
+	// the dispatcher waits on — anyone who moves outstanding or localActive
+	// sends on it (created per dispatch, never closed).
+	// runCtx is the dispatch context (job timeout); the fair-queue
+	// eligibility check skips cells of a job whose context has expired so
+	// a timed-out job never dispatches more work.
+	outstanding int
+	localActive int
+	finalizing  bool
+	change      chan struct{}
+	runCtx      context.Context
 
 	// tr collects the job's spans; rootSpan/queueSpan are the job and
 	// queue-wait spans, queuedAt the accept time. All are set once before
@@ -133,10 +183,21 @@ func buildJob(req Request, version string) (*Job, error) {
 			Msg:   fmt.Sprintf("%d×%d cells exceed the per-job limit of %d", len(schemes), len(seeds), maxCellsPerJob),
 		}
 	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if !validTenant(tenant) {
+		return nil, &scenario.ValidationError{
+			Field: "tenant",
+			Msg:   fmt.Sprintf("tenant %q must be 1-%d characters from [A-Za-z0-9._-]", tenant, maxTenantLen),
+		}
+	}
 	hash := telemetry.Hash(req.Scenario)
 	j := &Job{
 		ID:           "", // filled below, over the expanded cells
 		State:        StateQueued,
+		Tenant:       tenant,
 		Scenario:     req.Scenario,
 		ScenarioHash: hash,
 		bc:           newBroadcaster(),
@@ -159,7 +220,7 @@ func buildJob(req Request, version string) (*Job, error) {
 			})
 		}
 	}
-	j.ID = jobID(hash, j.Cells)
+	j.ID = jobID(tenant, hash, j.Cells)
 	return j, nil
 }
 
@@ -169,9 +230,17 @@ func buildJob(req Request, version string) (*Job, error) {
 // turn resubmissions of finished work into cache hits. The build version is
 // deliberately excluded — a job keeps its handle across daemon upgrades,
 // while its cells' cache keys (which do include the version) force a
-// re-run.
-func jobID(scenarioHash string, cells []*Cell) string {
+// re-run. A non-default tenant is folded in so tenants get isolated job
+// handles; the default tenant contributes nothing, keeping single-tenant
+// job IDs byte-identical to the pre-tenancy daemon. Cache keys never see
+// the tenant — identical work shares artifacts across tenants.
+func jobID(tenant, scenarioHash string, cells []*Cell) string {
 	b := []byte("dynaqd-job\nscenario=" + scenarioHash + "\n")
+	if tenant != DefaultTenant {
+		b = append(b, "tenant="...)
+		b = append(b, tenant...)
+		b = append(b, '\n')
+	}
 	for _, c := range cells {
 		b = append(b, "cell="...)
 		b = append(b, c.Scheme...)
@@ -201,6 +270,7 @@ type CellStatus struct {
 type JobStatus struct {
 	ID           string       `json:"id"`
 	State        string       `json:"state"`
+	Tenant       string       `json:"tenant,omitempty"`
 	ScenarioHash string       `json:"scenario_hash"`
 	Version      string       `json:"version"`
 	CacheHit     bool         `json:"cache_hit"`
@@ -213,6 +283,7 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 	st := JobStatus{
 		ID:           j.ID,
 		State:        j.State,
+		Tenant:       j.Tenant,
 		ScenarioHash: j.ScenarioHash,
 		Version:      s.cfg.Version,
 		CacheHit:     j.CacheHit,
@@ -240,10 +311,15 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 // enough for GET and events replay across a daemon restart. The scenario
 // bytes are not reloaded; a resubmission re-parses the request body.
 func jobFromStatus(st JobStatus) *Job {
+	tenant := st.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant // status persisted before tenancy existed
+	}
 	j := &Job{
 		ID:           st.ID,
 		State:        st.State,
 		Err:          st.Error,
+		Tenant:       tenant,
 		ScenarioHash: st.ScenarioHash,
 		CacheHit:     st.CacheHit,
 		bc:           newBroadcaster(),

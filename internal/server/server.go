@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"dynaq/internal/fairq"
 	"dynaq/internal/fleet"
 	"dynaq/internal/telemetry"
 	"dynaq/internal/telemetry/trace"
@@ -26,9 +27,20 @@ type Config struct {
 	// on restart), cache/ (content-addressed artifacts), tmp/ (in-progress
 	// runs, swept at startup), deadletter.json (quarantined cells).
 	DataDir string
-	// QueueDepth bounds the FIFO job queue; a submit beyond it is
-	// rejected with 503 + Retry-After. 0 selects 64.
+	// QueueDepth bounds the job queue across all tenants; a submit beyond
+	// it is rejected with 503 + Retry-After. 0 selects 64.
 	QueueDepth int
+	// TenantWeights maps tenant name to fair-queue round-robin burst size;
+	// unlisted tenants weigh 1. nil gives every tenant weight 1.
+	TenantWeights map[string]int
+	// TenantQuota caps how many jobs one tenant may have queued at once; a
+	// tenant at its quota gets its own 503 without consuming the shared
+	// queue. 0 disables the per-tenant limit.
+	TenantQuota int
+	// TenantInflight caps how many of one tenant's cells may be dispatched
+	// (leased to workers or claimed by the local pool) at once. 0 disables
+	// the cap.
+	TenantInflight int
 	// Concurrency caps the local-fallback executor pool that runs a job's
 	// cells when no fleet workers are registered. 0 selects GOMAXPROCS.
 	Concurrency int
@@ -72,21 +84,29 @@ type Server struct {
 
 	mu        sync.Mutex
 	jobs      map[string]*Job // guarded by mu
-	queue     chan *Job       // channel ops self-synchronize; field set once in New
 	seq       int             // guarded by mu
 	accepting bool            // guarded by mu
 	running   int64           // guarded by mu
 
-	// Fleet dispatch state: the job currently being dispatched, its cells
-	// awaiting (re)lease ordered by readiness, live leases, recently-seen
-	// workers, and the quarantine list.
-	current      *Job                    // guarded by mu
-	ready        fleet.ReadyQueue[*Cell] // guarded by mu
-	leases       *fleet.Table            // guarded by mu
-	workers      map[string]time.Time    // guarded by mu
-	workerSeries map[string]bool         // guarded by mu; workers with a registered occupancy gauge
-	outstanding  int                     // guarded by mu
-	jobDone      chan struct{}           // guarded by mu (field swap per job; channel ops self-synchronize)
+	// Admission state: per-tenant job FIFOs behind quota/capacity, the
+	// count of each tenant's jobs currently running (admission keeps it at
+	// most 1 so per-tenant FIFO order is preserved), and the buffered-1
+	// nudge that wakes the admission loop.
+	jobq          *fairq.JobQueue[*Job] // guarded by mu
+	tenantRunning map[string]int        // guarded by mu
+	admit         chan struct{}
+
+	// Fleet dispatch state: the jobs currently dispatching (by id), their
+	// cells awaiting (re)lease in the fair tree, cache keys executing in
+	// the local pool, live leases, recently-seen workers, and the
+	// quarantine list.
+	active       map[string]*Job       // guarded by mu
+	tree         *fairq.Tree[runnable] // guarded by mu
+	localKeys    map[string]bool       // guarded by mu
+	leases       *fleet.Table          // guarded by mu
+	workers      map[string]time.Time  // guarded by mu
+	workerSeries map[string]bool       // guarded by mu; workers with a registered occupancy gauge
+	tenantSeries map[string]bool       // guarded by mu; tenants with registered per-tenant metrics
 	kick         chan struct{}
 	dead         []fleet.DeadLetterEntry // guarded by mu
 
@@ -145,20 +165,27 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:          cfg,
-		clock:        cfg.Clock,
-		backoff:      fleet.Backoff{Base: cfg.RetryBase, Cap: cfg.RetryCap},
-		jobs:         make(map[string]*Job),
-		accepting:    true,
-		leases:       fleet.NewTable(),
-		workers:      make(map[string]time.Time),
-		workerSeries: make(map[string]bool),
-		kick:         make(chan struct{}, 1),
-		reg:          telemetry.NewRegistry(),
-		simTotals:    make(map[string]int64),
-		rejected:     make(map[string]*telemetry.Counter),
-		stop:         make(chan struct{}),
-		drained:      make(chan struct{}),
+		cfg:           cfg,
+		clock:         cfg.Clock,
+		backoff:       fleet.Backoff{Base: cfg.RetryBase, Cap: cfg.RetryCap},
+		jobs:          make(map[string]*Job),
+		accepting:     true,
+		jobq:          fairq.NewJobQueue[*Job](cfg.QueueDepth, cfg.TenantQuota),
+		tenantRunning: make(map[string]int),
+		admit:         make(chan struct{}, 1),
+		active:        make(map[string]*Job),
+		tree:          fairq.New[runnable](cfg.TenantWeights, cfg.TenantInflight),
+		localKeys:     make(map[string]bool),
+		leases:        fleet.NewTable(),
+		workers:       make(map[string]time.Time),
+		workerSeries:  make(map[string]bool),
+		tenantSeries:  make(map[string]bool),
+		kick:          make(chan struct{}, 1),
+		reg:           telemetry.NewRegistry(),
+		simTotals:     make(map[string]int64),
+		rejected:      make(map[string]*telemetry.Counter),
+		stop:          make(chan struct{}),
+		drained:       make(chan struct{}),
 	}
 	if s.clock == nil {
 		s.clock = fleet.WallClock{}
@@ -176,7 +203,7 @@ func New(cfg Config) (*Server, error) {
 	s.leaseExpiry = s.reg.Counter("dynaqd_leases_expired_total")
 	s.cellRetries = s.reg.Counter("dynaqd_cell_retries_total")
 	s.quarantined = s.reg.Counter("dynaqd_deadletter_total")
-	for _, reason := range []string{"draining", "invalid", "queue_full"} {
+	for _, reason := range []string{"draining", "invalid", "queue_full", "tenant_quota"} {
 		s.rejected[reason] = s.reg.Counter("dynaqd_jobs_rejected_total", telemetry.L("reason", reason))
 	}
 	s.hQueueWait = s.reg.Histogram("dynaqd_job_queue_wait_ms", latencyBucketsMs)
@@ -208,11 +235,17 @@ func New(cfg Config) (*Server, error) {
 		"dynaqd_lease_duration_ms":     "Wall time from lease grant/claim to settlement or expiry.",
 		"dynaqd_cell_execution_ms":     "Wall time of successful cell executions.",
 		"dynaqd_job_e2e_ms":            "Wall time from job accept to terminal state.",
+		"dynaqd_tenant_queue_depth":    "Jobs waiting in one tenant's fair-queue leaf.",
+		"dynaqd_tenant_cells_queued":   "Cells awaiting dispatch in one tenant's fair-queue leaf.",
+		"dynaqd_tenant_inflight":       "One tenant's cells currently dispatched (leased or local).",
+		"dynaqd_tenant_dispatch_total": "Cells dispatched (lease grants plus local claims), by tenant.",
+		"dynaqd_tenant_queue_wait_ms":  "Wall time jobs spend queued before dispatch, by tenant.",
 	} {
 		s.reg.SetHelp(name, help)
 	}
 	s.reg.Gauge("dynaqd_build_info", telemetry.L("version", cfg.Version)).Set(1)
-	s.reg.GaugeFunc("dynaqd_queue_depth", func() int64 { return int64(len(s.queue)) })
+	//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
+	s.reg.GaugeFunc("dynaqd_queue_depth", func() int64 { return int64(s.jobq.Len()) })
 	//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
 	s.reg.GaugeFunc("dynaqd_jobs_running", func() int64 { return s.running })
 	s.reg.GaugeFunc("dynaqd_workers_active", func() int64 {
@@ -243,9 +276,6 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Size the channel to hold the whole recovered backlog plus the
-	// configured headroom, so recovery never blocks or drops.
-	s.queue = make(chan *Job, cfg.QueueDepth+len(markers))
 	if err := s.recoverTerminal(); err != nil {
 		return nil, err
 	}
@@ -273,14 +303,17 @@ func (s *Server) sweepTmp() (int, error) {
 	return len(entries), nil
 }
 
-// Start launches the drain loop (jobs leave the FIFO one at a time, their
-// cells fanned out to fleet workers or the local executor pool) and the
-// lease-expiry scanner.
+// Start launches the admission loop (each tenant's head-of-line job is
+// dispatched as soon as that tenant has nothing running), the shared
+// local-fallback executor pool, and the lease-expiry scanner.
 //
-//dynaqlint:allow lock-discipline lifecycle is channel-based: Shutdown closes s.stop, which both loops select on — a ctx here would duplicate it
+//dynaqlint:allow lock-discipline lifecycle is channel-based: Shutdown closes s.stop, which every loop selects on — a ctx here would duplicate it
 func (s *Server) Start() {
 	go s.drain()
 	go s.expiryLoop()
+	for i := 0; i < localWorkers(s.cfg.Concurrency); i++ {
+		go s.localExecutor()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -323,23 +356,61 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// drain is the queue consumer. Checking stop before selecting keeps the
-// contract exact: once Shutdown begins, no further job leaves the queue
-// even if both channels are ready.
+// drain is the admission loop: each pass admits the head-of-line job of
+// every tenant that has nothing running, so tenants proceed independently
+// while each tenant's own jobs stay strictly FIFO. Checking stop before
+// scanning keeps the shutdown contract exact: once Shutdown begins, no
+// further job leaves the queue even if a nudge is pending — and the loop
+// waits for every admitted job to settle (finish or revert to queued)
+// before reporting drained.
+//
+//dynaqlint:allow lock-discipline lifecycle is channel-based: Shutdown closes s.stop, which this loop and every runJob select on — a ctx here would duplicate it
 func (s *Server) drain() {
 	defer close(s.drained)
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
 		select {
 		case <-s.stop:
 			return
 		default:
 		}
+		s.mu.Lock()
+		var admitted []*Job
+		for _, tenant := range s.jobq.Tenants() {
+			if s.tenantRunning[tenant] > 0 {
+				continue
+			}
+			if j, ok := s.jobq.Pop(tenant); ok {
+				s.tenantRunning[tenant]++
+				admitted = append(admitted, j)
+			}
+		}
+		s.mu.Unlock()
+		for _, j := range admitted {
+			wg.Add(1)
+			go func(j *Job) {
+				defer wg.Done()
+				s.runJob(j)
+			}(j)
+		}
+		if len(admitted) > 0 {
+			continue
+		}
 		select {
 		case <-s.stop:
 			return
-		case j := <-s.queue:
-			s.runJob(j)
+		case <-s.admit:
 		}
+	}
+}
+
+// admitLocked nudges the admission loop; the buffered-1 channel coalesces
+// bursts. The caller holds s.mu.
+func (s *Server) admitLocked() {
+	select {
+	case s.admit <- struct{}{}:
+	default:
 	}
 }
 
@@ -372,6 +443,7 @@ func (s *Server) runJob(j *Job) {
 		s.mu.Lock()
 		j.State = StateQueued
 		s.running--
+		s.tenantSettledLocked(j)
 		s.persistAttemptsLocked(j)
 		j.rootSpan.Event("job-requeued", trace.A("reason", "daemon draining"))
 		s.mu.Unlock()
@@ -382,6 +454,7 @@ func (s *Server) runJob(j *Job) {
 
 	s.mu.Lock()
 	s.running--
+	s.tenantSettledLocked(j)
 	if err != nil {
 		j.State = StateFailed
 		j.Err = err.Error()
@@ -408,6 +481,16 @@ func (s *Server) runJob(j *Job) {
 	j.bc.close()
 	close(j.done)
 	s.logf("job %s: %s", j.ID, st.State)
+}
+
+// tenantSettledLocked releases j's tenant admission slot and wakes the
+// admission loop so the tenant's next queued job can start. The caller
+// holds s.mu.
+func (s *Server) tenantSettledLocked(j *Job) {
+	if s.tenantRunning[j.Tenant]--; s.tenantRunning[j.Tenant] <= 0 {
+		delete(s.tenantRunning, j.Tenant)
+	}
+	s.admitLocked()
 }
 
 // allCached reports whether every cell was served from cache.
@@ -441,8 +524,11 @@ func (s *Server) jobDir(id string) string { return filepath.Join(s.cfg.DataDir, 
 
 // persistRequest records a submission before it is enqueued, so a queued
 // job survives a daemon restart: request.json holds the raw body and a
-// queue marker holds the FIFO position. Any stale attempt counters from an
-// earlier life of the same job id are cleared — a (re)submission starts
+// queue marker holds the FIFO position. A non-default tenant is written as
+// the marker's content, so recovery lands the job back in the right
+// fair-queue leaf; default-tenant markers stay empty, byte-identical to
+// markers written before tenancy existed. Any stale attempt counters from
+// an earlier life of the same job id are cleared — a (re)submission starts
 // with a fresh retry budget.
 func (s *Server) persistRequestLocked(j *Job, body []byte) error {
 	dir := s.jobDir(j.ID)
@@ -455,7 +541,11 @@ func (s *Server) persistRequestLocked(j *Job, body []byte) error {
 	os.Remove(filepath.Join(dir, "attempts.json"))
 	s.seq++
 	marker := filepath.Join(s.cfg.DataDir, "queue", fmt.Sprintf("%08d-%s", s.seq, j.ID))
-	return os.WriteFile(marker, nil, 0o644)
+	var content []byte
+	if j.Tenant != DefaultTenant {
+		content = []byte(j.Tenant + "\n")
+	}
+	return os.WriteFile(marker, content, 0o644)
 }
 
 func (s *Server) persistStatus(st JobStatus) error {
@@ -579,9 +669,16 @@ func (s *Server) recoverTerminal() error {
 // recoverQueued re-enqueues persisted pending jobs in marker order —
 // including jobs that were mid-dispatch when the previous daemon stopped,
 // whose leased-but-unfinished cells come back as queued with their attempt
-// counters intact. Cells are re-expanded under the current build version,
-// so work queued before an upgrade re-runs instead of hitting a stale
-// cache.
+// counters intact. Global marker order plus per-tenant FIFOs reproduce
+// each tenant's original submission order exactly; the tenant comes from
+// the marker's content (authoritative, covers header-tagged submissions)
+// with the request body's tenant field as fallback. Recovery enqueues with
+// Force: already-admitted work must not be dropped because quotas shrank
+// between daemon lives. Cells are re-expanded under the current build
+// version, so work queued before an upgrade re-runs instead of hitting a
+// stale cache.
+//
+//dynaqlint:allow lock-discipline startup recovery runs under New before the drainer starts; there is no request context to thread yet
 func (s *Server) recoverQueued(markers []string) error {
 	for _, name := range markers {
 		_, id, ok := strings.Cut(name, "-")
@@ -595,7 +692,13 @@ func (s *Server) recoverQueued(markers []string) error {
 			os.Remove(marker)
 			continue
 		}
-		j, err := buildJob(parseRequest(body), s.cfg.Version)
+		req := parseRequest(body)
+		if data, err := os.ReadFile(marker); err == nil {
+			if tenant := strings.TrimSpace(string(data)); tenant != "" {
+				req.Tenant = tenant
+			}
+		}
+		j, err := buildJob(req, s.cfg.Version)
 		if err != nil {
 			s.logf("job %s: queued request no longer validates: %v", id, err)
 			os.Remove(marker)
@@ -605,9 +708,10 @@ func (s *Server) recoverQueued(markers []string) error {
 		s.loadAttempts(j)
 		s.mu.Lock()
 		s.jobs[id] = j
+		s.ensureTenantMetricsLocked(j.Tenant)
 		s.startTraceLocked(j, "")
 		j.rootSpan.Event("recovered")
-		s.queue <- j // sized for the whole recovered backlog; cannot block
+		s.jobq.Force(j.Tenant, j)
 		s.mu.Unlock()
 	}
 	return nil

@@ -913,7 +913,11 @@ func TestDeadLetterQuarantineAndRequeue(t *testing.T) {
 // TestRestartPreservesAttemptsAndFIFO is the restart persistence contract:
 // a coordinator stopped with a leased-but-unfinished cell (one failed
 // attempt already charged) comes back with the job queued, the attempt
-// counter intact, and the FIFO order of the backlog preserved.
+// counter intact, and the FIFO order of the backlog preserved. Job A is
+// submitted under a named tenant, so the test also pins the tenant-tagged
+// marker format: A's marker carries the tenant name, B's (default) marker
+// stays empty exactly as the pre-tenant daemon wrote it, and recovery
+// restores both tenants.
 func TestRestartPreservesAttemptsAndFIFO(t *testing.T) {
 	dataDir := t.TempDir()
 	s, ts := newTestServer(t, func(c *Config) {
@@ -927,7 +931,7 @@ func TestRestartPreservesAttemptsAndFIFO(t *testing.T) {
 	if g := leaseAs(t, ts, "flaky"); g != nil {
 		t.Fatalf("unexpected grant before any submission: %+v", g)
 	}
-	stA, _ := submit(t, ts, testScenario)
+	stA, _ := submitAs(t, ts, "acme", testScenario)
 	var g *fleet.LeaseGrant
 	waitFor(t, func() bool { g = leaseAs(t, ts, "flaky"); return g != nil })
 	if code := completeLease(t, ts, g.LeaseID, fleet.CompleteRequest{
@@ -950,6 +954,15 @@ func TestRestartPreservesAttemptsAndFIFO(t *testing.T) {
 		!strings.HasSuffix(markers[1].Name(), "-"+stB.ID) {
 		t.Fatalf("queue markers = %v, want job A then job B", markerNames(markers))
 	}
+	// The tenant rides in the marker content; the default tenant's marker
+	// is empty — the exact bytes a pre-tenant daemon wrote.
+	if data, err := os.ReadFile(filepath.Join(dataDir, "queue", markers[0].Name())); err != nil ||
+		strings.TrimSpace(string(data)) != "acme" {
+		t.Fatalf("job A marker content = %q (%v), want acme", data, err)
+	}
+	if data, err := os.ReadFile(filepath.Join(dataDir, "queue", markers[1].Name())); err != nil || len(data) != 0 {
+		t.Fatalf("job B marker content = %q (%v), want empty", data, err)
+	}
 	ts.Close()
 
 	// Second life: no workers this time, so the local pool runs everything.
@@ -962,6 +975,12 @@ func TestRestartPreservesAttemptsAndFIFO(t *testing.T) {
 	a := getStatus(t, ts2, stA.ID)
 	if a.State != StateQueued {
 		t.Fatalf("recovered job A state = %s, want queued", a.State)
+	}
+	if a.Tenant != "acme" {
+		t.Fatalf("recovered job A tenant = %q, want acme", a.Tenant)
+	}
+	if b := getStatus(t, ts2, stB.ID); b.Tenant != DefaultTenant {
+		t.Fatalf("recovered job B tenant = %q, want %s", b.Tenant, DefaultTenant)
 	}
 	if a.Cells[0].Attempts != 1 {
 		t.Fatalf("recovered attempt counter = %d, want 1", a.Cells[0].Attempts)

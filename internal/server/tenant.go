@@ -1,0 +1,61 @@
+package server
+
+import (
+	"strconv"
+
+	"dynaq/internal/telemetry"
+)
+
+// Per-tenant observability. Tenants appear dynamically (first submission,
+// restart recovery, dead-letter requeue), so their metric series are
+// registered lazily on first sight and live for the daemon's lifetime —
+// matching how per-worker occupancy gauges work.
+
+// ensureTenantMetricsLocked registers tenant's gauge series on first sight.
+// The caller holds s.mu.
+func (s *Server) ensureTenantMetricsLocked(tenant string) {
+	if s.tenantSeries[tenant] {
+		return
+	}
+	s.tenantSeries[tenant] = true
+	t := tenant
+	s.reg.GaugeFunc("dynaqd_tenant_queue_depth", func() int64 {
+		//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
+		return int64(s.jobq.Depth(t))
+	}, telemetry.L("tenant", t))
+	s.reg.GaugeFunc("dynaqd_tenant_cells_queued", func() int64 {
+		//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
+		return int64(s.tree.Depth(t))
+	}, telemetry.L("tenant", t))
+	s.reg.GaugeFunc("dynaqd_tenant_inflight", func() int64 {
+		//dynaqlint:allow lock-discipline gauge closures run inside handleMetrics' WritePrometheus, which already holds s.mu; locking here would self-deadlock
+		return int64(s.tree.Inflight(t))
+	}, telemetry.L("tenant", t))
+	// Touch the counter and histogram so the tenant's full set of series
+	// renders from first sight rather than first event.
+	s.reg.Counter("dynaqd_tenant_dispatch_total", telemetry.L("tenant", t))
+	s.reg.Histogram("dynaqd_tenant_queue_wait_ms", latencyBucketsMs, telemetry.L("tenant", t))
+}
+
+// tenantDispatchedLocked charges one dispatch (lease grant or local claim)
+// to tenant. The caller holds s.mu.
+func (s *Server) tenantDispatchedLocked(tenant string) {
+	s.reg.Counter("dynaqd_tenant_dispatch_total", telemetry.L("tenant", tenant)).Inc()
+}
+
+// tenantQueueWaitLocked records one job's queue wait for tenant. The caller
+// holds s.mu.
+func (s *Server) tenantQueueWaitLocked(tenant string, ms int64) {
+	s.reg.Histogram("dynaqd_tenant_queue_wait_ms", latencyBucketsMs, telemetry.L("tenant", tenant)).Observe(ms)
+}
+
+// retryAfterForDepth derives a Retry-After hint from how much of a backlog
+// stands between the caller and free capacity: one second for a shallow
+// queue, growing with depth, clamped to 30s so clients keep probing.
+func retryAfterForDepth(depth int) string {
+	secs := 1 + depth/8
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}

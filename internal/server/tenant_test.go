@@ -1,0 +1,206 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// submitAs posts a job with an X-Dynaq-Tenant header.
+func submitAs(t *testing.T, ts *httptest.Server, tenant, body string) (JobStatus, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Dynaq-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/jobs as %s: %v", tenant, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decoding submit response: %v\n%s", err, data)
+		}
+	}
+	return st, resp
+}
+
+// scrapeMetricsText fetches /metrics as raw text.
+func scrapeMetricsText(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return string(data)
+}
+
+// TestTenantHeaderValidation rejects malformed tenant names before any
+// state is touched.
+func TestTenantHeaderValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, bad := range []string{"no/slash", "space here", strings.Repeat("x", 65)} {
+		_, resp := submitAs(t, ts, bad, testScenario)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("tenant %q: status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	// The body field is an equally valid spelling.
+	st, resp := submit(t, ts, `{"tenant":"bodyside","scenario":`+testScenario+`,"schemes":["BestEffort"],"seeds":[1]}`)
+	if resp.StatusCode != http.StatusAccepted || st.Tenant != "bodyside" {
+		t.Fatalf("body-field tenant: status %d tenant %q, want 202 bodyside", resp.StatusCode, st.Tenant)
+	}
+}
+
+// TestTenantDefaultJobIDUnchanged pins the single-tenant compatibility
+// contract: an explicit "default" tenant and no tenant at all are the same
+// job — same ID, so the second submission dedupes onto the first.
+func TestTenantDefaultJobIDUnchanged(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	plain, resp := submit(t, ts, testScenario)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("plain submit status = %d", resp.StatusCode)
+	}
+	tagged, resp := submitAs(t, ts, DefaultTenant, testScenario)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tagged submit status = %d", resp.StatusCode)
+	}
+	if plain.ID != tagged.ID {
+		t.Fatalf("explicit default tenant changed the job id: %s vs %s", plain.ID, tagged.ID)
+	}
+	// A non-default tenant running the identical scenario is a distinct
+	// job (separate queue position, separate status) sharing cache keys.
+	other, resp := submitAs(t, ts, "acme", testScenario)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("acme submit status = %d", resp.StatusCode)
+	}
+	if other.ID == plain.ID {
+		t.Fatal("tenant acme deduped onto the default tenant's job")
+	}
+	if other.Cells[0].CacheKey != plain.Cells[0].CacheKey {
+		t.Fatal("tenant tag leaked into the cache key")
+	}
+}
+
+// TestTenantQuota503 exercises the per-tenant admission cap: a full tenant
+// gets its own 503 (with its depth and quota in the body and a Retry-After
+// hint) while other tenants keep submitting.
+func TestTenantQuota503(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.QueueDepth = 8
+		c.TenantQuota = 1
+	})
+	if _, resp := submitAs(t, ts, "flooder", testScenario); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first flooder submit status = %d", resp.StatusCode)
+	}
+	scen2 := strings.Replace(testScenario, `"seed":1`, `"seed":2`, 1)
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(scen2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Dynaq-Tenant", "flooder")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-quota submit status = %d, want 503", resp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("over-quota Retry-After = %q, want delta-seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+	var body struct {
+		Error       string `json:"error"`
+		Tenant      string `json:"tenant"`
+		TenantDepth int    `json:"tenant_depth"`
+		TenantQuota int    `json:"tenant_quota"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding 503 body: %v", err)
+	}
+	resp.Body.Close()
+	if body.Tenant != "flooder" || body.TenantDepth != 1 || body.TenantQuota != 1 {
+		t.Fatalf("503 body = %+v, want tenant flooder at 1 of 1", body)
+	}
+	if !strings.Contains(body.Error, "flooder") {
+		t.Fatalf("503 error %q does not name the tenant", body.Error)
+	}
+	// A different tenant is unaffected by the flooder's full queue.
+	if _, resp := submitAs(t, ts, "bystander", testScenario); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bystander submit status = %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestTenantWeightedGrantOrder drives the full server path of the fair
+// tree: two tenants' jobs dispatching concurrently, lease grants rotating
+// 3:1 by configured weight.
+func TestTenantWeightedGrantOrder(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.TenantWeights = map[string]int{"heavy": 3, "light": 1}
+		c.LeaseTTL = time.Minute // keep the polling worker "active" so the local pool stands down
+	})
+	s.Start()
+	defer s.Shutdown(shutdownCtx(t))
+
+	// Register the worker before submitting so no cell executes locally.
+	if g := leaseAs(t, ts, "w1"); g != nil {
+		t.Fatalf("unexpected grant before any submission: %+v", g)
+	}
+	sweep := func(seeds string) string {
+		return `{"scenario":` + testScenario + `,"schemes":["BestEffort"],"seeds":[` + seeds + `]}`
+	}
+	stHeavy, respH := submitAs(t, ts, "heavy", sweep("1,2,3,4,5,6"))
+	stLight, respL := submitAs(t, ts, "light", sweep("11,12,13,14,15,16"))
+	if respH.StatusCode != http.StatusAccepted || respL.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit statuses = %d, %d", respH.StatusCode, respL.StatusCode)
+	}
+
+	// Wait until both jobs' cells are in the dispatch tree — the per-tenant
+	// gauges say so — before granting, so the rotation sees both tenants.
+	waitFor(t, func() bool {
+		m := scrapeMetricsText(t, ts)
+		return strings.Contains(m, `dynaqd_tenant_cells_queued{tenant="heavy"} 6`) &&
+			strings.Contains(m, `dynaqd_tenant_cells_queued{tenant="light"} 6`)
+	})
+
+	tenantOf := map[string]string{stHeavy.ID: "heavy", stLight.ID: "light"}
+	var order []string
+	for len(order) < 8 {
+		g := leaseAs(t, ts, "w1")
+		if g == nil {
+			t.Fatalf("lease pool ran dry after %d grants", len(order))
+		}
+		order = append(order, tenantOf[g.JobID])
+	}
+	want := []string{"heavy", "heavy", "heavy", "light", "heavy", "heavy", "heavy", "light"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("grant order = %v, want %v", order, want)
+	}
+
+	// The per-tenant observability satellites: dispatch counters moved and
+	// both tenants' series render with their labels.
+	m := scrapeMetricsText(t, ts)
+	for _, series := range []string{
+		`dynaqd_tenant_dispatch_total{tenant="heavy"} 6`,
+		`dynaqd_tenant_dispatch_total{tenant="light"} 2`,
+		`dynaqd_tenant_queue_depth{tenant="heavy"}`,
+		`dynaqd_tenant_inflight{tenant="light"} 2`,
+		`dynaqd_tenant_queue_wait_ms_count{tenant="heavy"}`,
+	} {
+		if !strings.Contains(m, series) {
+			t.Errorf("metrics missing %s", series)
+		}
+	}
+}

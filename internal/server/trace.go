@@ -56,6 +56,7 @@ func (s *Server) startTraceLocked(j *Job, requested string) {
 	j.rootSpan = j.tr.Start("job",
 		"",
 		trace.A("job", j.ID),
+		trace.A("tenant", j.Tenant),
 		trace.AInt("cells", int64(len(j.Cells))))
 	j.rootSpan.Event("accepted")
 	j.queueSpan = j.rootSpan.Child("queue-wait")
@@ -68,7 +69,9 @@ func (s *Server) traceJobRunningLocked(j *Job) {
 		return
 	}
 	j.queueSpan.End()
-	s.hQueueWait.Observe(s.clock.Now().Sub(j.queuedAt).Milliseconds())
+	waitMs := s.clock.Now().Sub(j.queuedAt).Milliseconds()
+	s.hQueueWait.Observe(waitMs)
+	s.tenantQueueWaitLocked(j.Tenant, waitMs)
 }
 
 // traceJobTerminalLocked ends the root span (and force-ends anything a dead
@@ -95,6 +98,7 @@ func (s *Server) cellSpanLocked(j *Job, c *Cell, worker, leaseID string, attempt
 		trace.AInt("cell", int64(c.Index)),
 		trace.A("scheme", c.Scheme),
 		trace.AInt("seed", c.Seed),
+		trace.A("tenant", j.Tenant),
 		trace.AInt("attempt", int64(attempt)),
 		trace.A("worker", worker),
 	}
